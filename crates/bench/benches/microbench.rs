@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks of the algebraic substrate: field
+//! multiplication, polynomial interpolation, bivariate row extraction and
+//! online error correction. These back the constant factors behind every
+//! communication/computation figure of E2–E10.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpc_algebra::evaluation_points::alpha;
+use mpc_algebra::{rs, Fp, Polynomial, SymmetricBivariate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_field(c: &mut Criterion) {
+    let a = Fp::from_u64(123_456_789_123);
+    let b = Fp::from_u64(987_654_321_987);
+    c.bench_function("field/mul", |bench| bench.iter(|| std::hint::black_box(a) * std::hint::black_box(b)));
+    c.bench_function("field/inverse", |bench| bench.iter(|| std::hint::black_box(a).inverse()));
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let f = Polynomial::random(&mut rng, 16);
+    c.bench_function("poly/evaluate_deg16", |bench| {
+        bench.iter(|| f.evaluate(std::hint::black_box(Fp::from_u64(12345))))
+    });
+    let points: Vec<(Fp, Fp)> = (0..17).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+    c.bench_function("poly/interpolate_deg16", |bench| {
+        bench.iter(|| Polynomial::interpolate(std::hint::black_box(&points)))
+    });
+}
+
+fn bench_bivariate_and_oec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let q = SymmetricBivariate::random(&mut rng, 8);
+    c.bench_function("bivariate/row_deg8", |bench| {
+        bench.iter(|| q.row(std::hint::black_box(alpha(3))))
+    });
+    let f = Polynomial::random(&mut rng, 4);
+    let mut pts: Vec<(Fp, Fp)> = (0..13).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+    pts[2].1 += Fp::ONE;
+    pts[9].1 += Fp::from_u64(7);
+    c.bench_function("rs/oec_decode_d4_t4_2errors", |bench| {
+        bench.iter_batched(|| pts.clone(), |p| rs::oec_decode(4, 4, &p), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_field, bench_poly, bench_bivariate_and_oec);
+criterion_main!(benches);

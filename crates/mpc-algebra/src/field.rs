@@ -1,0 +1,370 @@
+//! The prime field `GF(p)` with `p = 2^61 - 1` (a Mersenne prime).
+//!
+//! The paper only requires `|F| > 2n`; we pick a 61-bit Mersenne prime so that
+//! field elements fit in a `u64`, products fit in a `u128`, and reduction is a
+//! couple of shifts. All protocol values, shares and polynomial coefficients
+//! are elements of this field.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The field modulus `p = 2^61 - 1`.
+pub const MODULUS: u64 = (1u64 << 61) - 1;
+
+/// An element of the prime field `GF(2^61 - 1)`.
+///
+/// The canonical representative is always kept in `[0, p)`.
+///
+/// ```
+/// use mpc_algebra::Fp;
+/// let a = Fp::from_u64(7);
+/// let b = Fp::from_u64(5);
+/// assert_eq!((a + b).as_u64(), 12);
+/// assert_eq!((a * b).as_u64(), 35);
+/// assert_eq!(a * a.inverse().unwrap(), Fp::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Fp(u64);
+
+impl Fp {
+    /// The additive identity.
+    pub const ZERO: Fp = Fp(0);
+    /// The multiplicative identity.
+    pub const ONE: Fp = Fp(1);
+
+    /// Creates a field element from an arbitrary `u64`, reducing modulo `p`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        Fp(v % MODULUS)
+    }
+
+    /// Creates a field element from an arbitrary `u128`, reducing modulo `p`.
+    #[inline]
+    pub fn from_u128(v: u128) -> Self {
+        Fp(reduce128(v))
+    }
+
+    /// Returns the canonical representative in `[0, p)`.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Modular exponentiation `self^exp`.
+    pub fn pow(self, mut exp: u64) -> Self {
+        let mut base = self;
+        let mut acc = Fp::ONE;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    ///
+    /// Computed as `self^(p-2)` (Fermat).
+    pub fn inverse(self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow(MODULUS - 2))
+        }
+    }
+
+    /// Samples a uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Rejection sampling on 61 bits keeps the distribution exactly uniform.
+        loop {
+            let v = rng.gen::<u64>() & MODULUS;
+            if v < MODULUS {
+                return Fp(v);
+            }
+        }
+    }
+}
+
+/// Fast reduction of a 128-bit value modulo the Mersenne prime `2^61 - 1`.
+#[inline]
+fn reduce128(v: u128) -> u64 {
+    // Split into 61-bit limbs: v = hi·2^61 + lo ≡ hi + lo (mod 2^61 - 1).
+    // `hi` may exceed 64 bits for arbitrary u128 inputs, so keep it in u128
+    // and fold it once more before dropping to u64.
+    let lo = (v as u64) & MODULUS;
+    let hi = v >> 61;
+    let hi_lo = (hi as u64) & MODULUS;
+    let hi_hi = (hi >> 61) as u64;
+    let mut r = lo + hi_lo + hi_hi;
+    while r >= MODULUS {
+        r -= MODULUS;
+    }
+    r
+}
+
+impl fmt::Debug for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp({})", self.0)
+    }
+}
+
+impl fmt::Display for Fp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Fp {
+    fn from(v: u64) -> Self {
+        Fp::from_u64(v)
+    }
+}
+
+impl From<u32> for Fp {
+    fn from(v: u32) -> Self {
+        Fp::from_u64(v as u64)
+    }
+}
+
+impl Add for Fp {
+    type Output = Fp;
+    #[inline]
+    fn add(self, rhs: Fp) -> Fp {
+        let mut s = self.0 + rhs.0;
+        if s >= MODULUS {
+            s -= MODULUS;
+        }
+        Fp(s)
+    }
+}
+
+impl Sub for Fp {
+    type Output = Fp;
+    #[inline]
+    fn sub(self, rhs: Fp) -> Fp {
+        if self.0 >= rhs.0 {
+            Fp(self.0 - rhs.0)
+        } else {
+            Fp(self.0 + MODULUS - rhs.0)
+        }
+    }
+}
+
+impl Mul for Fp {
+    type Output = Fp;
+    #[inline]
+    fn mul(self, rhs: Fp) -> Fp {
+        Fp(reduce128(self.0 as u128 * rhs.0 as u128))
+    }
+}
+
+impl Div for Fp {
+    type Output = Fp;
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    #[inline]
+    fn div(self, rhs: Fp) -> Fp {
+        self * rhs.inverse().expect("division by zero in Fp")
+    }
+}
+
+impl Neg for Fp {
+    type Output = Fp;
+    #[inline]
+    fn neg(self) -> Fp {
+        if self.0 == 0 {
+            self
+        } else {
+            Fp(MODULUS - self.0)
+        }
+    }
+}
+
+impl AddAssign for Fp {
+    fn add_assign(&mut self, rhs: Fp) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fp {
+    fn sub_assign(&mut self, rhs: Fp) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fp {
+    fn mul_assign(&mut self, rhs: Fp) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Fp {
+    fn div_assign(&mut self, rhs: Fp) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Fp {
+    fn sum<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Fp> for Fp {
+    fn sum<I: Iterator<Item = &'a Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ZERO, |a, b| a + *b)
+    }
+}
+
+impl Product for Fp {
+    fn product<I: Iterator<Item = Fp>>(iter: I) -> Fp {
+        iter.fold(Fp::ONE, |a, b| a * b)
+    }
+}
+
+impl Distribution<Fp> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp {
+        Fp::random(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arb_fp() -> impl Strategy<Value = Fp> {
+        any::<u64>().prop_map(Fp::from_u64)
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Fp::ZERO.as_u64(), 0);
+        assert_eq!(Fp::ONE.as_u64(), 1);
+        assert_eq!(MODULUS, 2305843009213693951);
+    }
+
+    #[test]
+    fn add_wraps() {
+        let a = Fp::from_u64(MODULUS - 1);
+        assert_eq!((a + Fp::ONE), Fp::ZERO);
+        assert_eq!((a + Fp::from_u64(5)).as_u64(), 4);
+    }
+
+    #[test]
+    fn sub_wraps() {
+        assert_eq!((Fp::ZERO - Fp::ONE).as_u64(), MODULUS - 1);
+    }
+
+    #[test]
+    fn neg_zero_is_zero() {
+        assert_eq!(-Fp::ZERO, Fp::ZERO);
+    }
+
+    #[test]
+    fn mul_large_values() {
+        let a = Fp::from_u64(MODULUS - 1);
+        // (p-1)^2 = p^2 - 2p + 1 ≡ 1 (mod p)
+        assert_eq!(a * a, Fp::ONE);
+    }
+
+    #[test]
+    fn inverse_of_zero_is_none() {
+        assert!(Fp::ZERO.inverse().is_none());
+    }
+
+    #[test]
+    fn division_matches_inverse() {
+        let a = Fp::from_u64(123456789);
+        let b = Fp::from_u64(987654321);
+        assert_eq!(a / b * b, a);
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let a = Fp::from_u64(42);
+        assert_eq!(a.pow(0), Fp::ONE);
+        assert_eq!(a.pow(1), a);
+        assert_eq!(a.pow(MODULUS - 1), Fp::ONE); // Fermat's little theorem
+    }
+
+    #[test]
+    fn random_is_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = Fp::random(&mut rng);
+            assert!(x.as_u64() < MODULUS);
+        }
+    }
+
+    #[test]
+    fn sum_and_product_impls() {
+        let xs = [Fp::from_u64(1), Fp::from_u64(2), Fp::from_u64(3)];
+        let s: Fp = xs.iter().sum();
+        let p: Fp = xs.iter().copied().product();
+        assert_eq!(s.as_u64(), 6);
+        assert_eq!(p.as_u64(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_add_associative(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn prop_mul_commutative(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn prop_mul_associative(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_distributive(a in arb_fp(), b in arb_fp(), c in arb_fp()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_add_sub_roundtrip(a in arb_fp(), b in arb_fp()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn prop_inverse(a in arb_fp()) {
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inverse().unwrap(), Fp::ONE);
+            }
+        }
+
+        #[test]
+        fn prop_neg_is_additive_inverse(a in arb_fp()) {
+            prop_assert_eq!(a + (-a), Fp::ZERO);
+        }
+
+        #[test]
+        fn prop_from_u128_consistent(a in any::<u64>(), b in any::<u64>()) {
+            let prod = Fp::from_u128(a as u128 * b as u128);
+            prop_assert_eq!(prod, Fp::from_u64(a) * Fp::from_u64(b));
+        }
+    }
+}

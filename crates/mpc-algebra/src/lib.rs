@@ -1,0 +1,93 @@
+//! Algebraic substrate for the best-of-both-worlds MPC stack.
+//!
+//! This crate implements everything Section 2 of the paper ("Preliminaries")
+//! assumes about the field `F` and polynomials over it:
+//!
+//! * [`field::Fp`] — the prime field `GF(2^61 - 1)` used for all protocol
+//!   computation (the paper only requires `|F| > 2n`).
+//! * [`poly::Polynomial`] — univariate polynomials with evaluation and
+//!   Lagrange interpolation (Lemma "unique d-degree polynomial through d+1
+//!   points").
+//! * [`bivariate::SymmetricBivariate`] — `(ℓ,ℓ)`-degree symmetric bivariate
+//!   polynomials and the pairwise-consistency lemma (Lemma 2.1) machinery
+//!   used by the VSS/WPS protocols.
+//! * [`shamir`] — `d`-sharing (Definition 2.3) and its linearity.
+//! * [`rs`] — Reed–Solomon decoding (Berlekamp–Welch) used by the online
+//!   error correction (OEC) procedure of \[13\].
+//! * [`evaluation_points`] — the publicly known distinct non-zero points
+//!   `α_1..α_n, β_1..β_n` the paper fixes for shares and triple extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bivariate;
+pub mod field;
+pub mod poly;
+pub mod rs;
+pub mod shamir;
+
+pub use bivariate::SymmetricBivariate;
+pub use field::Fp;
+pub use poly::Polynomial;
+
+/// Publicly known, distinct, non-zero evaluation points used throughout the
+/// protocols.
+///
+/// The paper fixes `α_1, …, α_n, β_1, …, β_n` as publicly known distinct
+/// non-zero field elements (Section 2). We use `α_i = i` and `β_j = n + j`,
+/// which are distinct and non-zero as long as `2n < |F|` (always true here).
+pub mod evaluation_points {
+    use crate::field::Fp;
+
+    /// `α_i` — the evaluation point assigned to party `i` (0-indexed party id).
+    ///
+    /// Party `P_i` of the paper (1-indexed) corresponds to `alpha(i-1)`.
+    #[inline]
+    pub fn alpha(party_index: usize) -> Fp {
+        Fp::from_u64(party_index as u64 + 1)
+    }
+
+    /// `β_j` — the `j`-th auxiliary point (0-indexed), distinct from every `α_i`.
+    ///
+    /// Used by `Π_TripSh` / `Π_TripExt` to define "new" points on the triple
+    /// polynomials, and therefore parameterised by `n`.
+    #[inline]
+    pub fn beta(n: usize, j: usize) -> Fp {
+        Fp::from_u64((n + j) as u64 + 1)
+    }
+
+    /// All `n` party evaluation points `α_0..α_{n-1}`.
+    pub fn alphas(n: usize) -> Vec<Fp> {
+        (0..n).map(alpha).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::evaluation_points::{alpha, alphas, beta};
+    use super::Fp;
+
+    #[test]
+    fn alphas_are_distinct_and_nonzero() {
+        let n = 32;
+        let pts = alphas(n);
+        for (i, a) in pts.iter().enumerate() {
+            assert_ne!(*a, Fp::ZERO);
+            for b in &pts[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn betas_disjoint_from_alphas() {
+        let n = 16;
+        for j in 0..n {
+            let b = beta(n, j);
+            assert_ne!(b, Fp::ZERO);
+            for i in 0..n {
+                assert_ne!(b, alpha(i));
+            }
+        }
+    }
+}

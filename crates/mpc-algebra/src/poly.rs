@@ -1,0 +1,388 @@
+//! Univariate polynomials over [`Fp`] with evaluation and Lagrange
+//! interpolation.
+//!
+//! These are the `d`-degree polynomials of Definition 2.3 (`d`-sharing): a
+//! sharing polynomial `f_s(·)` with `f_s(0) = s` whose evaluations at the
+//! party points `α_i` are the shares.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::field::Fp;
+
+/// A univariate polynomial over `GF(2^61-1)` stored by its coefficients
+/// (`coeffs[k]` is the coefficient of `x^k`).
+///
+/// The zero polynomial is represented by an empty coefficient vector.
+///
+/// ```
+/// use mpc_algebra::{Fp, Polynomial};
+/// // f(x) = 3 + 2x
+/// let f = Polynomial::from_coeffs(vec![Fp::from_u64(3), Fp::from_u64(2)]);
+/// assert_eq!(f.evaluate(Fp::from_u64(10)).as_u64(), 23);
+/// assert_eq!(f.degree(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<Fp>,
+}
+
+impl Polynomial {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `f(x) = c`.
+    pub fn constant(c: Fp) -> Self {
+        if c.is_zero() {
+            Self::zero()
+        } else {
+            Polynomial { coeffs: vec![c] }
+        }
+    }
+
+    /// Builds a polynomial from coefficients (`coeffs[k]` multiplies `x^k`).
+    /// Trailing zero coefficients are trimmed.
+    pub fn from_coeffs(coeffs: Vec<Fp>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    /// Samples a uniformly random polynomial of degree **exactly at most**
+    /// `degree` with the given constant term (`f(0) = constant_term`).
+    ///
+    /// This is the standard way the dealer embeds a secret into a `d`-degree
+    /// sharing polynomial.
+    pub fn random_with_constant_term<R: Rng + ?Sized>(
+        rng: &mut R,
+        degree: usize,
+        constant_term: Fp,
+    ) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant_term);
+        for _ in 0..degree {
+            coeffs.push(Fp::random(rng));
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Samples a uniformly random polynomial of degree at most `degree`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, degree: usize) -> Self {
+        let coeffs = (0..=degree).map(|_| Fp::random(rng)).collect();
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// The coefficients of the polynomial (low to high degree).
+    pub fn coeffs(&self) -> &[Fp] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial; the zero polynomial has degree 0 by
+    /// convention here (it never matters for the protocols, which only check
+    /// upper bounds).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn evaluate(&self, x: Fp) -> Fp {
+        let mut acc = Fp::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// The constant term `f(0)` — the shared secret in a sharing polynomial.
+    pub fn constant_term(&self) -> Fp {
+        self.coeffs.first().copied().unwrap_or(Fp::ZERO)
+    }
+
+    /// Lagrange-interpolates the unique polynomial of degree `< points.len()`
+    /// passing through the given `(x, y)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two interpolation points share the same `x` coordinate or if
+    /// `points` is empty.
+    pub fn interpolate(points: &[(Fp, Fp)]) -> Self {
+        assert!(!points.is_empty(), "cannot interpolate zero points");
+        let n = points.len();
+        let mut result = vec![Fp::ZERO; n];
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // numerator polynomial: prod_{j != i} (x - x_j)
+            let mut num = vec![Fp::ZERO; n];
+            num[0] = Fp::ONE;
+            let mut num_deg = 0usize;
+            let mut denom = Fp::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(xi, xj, "duplicate x coordinate in interpolation");
+                denom *= xi - xj;
+                // multiply num by (x - xj)
+                num_deg += 1;
+                for k in (1..=num_deg).rev() {
+                    let lower = num[k - 1];
+                    num[k] = num[k] * (-xj) + lower;
+                }
+                num[0] = num[0] * (-xj);
+            }
+            let scale = yi * denom.inverse().expect("distinct points imply nonzero denom");
+            for k in 0..n {
+                result[k] += num[k] * scale;
+            }
+        }
+        Polynomial::from_coeffs(result)
+    }
+
+    /// Computes the Lagrange coefficients `λ_i` such that for every polynomial
+    /// `f` of degree `< xs.len()`, `f(target) = Σ_i λ_i · f(xs[i])`.
+    ///
+    /// This is the "publicly known Lagrange linear function" used by
+    /// `Π_TripTrans` / `Π_TripExt` to compute new shared points on a
+    /// polynomial by a local linear combination of old shared points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` contains duplicates or is empty.
+    pub fn lagrange_coefficients(xs: &[Fp], target: Fp) -> Vec<Fp> {
+        assert!(!xs.is_empty(), "need at least one evaluation point");
+        let mut coeffs = Vec::with_capacity(xs.len());
+        for (i, &xi) in xs.iter().enumerate() {
+            let mut num = Fp::ONE;
+            let mut den = Fp::ONE;
+            for (j, &xj) in xs.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert_ne!(xi, xj, "duplicate x coordinate");
+                num *= target - xj;
+                den *= xi - xj;
+            }
+            coeffs.push(num * den.inverse().expect("distinct points"));
+        }
+        coeffs
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![Fp::ZERO; len];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(k).copied().unwrap_or(Fp::ZERO);
+            let b = other.coeffs.get(k).copied().unwrap_or(Fp::ZERO);
+            *c = a + b;
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Subtracts `other` from `self`.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![Fp::ZERO; len];
+        for (k, c) in coeffs.iter_mut().enumerate() {
+            let a = self.coeffs.get(k).copied().unwrap_or(Fp::ZERO);
+            let b = other.coeffs.get(k).copied().unwrap_or(Fp::ZERO);
+            *c = a - b;
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Multiplies two polynomials (schoolbook).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![Fp::ZERO; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::from_coeffs(coeffs)
+    }
+
+    /// Multiplies the polynomial by a scalar.
+    pub fn scale(&self, s: Fp) -> Polynomial {
+        Polynomial::from_coeffs(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Polynomial long division: returns `(quotient, remainder)` such that
+    /// `self = quotient * divisor + remainder` with `deg(remainder) < deg(divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is the zero polynomial.
+    pub fn div_rem(&self, divisor: &Polynomial) -> (Polynomial, Polynomial) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        if self.coeffs.len() < divisor.coeffs.len() {
+            return (Polynomial::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let dlen = divisor.coeffs.len();
+        let lead_inv = divisor.coeffs[dlen - 1]
+            .inverse()
+            .expect("leading coefficient of a trimmed polynomial is nonzero");
+        let qlen = rem.len() - dlen + 1;
+        let mut quot = vec![Fp::ZERO; qlen];
+        for k in (0..qlen).rev() {
+            let coeff = rem[k + dlen - 1] * lead_inv;
+            quot[k] = coeff;
+            if coeff.is_zero() {
+                continue;
+            }
+            for (j, &d) in divisor.coeffs.iter().enumerate() {
+                rem[k + j] -= coeff * d;
+            }
+        }
+        rem.truncate(dlen - 1);
+        (Polynomial::from_coeffs(quot), Polynomial::from_coeffs(rem))
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last().map_or(false, |c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp(v: u64) -> Fp {
+        Fp::from_u64(v)
+    }
+
+    #[test]
+    fn evaluate_simple() {
+        // f(x) = 1 + 2x + 3x^2
+        let f = Polynomial::from_coeffs(vec![fp(1), fp(2), fp(3)]);
+        assert_eq!(f.evaluate(fp(0)), fp(1));
+        assert_eq!(f.evaluate(fp(1)), fp(6));
+        assert_eq!(f.evaluate(fp(2)), fp(17));
+        assert_eq!(f.degree(), 2);
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let f = Polynomial::from_coeffs(vec![fp(1), fp(0), fp(0)]);
+        assert_eq!(f.degree(), 0);
+        assert_eq!(f.coeffs().len(), 1);
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.evaluate(fp(5)), Fp::ZERO);
+        assert_eq!(z.constant_term(), Fp::ZERO);
+    }
+
+    #[test]
+    fn interpolate_recovers_polynomial() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for deg in 0..8 {
+            let f = Polynomial::random(&mut rng, deg);
+            let points: Vec<(Fp, Fp)> = (1..=deg as u64 + 1)
+                .map(|x| (fp(x), f.evaluate(fp(x))))
+                .collect();
+            let g = Polynomial::interpolate(&points);
+            assert_eq!(f, g, "degree {deg}");
+        }
+    }
+
+    #[test]
+    fn interpolate_line() {
+        // points (1,3), (2,5) → f(x) = 2x + 1
+        let f = Polynomial::interpolate(&[(fp(1), fp(3)), (fp(2), fp(5))]);
+        assert_eq!(f.evaluate(fp(0)), fp(1));
+        assert_eq!(f.evaluate(fp(10)), fp(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate x coordinate")]
+    fn interpolate_duplicate_x_panics() {
+        let _ = Polynomial::interpolate(&[(fp(1), fp(3)), (fp(1), fp(5))]);
+    }
+
+    #[test]
+    fn lagrange_coefficients_compute_new_point() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = Polynomial::random(&mut rng, 4);
+        let xs: Vec<Fp> = (1..=5u64).map(fp).collect();
+        let target = fp(77);
+        let lambdas = Polynomial::lagrange_coefficients(&xs, target);
+        let combo: Fp = xs
+            .iter()
+            .zip(&lambdas)
+            .map(|(&x, &l)| l * f.evaluate(x))
+            .sum();
+        assert_eq!(combo, f.evaluate(target));
+    }
+
+    #[test]
+    fn random_with_constant_term_fixes_secret() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let secret = fp(424242);
+        let f = Polynomial::random_with_constant_term(&mut rng, 5, secret);
+        assert_eq!(f.constant_term(), secret);
+        assert!(f.degree() <= 5);
+    }
+
+    #[test]
+    fn div_rem_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Polynomial::random(&mut rng, 7);
+        let b = Polynomial::random(&mut rng, 3);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul(&b).add(&r), a);
+        assert!(r.is_zero() || r.degree() < b.degree());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_interpolation_roundtrip(
+            coeffs in proptest::collection::vec(any::<u64>(), 1..10),
+            xs_seed in any::<u64>(),
+        ) {
+            let f = Polynomial::from_coeffs(coeffs.iter().map(|&c| fp(c)).collect());
+            let d = f.coeffs().len().max(1);
+            // distinct nonzero x coordinates derived from a seed
+            let points: Vec<(Fp, Fp)> = (0..d as u64)
+                .map(|i| {
+                    let x = fp(xs_seed % 1000 + 1 + i);
+                    (x, f.evaluate(x))
+                })
+                .collect();
+            let g = Polynomial::interpolate(&points);
+            prop_assert_eq!(f, g);
+        }
+
+        #[test]
+        fn prop_add_mul_evaluate_homomorphic(
+            a in proptest::collection::vec(any::<u64>(), 0..6),
+            b in proptest::collection::vec(any::<u64>(), 0..6),
+            x in any::<u64>(),
+        ) {
+            let fa = Polynomial::from_coeffs(a.iter().map(|&c| fp(c)).collect());
+            let fb = Polynomial::from_coeffs(b.iter().map(|&c| fp(c)).collect());
+            let x = fp(x);
+            prop_assert_eq!(fa.add(&fb).evaluate(x), fa.evaluate(x) + fb.evaluate(x));
+            prop_assert_eq!(fa.mul(&fb).evaluate(x), fa.evaluate(x) * fb.evaluate(x));
+            prop_assert_eq!(fa.sub(&fb).evaluate(x), fa.evaluate(x) - fb.evaluate(x));
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Reed–Solomon decoding (Berlekamp–Welch) and the core of the online
+//! error-correction (OEC) procedure of \[13\] (Appendix A of the paper).
+//!
+//! A `d`-shared value corresponds to a `d`-degree polynomial evaluated at the
+//! party points. When a receiver collects points from a set `P'` containing
+//! at most `t` corruptions, it repeatedly tries to decode: as soon as
+//! `d + t + 1` of the received points lie on a single `d`-degree polynomial,
+//! that polynomial is the correct one (at least `d + 1` of those points come
+//! from honest parties and uniquely determine it).
+
+use crate::field::Fp;
+use crate::poly::Polynomial;
+
+/// Solves the linear system `A·x = b` over `GF(2^61-1)` by Gaussian
+/// elimination. Returns `None` if the system has no solution; if the system
+/// is under-determined an arbitrary consistent solution is returned (free
+/// variables are set to zero).
+pub fn solve_linear_system(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
+    let rows = a.len();
+    assert_eq!(rows, b.len(), "matrix/vector dimension mismatch");
+    if rows == 0 {
+        return Some(Vec::new());
+    }
+    let cols = a[0].len();
+    let mut m: Vec<Vec<Fp>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            assert_eq!(row.len(), cols, "ragged matrix");
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    let mut pivot_cols = Vec::new();
+    let mut rank = 0usize;
+    for col in 0..cols {
+        // find pivot
+        let Some(pivot_row) = (rank..rows).find(|&r| !m[r][col].is_zero()) else {
+            continue;
+        };
+        m.swap(rank, pivot_row);
+        let inv = m[rank][col].inverse().expect("pivot is nonzero");
+        for c in col..=cols {
+            m[rank][c] = m[rank][c] * inv;
+        }
+        for r in 0..rows {
+            if r != rank && !m[r][col].is_zero() {
+                let factor = m[r][col];
+                for c in col..=cols {
+                    let sub = factor * m[rank][c];
+                    m[r][c] = m[r][c] - sub;
+                }
+            }
+        }
+        pivot_cols.push(col);
+        rank += 1;
+        if rank == rows {
+            break;
+        }
+    }
+    // Inconsistent row: all zero coefficients but nonzero rhs.
+    for r in rank..rows {
+        if m[r][..cols].iter().all(|c| c.is_zero()) && !m[r][cols].is_zero() {
+            return None;
+        }
+    }
+    let mut x = vec![Fp::ZERO; cols];
+    for (r, &col) in pivot_cols.iter().enumerate() {
+        x[col] = m[r][cols];
+    }
+    Some(x)
+}
+
+/// Berlekamp–Welch decoding.
+///
+/// Given `points` (distinct `x` coordinates), a target degree `d` and a bound
+/// `e` on the number of erroneous points, attempts to find a polynomial `f`
+/// of degree `≤ d` that agrees with at least `points.len() - e` of the
+/// points. Requires `points.len() ≥ d + 2e + 1`; returns `None` otherwise or
+/// when no such polynomial exists.
+pub fn berlekamp_welch(d: usize, e: usize, points: &[(Fp, Fp)]) -> Option<Polynomial> {
+    let k = points.len();
+    if k < d + 2 * e + 1 {
+        return None;
+    }
+    if e == 0 {
+        let f = Polynomial::interpolate(&points[..d + 1]);
+        if f.degree() > d && !f.is_zero() {
+            return None;
+        }
+        if points.iter().all(|&(x, y)| f.evaluate(x) == y) {
+            return Some(f);
+        }
+        return None;
+    }
+    // Unknowns: E(x) = x^e + e_{e-1} x^{e-1} + ... + e_0   (e unknowns)
+    //           Q(x) = q_{d+e} x^{d+e} + ... + q_0          (d+e+1 unknowns)
+    // Equations: Q(x_i) = y_i · E(x_i) for every point.
+    let num_e = e;
+    let num_q = d + e + 1;
+    let cols = num_e + num_q;
+    let mut a = Vec::with_capacity(k);
+    let mut b = Vec::with_capacity(k);
+    for &(x, y) in points {
+        let mut row = vec![Fp::ZERO; cols];
+        // -y·(e_0 + e_1 x + ... + e_{e-1} x^{e-1}) + Q(x) = y·x^e
+        let mut xp = Fp::ONE;
+        for j in 0..num_e {
+            row[j] = -(y * xp);
+            xp *= x;
+        }
+        // xp is now x^e
+        let rhs = y * xp;
+        let mut xq = Fp::ONE;
+        for j in 0..num_q {
+            row[num_e + j] = xq;
+            xq *= x;
+        }
+        a.push(row);
+        b.push(rhs);
+    }
+    let sol = solve_linear_system(&a, &b)?;
+    let mut e_coeffs: Vec<Fp> = sol[..num_e].to_vec();
+    e_coeffs.push(Fp::ONE); // monic leading coefficient
+    let e_poly = Polynomial::from_coeffs(e_coeffs);
+    let q_poly = Polynomial::from_coeffs(sol[num_e..].to_vec());
+    let (f, rem) = q_poly.div_rem(&e_poly);
+    if !rem.is_zero() {
+        return None;
+    }
+    if f.degree() > d && !f.is_zero() {
+        return None;
+    }
+    Some(f)
+}
+
+/// One step of the online error-correction loop.
+///
+/// `points` is the set of `(x, y)` pairs received so far from the parties of
+/// `P'` (at most `t` of which are corrupt). If at least `d + t + 1` of the
+/// received points lie on a single polynomial of degree `≤ d`, returns it.
+///
+/// Matches the OEC loop of \[13\]: with `k` points in hand, up to
+/// `r = k − (d + t + 1)` of them may be ignored as erroneous, so we attempt
+/// Berlekamp–Welch with `e = 0..=min(r, t)` and accept a decoded polynomial
+/// only if it agrees with at least `d + t + 1` received points.
+pub fn oec_decode(d: usize, t: usize, points: &[(Fp, Fp)]) -> Option<Polynomial> {
+    let k = points.len();
+    if k < d + t + 1 {
+        return None;
+    }
+    let max_errors = (k - (d + t + 1)).min(t);
+    for e in 0..=max_errors {
+        if let Some(f) = berlekamp_welch(d, e, points) {
+            let agree = points.iter().filter(|&&(x, y)| f.evaluate(x) == y).count();
+            if agree >= d + t + 1 {
+                return Some(f);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation_points::alpha;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fp(v: u64) -> Fp {
+        Fp::from_u64(v)
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // x + y = 5, x - y = 1  → x = 3, y = 2
+        let a = vec![vec![fp(1), fp(1)], vec![fp(1), -fp(1)]];
+        let b = vec![fp(5), fp(1)];
+        let sol = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(sol, vec![fp(3), fp(2)]);
+    }
+
+    #[test]
+    fn solve_inconsistent_system() {
+        let a = vec![vec![fp(1), fp(1)], vec![fp(2), fp(2)]];
+        let b = vec![fp(1), fp(3)];
+        assert!(solve_linear_system(&a, &b).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined_system() {
+        let a = vec![vec![fp(1), fp(1)]];
+        let b = vec![fp(4)];
+        let sol = solve_linear_system(&a, &b).unwrap();
+        assert_eq!(sol[0] + sol[1], fp(4));
+    }
+
+    #[test]
+    fn bw_no_errors() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let f = Polynomial::random(&mut rng, 3);
+        let pts: Vec<(Fp, Fp)> = (0..8).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+        assert_eq!(berlekamp_welch(3, 0, &pts).unwrap(), f);
+    }
+
+    #[test]
+    fn bw_corrects_errors() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = 3;
+        let e = 2;
+        let f = Polynomial::random(&mut rng, d);
+        let mut pts: Vec<(Fp, Fp)> = (0..d + 2 * e + 1)
+            .map(|i| (alpha(i), f.evaluate(alpha(i))))
+            .collect();
+        pts[0].1 += fp(99);
+        pts[4].1 += fp(1);
+        assert_eq!(berlekamp_welch(d, e, &pts).unwrap(), f);
+    }
+
+    #[test]
+    fn bw_insufficient_points() {
+        let pts = vec![(fp(1), fp(1)), (fp(2), fp(2))];
+        assert!(berlekamp_welch(2, 1, &pts).is_none());
+    }
+
+    #[test]
+    fn oec_waits_for_enough_points() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let d = 2;
+        let t = 1;
+        let f = Polynomial::random(&mut rng, d);
+        let pts: Vec<(Fp, Fp)> = (0..d + t).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+        assert!(oec_decode(d, t, &pts).is_none());
+    }
+
+    #[test]
+    fn oec_with_corrupt_point() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = 2;
+        let t = 2;
+        let f = Polynomial::random(&mut rng, d);
+        // 7 points, one corrupted: d + t + 1 = 5 honest agreeing points exist.
+        let mut pts: Vec<(Fp, Fp)> = (0..7).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+        pts[3].1 = pts[3].1 + fp(7);
+        assert_eq!(oec_decode(d, t, &pts).unwrap(), f);
+    }
+
+    #[test]
+    fn oec_does_not_output_wrong_polynomial_with_few_points() {
+        // With exactly d+t+1 points and one error, OEC must not output (it
+        // cannot correct yet) — it would need to wait for more points.
+        let mut rng = StdRng::seed_from_u64(24);
+        let d = 2;
+        let t = 2;
+        let f = Polynomial::random(&mut rng, d);
+        let mut pts: Vec<(Fp, Fp)> = (0..d + t + 1)
+            .map(|i| (alpha(i), f.evaluate(alpha(i))))
+            .collect();
+        pts[0].1 += fp(1);
+        assert!(oec_decode(d, t, &pts).is_none());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_oec_corrects_up_to_t_errors(
+            seed in any::<u64>(),
+            d in 1usize..4,
+            t in 1usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = Polynomial::random(&mut rng, d);
+            let n = d + 2 * t + 1;
+            let mut pts: Vec<(Fp, Fp)> =
+                (0..n).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+            // corrupt exactly t random distinct points
+            let mut corrupted = std::collections::HashSet::new();
+            while corrupted.len() < t {
+                corrupted.insert(rng.gen_range(0..n));
+            }
+            for &i in &corrupted {
+                pts[i].1 += Fp::from_u64(rng.gen_range(1..1000));
+            }
+            prop_assert_eq!(oec_decode(d, t, &pts).unwrap(), f);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! [`MpcBuilder`] — the one-call API for running a full best-of-both-worlds
+//! MPC evaluation inside the deterministic network simulation.
+//!
+//! This is what the examples, the integration tests and the experiment
+//! harness use: configure `n`, `(t_s, t_a)`, the network kind and the inputs,
+//! then [`MpcBuilder::run`] a circuit and get every honest party's output
+//! plus the run's communication metrics and completion time.
+
+use std::fmt;
+
+use mpc_algebra::Fp;
+use mpc_net::{
+    CorruptionSet, Metrics, NetConfig, NetworkKind, PartyId, Protocol, Scheduler, Simulation, Time,
+};
+use mpc_protocols::byzantine::SilentParty;
+use mpc_protocols::{Msg, Params};
+
+use crate::circuit::Circuit;
+use crate::cireval::CirEval;
+
+/// Error returned when a protocol run does not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The result of a completed MPC run.
+#[derive(Debug, Clone)]
+pub struct MpcRunResult {
+    /// The common output of the honest parties.
+    pub output: Fp,
+    /// Per-party outputs (corrupt/silent parties report `None`).
+    pub outputs: Vec<Option<Fp>>,
+    /// The agreed input subset `CS` (whose inputs entered the computation).
+    pub input_subset: Vec<PartyId>,
+    /// Simulated time at which the last honest party terminated.
+    pub finished_at: Time,
+    /// Communication metrics of the run.
+    pub metrics: Metrics,
+}
+
+/// Builder for a full MPC evaluation run.
+pub struct MpcBuilder {
+    params: Params,
+    network: NetworkKind,
+    seed: u64,
+    delta: Time,
+    inputs: Vec<Fp>,
+    corrupt: CorruptionSet,
+    scheduler: Option<Box<dyn Scheduler>>,
+    horizon_factor: u64,
+}
+
+impl fmt::Debug for MpcBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MpcBuilder")
+            .field("params", &self.params)
+            .field("network", &self.network)
+            .field("seed", &self.seed)
+            .field("delta", &self.delta)
+            .field("corrupt", &self.corrupt)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MpcBuilder {
+    /// Creates a builder for `n` parties tolerating `t_s` synchronous and
+    /// `t_a` asynchronous corruptions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_a > t_s` or `3·t_s + t_a ≥ n` (the protocol is not
+    /// defined there).
+    pub fn new(n: usize, ts: usize, ta: usize) -> Self {
+        let delta = 10;
+        MpcBuilder {
+            params: Params::new(n, ts, ta, delta),
+            network: NetworkKind::Synchronous,
+            seed: 0xB0B5,
+            delta,
+            inputs: vec![Fp::ZERO; n],
+            corrupt: CorruptionSet::none(),
+            scheduler: None,
+            horizon_factor: 8,
+        }
+    }
+
+    /// Selects the network kind the run executes in (the parties never learn
+    /// this — that is the whole point of the paper).
+    pub fn network(mut self, kind: NetworkKind) -> Self {
+        self.network = kind;
+        self
+    }
+
+    /// Sets the master seed (reproducible runs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the synchronous delay bound `Δ` (in simulation ticks).
+    pub fn delta(mut self, delta: Time) -> Self {
+        self.delta = delta;
+        self.params = Params::new(self.params.n, self.params.ts, self.params.ta, delta);
+        self
+    }
+
+    /// Sets the parties' private inputs (as `u64`, reduced into the field).
+    pub fn inputs(mut self, inputs: &[u64]) -> Self {
+        assert_eq!(inputs.len(), self.params.n, "one input per party");
+        self.inputs = inputs.iter().map(|&x| Fp::from_u64(x)).collect();
+        self
+    }
+
+    /// Sets the parties' private inputs as field elements.
+    pub fn field_inputs(mut self, inputs: &[Fp]) -> Self {
+        assert_eq!(inputs.len(), self.params.n, "one input per party");
+        self.inputs = inputs.to_vec();
+        self
+    }
+
+    /// Marks the listed parties as corrupt; they run a crashed (silent) party
+    /// instead of the protocol. Other misbehaviours can be exercised through
+    /// the lower-level `Simulation` API directly.
+    pub fn corrupt(mut self, parties: &[PartyId]) -> Self {
+        self.corrupt = CorruptionSet::new(parties.to_vec());
+        self
+    }
+
+    /// Overrides the message scheduler (e.g. an adversarial asynchronous
+    /// schedule from [`mpc_net::scheduler`]).
+    pub fn scheduler(mut self, scheduler: Box<dyn Scheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Multiplier applied to the default simulation horizon (useful for very
+    /// adversarial schedules).
+    pub fn horizon_factor(mut self, factor: u64) -> Self {
+        self.horizon_factor = factor;
+        self
+    }
+
+    /// The protocol parameters this builder will run with.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// Runs the protocol on `circuit` and returns the honest parties' common
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the honest parties do not all terminate within the
+    /// simulation horizon, or if they terminate with inconsistent outputs
+    /// (which would indicate a protocol violation).
+    pub fn run(self, circuit: &Circuit) -> Result<MpcRunResult, RunError> {
+        let params = self.params;
+        let n = params.n;
+        let corrupt = self.corrupt.clone();
+        let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+            .map(|i| {
+                if corrupt.is_corrupt(i) {
+                    Box::new(SilentParty) as Box<dyn Protocol<Msg>>
+                } else {
+                    Box::new(CirEval::new(params, circuit.clone(), self.inputs[i]))
+                        as Box<dyn Protocol<Msg>>
+                }
+            })
+            .collect();
+        let cfg = NetConfig { n, delta: self.delta, kind: self.network, seed: self.seed };
+        let mut sim = match self.scheduler {
+            Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
+            None => Simulation::new(cfg, corrupt.clone(), parties),
+        };
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * self.horizon_factor;
+        let done = sim.run_until(horizon, |s| {
+            (0..n)
+                .filter(|&i| corrupt.is_honest(i))
+                .all(|i| s.party_as::<CirEval>(i).map_or(false, |p| p.output.is_some()))
+        });
+        if !done {
+            return Err(RunError {
+                message: format!("honest parties did not terminate within horizon {horizon}"),
+            });
+        }
+        let outputs: Vec<Option<Fp>> =
+            (0..n).map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.output)).collect();
+        let honest_outputs: Vec<Fp> = (0..n)
+            .filter(|&i| corrupt.is_honest(i))
+            .map(|i| outputs[i].expect("checked by predicate"))
+            .collect();
+        if honest_outputs.windows(2).any(|w| w[0] != w[1]) {
+            return Err(RunError { message: "honest parties disagree on the output".to_string() });
+        }
+        let input_subset = (0..n)
+            .find_map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.input_subset.clone()))
+            .unwrap_or_default();
+        Ok(MpcRunResult {
+            output: honest_outputs[0],
+            outputs,
+            input_subset,
+            finished_at: sim.now(),
+            metrics: sim.metrics().clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_a_simple_circuit() {
+        let mut c = Circuit::new(4);
+        let prod = c.mul(c.input(0), c.input(1));
+        let s = c.add(c.input(2), c.input(3));
+        let out = c.add(prod, s);
+        c.set_output(out);
+        let result = MpcBuilder::new(4, 1, 0)
+            .network(NetworkKind::Synchronous)
+            .inputs(&[3, 5, 7, 11])
+            .run(&c)
+            .expect("run succeeds");
+        assert_eq!(result.output.as_u64(), 3 * 5 + 7 + 11);
+        assert_eq!(result.input_subset, vec![0, 1, 2, 3]);
+        assert!(result.metrics.honest_bits > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "3*t_s + t_a < n")]
+    fn builder_rejects_infeasible_thresholds() {
+        let _ = MpcBuilder::new(4, 1, 1);
+    }
+
+    #[test]
+    fn builder_rejects_wrong_input_count() {
+        let c = Circuit::sum_of_inputs(4);
+        let result = std::panic::catch_unwind(|| {
+            MpcBuilder::new(4, 1, 0).inputs(&[1, 2, 3]).run(&c)
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,790 @@
+//! `Π_CirEval` — the best-of-both-worlds circuit-evaluation protocol
+//! (Fig 11, Theorem 7.1), together with the preprocessing phase that feeds it
+//! (`Π_TripSh` / `Π_PreProcessing`, Figs 8 and 10, and `Π_TripTrans` /
+//! `Π_TripExt`, Figs 7 and 9).
+//!
+//! Structure of one run:
+//!
+//! 1. **Input sharing** — one `Π_ACS` instance in which every party
+//!    `t_s`-shares its private input; parties outside the agreed common
+//!    subset `CS₁` contribute a default sharing of `0`. In a synchronous
+//!    network every honest party's input makes it into `CS₁`.
+//! 2. **Triple provisioning** — a second `Π_ACS` instance (run in parallel)
+//!    in which every party `t_s`-shares the raw random multiplication triples
+//!    it deals *and* the verification triples it will use as a supervisor.
+//!    This is the batched equivalent of the per-dealer `Π_VSS`+`Π_ACS` calls
+//!    of `Π_TripSh`/`Π_PreProcessing` (see DESIGN.md).
+//! 3. **Triple transformation and supervised verification** — for each dealer
+//!    of the triple subset `CS₂`, the raw triples are transformed
+//!    (`Π_TripTrans`) and every point is re-multiplied under the supervision
+//!    of each member of `CS₂` with that supervisor's verification triple;
+//!    non-zero differences trigger the public opening of the suspected point
+//!    and, if it is not a multiplication triple, the dealer's batch is
+//!    replaced by the default `(0, 0, 0)` sharing — exactly `Π_TripSh`.
+//! 4. **Triple extraction** (`Π_TripExt`) — from the verified triples of
+//!    `2d + 1` dealers, `d + 1 − t_s` triples that are random to the
+//!    adversary are extracted per batch.
+//! 5. **Shared circuit evaluation** — linear gates locally, multiplication
+//!    gates with Beaver's protocol, one extracted triple per gate.
+//! 6. **Output and termination** — the output wire is publicly
+//!    reconstructed; `(ready, y)` messages à la Bracha ensure every honest
+//!    party terminates with the same output.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mpc_algebra::evaluation_points::{alpha, beta};
+use mpc_algebra::{Fp, Polynomial};
+use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
+use mpc_protocols::acs::Acs;
+use mpc_protocols::{Msg, Params};
+
+use crate::circuit::{Circuit, Gate};
+use crate::openings::OpeningManager;
+use crate::triples::{beaver_masked_shares, beaver_output_share, interpolate_share, TripleShare};
+
+const SEG_ACS_INPUT: u32 = 0;
+const SEG_ACS_TRIPLES: u32 = 1;
+
+const TAG_TRANSFORM: u32 = 1 << 28;
+const TAG_VERIFY: u32 = 2 << 28;
+const TAG_GAMMA: u32 = 3 << 28;
+const TAG_SUSPECT: u32 = 4 << 28;
+const TAG_EXTRACT: u32 = 5 << 28;
+const TAG_CIRCUIT: u32 = 6 << 28;
+const TAG_OUTPUT: u32 = 7 << 28;
+
+/// Progress of one `Π_CirEval` run (coarse phases; each phase is driven by
+/// message arrival, not timers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    AwaitAcs,
+    Transform,
+    VerifyBeaver,
+    Gamma,
+    Suspect,
+    Extract,
+    Circuit,
+    OpenOutput,
+    Ready,
+    Done,
+}
+
+/// One instance of the full best-of-both-worlds MPC protocol.
+#[derive(Debug)]
+pub struct CirEval {
+    params: Params,
+    circuit: Circuit,
+    my_input: Fp,
+    acs_input: Option<Acs>,
+    acs_triples: Option<Acs>,
+    openings: OpeningManager,
+    phase: Phase,
+    // preprocessing dimensions
+    batches: usize,
+    d_ext: usize,
+    // state derived once both ACS instances are ready
+    input_shares: Vec<Fp>,
+    dealers: Vec<PartyId>,
+    supervisors: Vec<PartyId>,
+    raw: HashMap<(usize, usize, usize), TripleShare>,
+    z_high: HashMap<(usize, usize, usize), Fp>,
+    flagged: HashSet<(usize, usize)>,
+    verified: BTreeMap<(usize, usize), TripleShare>,
+    ext_z: HashMap<(usize, usize), Fp>,
+    pool: Vec<TripleShare>,
+    wire_shares: Vec<Option<Fp>>,
+    mul_gate_triple: HashMap<usize, usize>,
+    mul_opened_issued: HashSet<usize>,
+    ready_counts: HashMap<Fp, HashSet<PartyId>>,
+    sent_ready: bool,
+    /// The reconstructed circuit output, once the termination condition holds.
+    pub output: Option<Fp>,
+    /// Local time at which the output was fixed.
+    pub output_at: Option<Time>,
+    /// The common subset whose inputs were used (set once known).
+    pub input_subset: Option<Vec<PartyId>>,
+}
+
+impl CirEval {
+    /// Creates one party's instance of `Π_CirEval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit does not have exactly `params.n` inputs.
+    pub fn new(params: Params, circuit: Circuit, my_input: Fp) -> Self {
+        assert_eq!(circuit.n_inputs(), params.n, "one input per party");
+        let d_ext = (params.n - params.ts - 1) / 2;
+        let per_batch = d_ext + 1 - params.ts;
+        let c_m = circuit.mult_count();
+        let batches = if c_m == 0 { 0 } else { c_m.div_ceil(per_batch) };
+        let n_gates = circuit.gates().len();
+        CirEval {
+            params,
+            circuit,
+            my_input,
+            acs_input: None,
+            acs_triples: None,
+            openings: OpeningManager::new(),
+            phase: Phase::AwaitAcs,
+            batches,
+            d_ext,
+            input_shares: Vec::new(),
+            dealers: Vec::new(),
+            supervisors: Vec::new(),
+            raw: HashMap::new(),
+            z_high: HashMap::new(),
+            flagged: HashSet::new(),
+            verified: BTreeMap::new(),
+            ext_z: HashMap::new(),
+            pool: Vec::new(),
+            wire_shares: vec![None; n_gates],
+            mul_gate_triple: HashMap::new(),
+            mul_opened_issued: HashSet::new(),
+            ready_counts: HashMap::new(),
+            sent_ready: false,
+            output: None,
+            output_at: None,
+            input_subset: None,
+        }
+    }
+
+    fn raw_per_dealer(&self) -> usize {
+        2 * self.params.ts + 1
+    }
+
+    /// Layout of a party's triple-ACS polynomial vector.
+    fn raw_offset(&self, batch: usize, k: usize, comp: usize) -> usize {
+        (batch * self.raw_per_dealer() + k) * 3 + comp
+    }
+    fn verif_base(&self) -> usize {
+        self.batches * self.raw_per_dealer() * 3
+    }
+    fn verif_offset(&self, batch: usize, dealer_party: PartyId, comp: usize) -> usize {
+        self.verif_base() + (batch * self.params.n + dealer_party) * 3 + comp
+    }
+    fn triple_polys_len(&self) -> usize {
+        self.verif_base() + self.batches * self.params.n * 3
+    }
+
+    fn transform_idx(&self, dpos: usize, batch: usize, i: usize) -> u32 {
+        ((dpos * self.batches.max(1) + batch) * self.raw_per_dealer() + i) as u32
+    }
+    fn verify_idx(&self, dpos: usize, batch: usize, sup: usize) -> u32 {
+        ((dpos * self.batches.max(1) + batch) * self.params.n + sup) as u32
+    }
+    fn extract_idx(&self, batch: usize, p: usize) -> u32 {
+        (batch * (2 * self.d_ext + 1) + p) as u32
+    }
+
+    fn ts(&self) -> usize {
+        self.params.ts
+    }
+
+    fn raw_triple(&self, dpos: usize, batch: usize, k: usize) -> TripleShare {
+        self.raw[&(dpos, batch, k)]
+    }
+
+    /// My share of `X(target)` (resp. `Y`) of the per-dealer transformed
+    /// triple polynomials, defined by the first `t_s + 1` raw triples.
+    fn dealer_xy_share(&self, dpos: usize, batch: usize, target: Fp) -> (Fp, Fp) {
+        let pts_a: Vec<(Fp, Fp)> =
+            (0..=self.ts()).map(|i| (alpha(i), self.raw_triple(dpos, batch, i).a)).collect();
+        let pts_b: Vec<(Fp, Fp)> =
+            (0..=self.ts()).map(|i| (alpha(i), self.raw_triple(dpos, batch, i).b)).collect();
+        (interpolate_share(&pts_a, target), interpolate_share(&pts_b, target))
+    }
+
+    /// My share of `Z(target)` of the per-dealer transformed triple
+    /// polynomials (degree `2·t_s`, defined by all `2·t_s + 1` points).
+    fn dealer_z_share(&self, dpos: usize, batch: usize, target: Fp) -> Fp {
+        let pts: Vec<(Fp, Fp)> = (0..self.raw_per_dealer())
+            .map(|i| {
+                let z = if i <= self.ts() {
+                    self.raw_triple(dpos, batch, i).c
+                } else {
+                    self.z_high[&(dpos, batch, i)]
+                };
+                (alpha(i), z)
+            })
+            .collect();
+        interpolate_share(&pts, target)
+    }
+
+    fn verification_triple(&self, sup: PartyId, batch: usize, dealer_party: PartyId) -> TripleShare {
+        let acs = self.acs_triples.as_ref().expect("phase after ACS");
+        let shares = acs.shares_from(sup).expect("supervisor is in CS2");
+        TripleShare::new(
+            shares[self.verif_offset(batch, dealer_party, 0)],
+            shares[self.verif_offset(batch, dealer_party, 1)],
+            shares[self.verif_offset(batch, dealer_party, 2)],
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // phase transitions
+    // ------------------------------------------------------------------
+
+    fn drive(&mut self, ctx: &mut Context<'_, Msg>) {
+        // bounded loop: phases can cascade when waves are empty
+        for _ in 0..32 {
+            let before = self.phase;
+            match self.phase {
+                Phase::AwaitAcs => self.drive_await_acs(ctx),
+                Phase::Transform => self.drive_transform(ctx),
+                Phase::VerifyBeaver => self.drive_verify(ctx),
+                Phase::Gamma => self.drive_gamma(ctx),
+                Phase::Suspect => self.drive_suspect(ctx),
+                Phase::Extract => self.drive_extract(ctx),
+                Phase::Circuit => self.drive_circuit(ctx),
+                Phase::OpenOutput => self.drive_open_output(ctx),
+                Phase::Ready => self.drive_ready(ctx),
+                Phase::Done => return,
+            }
+            if self.phase == before {
+                return;
+            }
+        }
+    }
+
+    fn drive_await_acs(&mut self, ctx: &mut Context<'_, Msg>) {
+        let (Some(acs1), Some(acs2)) = (&self.acs_input, &self.acs_triples) else { return };
+        if !acs1.ready() || !acs2.ready() {
+            return;
+        }
+        let cs1 = acs1.common_subset.clone().expect("ready implies CS");
+        let cs2 = acs2.common_subset.clone().expect("ready implies CS");
+        self.input_subset = Some(cs1.clone());
+        // input shares: default 0-sharing for parties outside CS1
+        self.input_shares = (0..self.params.n)
+            .map(|j| if cs1.contains(&j) { acs1.shares_from(j).expect("in CS")[0] } else { Fp::ZERO })
+            .collect();
+        self.supervisors = cs2.clone();
+        self.dealers = cs2.iter().copied().take(2 * self.d_ext + 1).collect();
+        // cache my shares of every dealer's raw triples
+        for (dpos, &dealer) in self.dealers.iter().enumerate() {
+            let shares = self.acs_triples.as_ref().unwrap().shares_from(dealer).unwrap().clone();
+            for batch in 0..self.batches {
+                for k in 0..self.raw_per_dealer() {
+                    let t = TripleShare::new(
+                        shares[self.raw_offset(batch, k, 0)],
+                        shares[self.raw_offset(batch, k, 1)],
+                        shares[self.raw_offset(batch, k, 2)],
+                    );
+                    self.raw.insert((dpos, batch, k), t);
+                }
+            }
+        }
+        self.phase = Phase::Transform;
+        self.issue_transform(ctx);
+    }
+
+    fn issue_transform(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        for dpos in 0..self.dealers.len() {
+            for batch in 0..self.batches {
+                for i in ts + 1..self.raw_per_dealer() {
+                    let (x, y) = self.dealer_xy_share(dpos, batch, alpha(i));
+                    let triple = self.raw_triple(dpos, batch, i);
+                    let (d, e) = beaver_masked_shares(x, y, &triple);
+                    let tag = TAG_TRANSFORM + self.transform_idx(dpos, batch, i);
+                    self.openings.open(ctx, tag, vec![d, e]);
+                }
+            }
+        }
+    }
+
+    fn drive_transform(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        // collect all transform openings
+        for dpos in 0..self.dealers.len() {
+            for batch in 0..self.batches {
+                for i in ts + 1..self.raw_per_dealer() {
+                    let tag = TAG_TRANSFORM + self.transform_idx(dpos, batch, i);
+                    let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                        return;
+                    };
+                    let triple = self.raw_triple(dpos, batch, i);
+                    self.z_high
+                        .entry((dpos, batch, i))
+                        .or_insert_with(|| beaver_output_share(de[0], de[1], &triple));
+                }
+            }
+        }
+        self.phase = Phase::VerifyBeaver;
+        self.issue_verify(ctx);
+    }
+
+    fn issue_verify(&mut self, ctx: &mut Context<'_, Msg>) {
+        for dpos in 0..self.dealers.len() {
+            let dealer_party = self.dealers[dpos];
+            for batch in 0..self.batches {
+                for (spos, &sup) in self.supervisors.clone().iter().enumerate() {
+                    let (x, y) = self.dealer_xy_share(dpos, batch, alpha(sup));
+                    let vt = self.verification_triple(sup, batch, dealer_party);
+                    let (d, e) = beaver_masked_shares(x, y, &vt);
+                    let tag = TAG_VERIFY + self.verify_idx(dpos, batch, spos);
+                    self.openings.open(ctx, tag, vec![d, e]);
+                }
+            }
+        }
+    }
+
+    fn drive_verify(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        let mut gammas = Vec::new();
+        for dpos in 0..self.dealers.len() {
+            let dealer_party = self.dealers[dpos];
+            for batch in 0..self.batches {
+                for (spos, &sup) in self.supervisors.clone().iter().enumerate() {
+                    let tag = TAG_VERIFY + self.verify_idx(dpos, batch, spos);
+                    let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                        return;
+                    };
+                    let vt = self.verification_triple(sup, batch, dealer_party);
+                    let z_prime = beaver_output_share(de[0], de[1], &vt);
+                    let z = self.dealer_z_share(dpos, batch, alpha(sup));
+                    gammas.push((dpos, batch, spos, z - z_prime));
+                }
+            }
+        }
+        self.phase = Phase::Gamma;
+        for (dpos, batch, spos, gamma) in gammas {
+            let tag = TAG_GAMMA + self.verify_idx(dpos, batch, spos);
+            self.openings.open(ctx, tag, vec![gamma]);
+        }
+    }
+
+    fn drive_gamma(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        let mut suspects = Vec::new();
+        for dpos in 0..self.dealers.len() {
+            for batch in 0..self.batches {
+                for spos in 0..self.supervisors.len() {
+                    let tag = TAG_GAMMA + self.verify_idx(dpos, batch, spos);
+                    // γ is a linear combination of t_s-shared values, hence
+                    // itself t_s-shared (the degree 2·t_s of Z(·) lives in the
+                    // evaluation-point variable, not the sharing polynomial).
+                    let Some(g) = self.openings.try_reconstruct(tag, 1, ts, ts).cloned() else {
+                        return;
+                    };
+                    if !g[0].is_zero() {
+                        suspects.push((dpos, batch, spos));
+                    }
+                }
+            }
+        }
+        self.phase = Phase::Suspect;
+        for (dpos, batch, spos) in suspects {
+            let sup = self.supervisors[spos];
+            let (x, y) = self.dealer_xy_share(dpos, batch, alpha(sup));
+            let z = self.dealer_z_share(dpos, batch, alpha(sup));
+            let tag = TAG_SUSPECT + self.verify_idx(dpos, batch, spos);
+            self.openings.open(ctx, tag, vec![x, y, z]);
+        }
+    }
+
+    fn drive_suspect(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        // re-derive the suspect list from the (public, agreed) gamma values
+        for dpos in 0..self.dealers.len() {
+            for batch in 0..self.batches {
+                for spos in 0..self.supervisors.len() {
+                    let gtag = TAG_GAMMA + self.verify_idx(dpos, batch, spos);
+                    let gamma = self.openings.get(gtag).expect("gamma phase completed")[0];
+                    if gamma.is_zero() {
+                        continue;
+                    }
+                    let tag = TAG_SUSPECT + self.verify_idx(dpos, batch, spos);
+                    let Some(xyz) = self.openings.try_reconstruct(tag, 3, ts, ts).cloned() else {
+                        return;
+                    };
+                    if xyz[0] * xyz[1] != xyz[2] {
+                        self.flagged.insert((dpos, batch));
+                    }
+                }
+            }
+        }
+        // fix the per-dealer verified triples
+        for dpos in 0..self.dealers.len() {
+            for batch in 0..self.batches {
+                let t = if self.flagged.contains(&(dpos, batch)) {
+                    TripleShare::zero()
+                } else {
+                    let target = beta(self.params.n, 0);
+                    let (x, y) = self.dealer_xy_share(dpos, batch, target);
+                    let z = self.dealer_z_share(dpos, batch, target);
+                    TripleShare::new(x, y, z)
+                };
+                self.verified.insert((dpos, batch), t);
+            }
+        }
+        self.phase = Phase::Extract;
+        self.issue_extract(ctx);
+    }
+
+    /// `X̂/Ŷ` shares of the extraction polynomials of `batch` at `target`
+    /// (degree `d`, defined by the verified triples of the first `d + 1`
+    /// dealer positions).
+    fn ext_xy_share(&self, batch: usize, target: Fp) -> (Fp, Fp) {
+        let pts_a: Vec<(Fp, Fp)> =
+            (0..=self.d_ext).map(|p| (alpha(p), self.verified[&(p, batch)].a)).collect();
+        let pts_b: Vec<(Fp, Fp)> =
+            (0..=self.d_ext).map(|p| (alpha(p), self.verified[&(p, batch)].b)).collect();
+        (interpolate_share(&pts_a, target), interpolate_share(&pts_b, target))
+    }
+
+    fn ext_z_share(&self, batch: usize, target: Fp) -> Fp {
+        let pts: Vec<(Fp, Fp)> = (0..2 * self.d_ext + 1)
+            .map(|p| {
+                let z = if p <= self.d_ext {
+                    self.verified[&(p, batch)].c
+                } else {
+                    self.ext_z[&(batch, p)]
+                };
+                (alpha(p), z)
+            })
+            .collect();
+        interpolate_share(&pts, target)
+    }
+
+    fn issue_extract(&mut self, ctx: &mut Context<'_, Msg>) {
+        for batch in 0..self.batches {
+            for p in self.d_ext + 1..2 * self.d_ext + 1 {
+                let (x, y) = self.ext_xy_share(batch, alpha(p));
+                let triple = self.verified[&(p, batch)];
+                let (d, e) = beaver_masked_shares(x, y, &triple);
+                let tag = TAG_EXTRACT + self.extract_idx(batch, p);
+                self.openings.open(ctx, tag, vec![d, e]);
+            }
+        }
+    }
+
+    fn drive_extract(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        for batch in 0..self.batches {
+            for p in self.d_ext + 1..2 * self.d_ext + 1 {
+                let tag = TAG_EXTRACT + self.extract_idx(batch, p);
+                let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                    return;
+                };
+                let triple = self.verified[&(p, batch)];
+                self.ext_z
+                    .entry((batch, p))
+                    .or_insert_with(|| beaver_output_share(de[0], de[1], &triple));
+            }
+        }
+        // extract d + 1 - t_s fresh triples per batch
+        for batch in 0..self.batches {
+            for j in 0..(self.d_ext + 1 - ts) {
+                let target = beta(self.params.n, j);
+                let (x, y) = self.ext_xy_share(batch, target);
+                let z = self.ext_z_share(batch, target);
+                self.pool.push(TripleShare::new(x, y, z));
+            }
+        }
+        // assign one triple per multiplication gate, in gate order
+        let mut next = 0usize;
+        for (g, gate) in self.circuit.gates().iter().enumerate() {
+            if matches!(gate, Gate::Mul(_, _)) {
+                self.mul_gate_triple.insert(g, next);
+                next += 1;
+            }
+        }
+        assert!(next <= self.pool.len(), "triple pool must cover every multiplication gate");
+        self.phase = Phase::Circuit;
+        self.drive_circuit(ctx);
+    }
+
+    fn drive_circuit(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        // propagate values through the circuit as far as possible, issuing
+        // Beaver openings for multiplication gates as their inputs resolve
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for g in 0..self.circuit.gates().len() {
+                if self.wire_shares[g].is_some() {
+                    continue;
+                }
+                let gate = self.circuit.gates()[g].clone();
+                let value = match gate {
+                    Gate::Input(i) => Some(self.input_shares[i]),
+                    Gate::Constant(c) => Some(c),
+                    Gate::Add(a, b) => match (self.wire_shares[a.0], self.wire_shares[b.0]) {
+                        (Some(x), Some(y)) => Some(x + y),
+                        _ => None,
+                    },
+                    Gate::Sub(a, b) => match (self.wire_shares[a.0], self.wire_shares[b.0]) {
+                        (Some(x), Some(y)) => Some(x - y),
+                        _ => None,
+                    },
+                    Gate::MulConst(a, c) => self.wire_shares[a.0].map(|x| x * c),
+                    Gate::AddConst(a, c) => self.wire_shares[a.0].map(|x| x + c),
+                    Gate::Mul(a, b) => {
+                        let (Some(x), Some(y)) = (self.wire_shares[a.0], self.wire_shares[b.0])
+                        else {
+                            continue;
+                        };
+                        let triple = self.pool[self.mul_gate_triple[&g]];
+                        let tag = TAG_CIRCUIT + g as u32;
+                        if !self.mul_opened_issued.contains(&g) {
+                            self.mul_opened_issued.insert(g);
+                            let (d, e) = beaver_masked_shares(x, y, &triple);
+                            self.openings.open(ctx, tag, vec![d, e]);
+                        }
+                        self.openings
+                            .try_reconstruct(tag, 2, ts, ts)
+                            .cloned()
+                            .map(|de| beaver_output_share(de[0], de[1], &triple))
+                    }
+                };
+                if let Some(v) = value {
+                    self.wire_shares[g] = Some(v);
+                    progress = true;
+                }
+            }
+        }
+        if self.wire_shares[self.circuit.output().0].is_some() {
+            self.phase = Phase::OpenOutput;
+            let share = self.wire_shares[self.circuit.output().0].unwrap();
+            self.openings.open(ctx, TAG_OUTPUT, vec![share]);
+        }
+    }
+
+    fn drive_open_output(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        let Some(y) = self.openings.try_reconstruct(TAG_OUTPUT, 1, ts, ts).cloned() else {
+            return;
+        };
+        self.phase = Phase::Ready;
+        if !self.sent_ready {
+            self.sent_ready = true;
+            ctx.send_all(Msg::Ready(vec![y[0]]));
+        }
+        self.drive_ready(ctx);
+    }
+
+    fn drive_ready(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        for (y, senders) in self.ready_counts.clone() {
+            if senders.len() >= ts + 1 && !self.sent_ready {
+                self.sent_ready = true;
+                ctx.send_all(Msg::Ready(vec![y]));
+            }
+            if senders.len() >= 2 * ts + 1 && self.output.is_none() {
+                self.output = Some(y);
+                self.output_at = Some(ctx.now);
+                self.phase = Phase::Done;
+            }
+        }
+    }
+}
+
+impl Protocol<Msg> for CirEval {
+    fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
+        // ACS #1: share my input
+        let input_poly = Polynomial::random_with_constant_term(ctx.rng(), ts, self.my_input);
+        let mut acs1 = Acs::new(self.params, vec![input_poly]);
+        ctx.scoped(SEG_ACS_INPUT, |ctx| acs1.init(ctx));
+        self.acs_input = Some(acs1);
+        // ACS #2: share my raw triples and verification triples
+        let mut polys = Vec::with_capacity(self.triple_polys_len());
+        for _ in 0..self.batches {
+            for _ in 0..self.raw_per_dealer() {
+                let a = Fp::random(ctx.rng());
+                let b = Fp::random(ctx.rng());
+                let c = a * b;
+                for v in [a, b, c] {
+                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, v));
+                }
+            }
+        }
+        for _ in 0..self.batches {
+            for _ in 0..self.params.n {
+                let u = Fp::random(ctx.rng());
+                let v = Fp::random(ctx.rng());
+                let w = u * v;
+                for val in [u, v, w] {
+                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, val));
+                }
+            }
+        }
+        let mut acs2 = Acs::new(self.params, polys);
+        ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs2.init(ctx));
+        self.acs_triples = Some(acs2);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+        match path.first() {
+            Some(&SEG_ACS_INPUT) => {
+                if let Some(acs) = self.acs_input.as_mut() {
+                    ctx.scoped(SEG_ACS_INPUT, |ctx| acs.on_message(ctx, from, &path[1..], msg));
+                }
+            }
+            Some(&SEG_ACS_TRIPLES) => {
+                if let Some(acs) = self.acs_triples.as_mut() {
+                    ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs.on_message(ctx, from, &path[1..], msg));
+                }
+            }
+            None => match msg {
+                Msg::Open { tag, values } => self.openings.on_open(from, tag, values),
+                Msg::Ready(values) => {
+                    if let Some(&y) = values.first() {
+                        self.ready_counts.entry(y).or_default().insert(from);
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        self.drive(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, path: PathSlice<'_>, id: u64) {
+        match path.first() {
+            Some(&SEG_ACS_INPUT) => {
+                if let Some(acs) = self.acs_input.as_mut() {
+                    ctx.scoped(SEG_ACS_INPUT, |ctx| acs.on_timer(ctx, &path[1..], id));
+                }
+            }
+            Some(&SEG_ACS_TRIPLES) => {
+                if let Some(acs) = self.acs_triples.as_mut() {
+                    ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs.on_timer(ctx, &path[1..], id));
+                }
+            }
+            _ => {}
+        }
+        self.drive(ctx);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_net::{CorruptionSet, NetConfig, Simulation};
+
+    fn run_circuit(
+        params: Params,
+        circuit: &Circuit,
+        inputs: &[u64],
+        corrupt: CorruptionSet,
+        sync: bool,
+        seed: u64,
+    ) -> (Vec<Option<Fp>>, Time) {
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .iter()
+            .map(|&x| {
+                Box::new(CirEval::new(params, circuit.clone(), Fp::from_u64(x)))
+                    as Box<dyn Protocol<Msg>>
+            })
+            .collect();
+        let cfg = if sync { NetConfig::synchronous(params.n) } else { NetConfig::asynchronous(params.n) }
+            .with_seed(seed);
+        let mut sim = Simulation::with_scheduler(
+            cfg.clone(),
+            corrupt.clone(),
+            match cfg.kind {
+                mpc_net::NetworkKind::Synchronous => Box::new(mpc_net::FixedDelay(cfg.delta)),
+                mpc_net::NetworkKind::Asynchronous => {
+                    Box::new(mpc_net::UniformDelay { min: 1, max: cfg.delta * 5 })
+                }
+            },
+            parties,
+        );
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
+        let done = sim.run_until(horizon, |s| {
+            (0..params.n)
+                .filter(|&i| corrupt.is_honest(i))
+                .all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        });
+        assert!(done, "circuit evaluation did not finish before the horizon");
+        let outs = (0..params.n).map(|i| sim.party_as::<CirEval>(i).unwrap().output).collect();
+        (outs, sim.now())
+    }
+
+    #[test]
+    fn linear_circuit_all_honest_sync() {
+        let params = Params::new(4, 1, 0, 10);
+        let circuit = Circuit::sum_of_inputs(4);
+        let inputs = [3u64, 5, 7, 11];
+        let (outs, _) = run_circuit(params, &circuit, &inputs, CorruptionSet::none(), true, 1);
+        for o in outs {
+            assert_eq!(o.unwrap().as_u64(), 3 + 5 + 7 + 11);
+        }
+    }
+
+    #[test]
+    fn multiplication_circuit_all_honest_sync() {
+        let params = Params::new(4, 1, 0, 10);
+        let mut circuit = Circuit::new(4);
+        let p = circuit.mul(circuit.input(0), circuit.input(1));
+        let q = circuit.add(circuit.input(2), circuit.input(3));
+        let r = circuit.mul(p, q);
+        circuit.set_output(r);
+        let inputs = [3u64, 5, 7, 11];
+        let expected = 3 * 5 * (7 + 11);
+        let (outs, _) = run_circuit(params, &circuit, &inputs, CorruptionSet::none(), true, 2);
+        for o in outs {
+            assert_eq!(o.unwrap().as_u64(), expected);
+        }
+    }
+
+    #[test]
+    fn multiplication_circuit_with_silent_corrupt_party_sync() {
+        // t_s = 1 corruption in a synchronous network: the corrupt party is
+        // silent, its input defaults to 0 only if it is excluded from CS1 —
+        // with a silent party that is exactly what happens.
+        let params = Params::new(4, 1, 0, 10);
+        let circuit = Circuit::product_of_inputs(4);
+        let inputs = [3u64, 5, 7, 2];
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                if i == 3 {
+                    Box::new(mpc_protocols::byzantine::SilentParty) as Box<dyn Protocol<Msg>>
+                } else {
+                    Box::new(CirEval::new(params, circuit.clone(), Fp::from_u64(x)))
+                        as Box<dyn Protocol<Msg>>
+                }
+            })
+            .collect();
+        let corrupt = CorruptionSet::new(vec![3]);
+        let mut sim =
+            Simulation::new(NetConfig::synchronous(params.n), corrupt.clone(), parties);
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
+        let done = sim.run_until(horizon, |s| {
+            (0..3).all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        });
+        assert!(done, "honest parties must finish despite a silent corrupt party");
+        // the silent party's input is replaced by 0 → product is 0
+        for i in 0..3 {
+            let p = sim.party_as::<CirEval>(i).unwrap();
+            assert_eq!(p.output.unwrap().as_u64(), 0);
+            assert!(!p.input_subset.as_ref().unwrap().contains(&3));
+        }
+    }
+
+    #[test]
+    fn multiplication_circuit_async_network() {
+        let params = Params::new(4, 1, 0, 10);
+        let mut circuit = Circuit::new(4);
+        let p = circuit.mul(circuit.input(0), circuit.input(1));
+        let out = circuit.add(p, circuit.input(2));
+        circuit.set_output(out);
+        let inputs = [4u64, 6, 9, 1];
+        let (outs, _) = run_circuit(params, &circuit, &inputs, CorruptionSet::none(), false, 3);
+        for o in outs {
+            assert_eq!(o.unwrap().as_u64(), 4 * 6 + 9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Robust public reconstruction of `t_s`-shared values.
+//!
+//! Beaver's protocol, the triple-verification steps of `Π_TripSh` and the
+//! output phase of `Π_CirEval` all publicly reconstruct shared values: every
+//! party sends its share to everyone and applies `OEC(t_s, t_s, P)` on what it
+//! receives. [`OpeningManager`] tracks any number of such reconstructions in
+//! parallel, keyed by a deterministic tag agreed implicitly by all parties.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mpc_algebra::evaluation_points::alpha;
+use mpc_algebra::{rs, Fp};
+use mpc_net::{Context, PartyId};
+use mpc_protocols::Msg;
+
+/// Tracks concurrent public reconstructions of batches of shared values.
+#[derive(Debug, Default)]
+pub struct OpeningManager {
+    received: HashMap<u32, BTreeMap<PartyId, Vec<Fp>>>,
+    opened: HashMap<u32, Vec<Fp>>,
+    my_batches: HashMap<u32, usize>,
+}
+
+impl OpeningManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts the public reconstruction of a batch of values by sending this
+    /// party's shares to everyone under the given tag.
+    pub fn open(&mut self, ctx: &mut Context<'_, Msg>, tag: u32, my_shares: Vec<Fp>) {
+        if self.my_batches.contains_key(&tag) {
+            return;
+        }
+        self.my_batches.insert(tag, my_shares.len());
+        ctx.send_all(Msg::Open { tag, values: my_shares });
+    }
+
+    /// Records a received `Open` message.
+    pub fn on_open(&mut self, from: PartyId, tag: u32, values: Vec<Fp>) {
+        self.received.entry(tag).or_default().entry(from).or_insert(values);
+    }
+
+    /// Attempts to reconstruct the batch under `tag` (containing `count`
+    /// values, each shared with degree `degree` and at most `t` corrupt
+    /// shares). Results are cached once successful.
+    pub fn try_reconstruct(&mut self, tag: u32, count: usize, degree: usize, t: usize) -> Option<&Vec<Fp>> {
+        if !self.opened.contains_key(&tag) {
+            let received = self.received.get(&tag)?;
+            let mut out = Vec::with_capacity(count);
+            for idx in 0..count {
+                let pts: Vec<(Fp, Fp)> = received
+                    .iter()
+                    .filter_map(|(&p, v)| v.get(idx).map(|&s| (alpha(p), s)))
+                    .collect();
+                let poly = rs::oec_decode(degree, t, &pts)?;
+                out.push(poly.constant_term());
+            }
+            self.opened.insert(tag, out);
+        }
+        self.opened.get(&tag)
+    }
+
+    /// The reconstructed batch, if already available.
+    pub fn get(&self, tag: u32) -> Option<&Vec<Fp>> {
+        self.opened.get(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_algebra::shamir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reconstructs_batch_with_corrupt_share() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 7;
+        let t = 2;
+        let s1 = shamir::share(&mut rng, Fp::from_u64(11), t, n);
+        let s2 = shamir::share(&mut rng, Fp::from_u64(22), t, n);
+        let mut mgr = OpeningManager::new();
+        for p in 0..n {
+            let mut values = vec![s1.shares[p], s2.shares[p]];
+            if p == 3 {
+                values[0] += Fp::from_u64(5); // corrupt share
+            }
+            mgr.on_open(p, 7, values);
+        }
+        let out = mgr.try_reconstruct(7, 2, t, t).unwrap().clone();
+        assert_eq!(out, vec![Fp::from_u64(11), Fp::from_u64(22)]);
+    }
+
+    #[test]
+    fn insufficient_shares_return_none() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 7;
+        let t = 2;
+        let s = shamir::share(&mut rng, Fp::from_u64(9), t, n);
+        let mut mgr = OpeningManager::new();
+        for p in 0..3 {
+            mgr.on_open(p, 1, vec![s.shares[p]]);
+        }
+        assert!(mgr.try_reconstruct(1, 1, t, t).is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Resilience-threshold helpers for experiment E1 (the paper's feasibility
+//! landscape, Section 1).
+//!
+//! * synchronous-only perfectly-secure MPC: `t_s < n/3` \[BGW88\];
+//! * asynchronous-only perfectly-secure MPC: `t_a < n/4` \[BCG93\];
+//! * best-of-both-worlds (this paper): `t_a ≤ t_s` and `3·t_s + t_a < n`.
+
+pub use mpc_net::adversary::{feasible_threshold_pairs, thresholds_feasible};
+
+/// One row of the resilience-landscape table of experiment E1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResilienceRow {
+    /// Number of parties.
+    pub n: usize,
+    /// Maximum corruptions of a purely synchronous protocol (`⌈n/3⌉ − 1`).
+    pub smpc_ts: usize,
+    /// Maximum corruptions of a purely asynchronous protocol (`⌈n/4⌉ − 1`),
+    /// which is also what the `t_s = t_a` baseline tolerates in *both*
+    /// networks.
+    pub ampc_ta: usize,
+    /// The best-of-both-worlds operating point `(t_s, t_a)` with maximal
+    /// `t_s` and then maximal `t_a` subject to `3·t_s + t_a < n`.
+    pub bobw: (usize, usize),
+}
+
+/// Builds the resilience landscape for `n` in `[n_min, n_max]`.
+pub fn resilience_table(n_min: usize, n_max: usize) -> Vec<ResilienceRow> {
+    (n_min..=n_max)
+        .map(|n| {
+            let smpc_ts = (n - 1) / 3;
+            let ampc_ta = (n - 1) / 4;
+            let bobw = feasible_threshold_pairs(n)
+                .into_iter()
+                .max_by_key(|&(ts, ta)| (ts, ta))
+                .unwrap_or((0, 0));
+            ResilienceRow { n, smpc_ts, ampc_ta, bobw }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_n8() {
+        // Section 1: for n = 8, SMPC tolerates 2, AMPC tolerates 1, and the
+        // best-of-both-worlds protocol tolerates 2 synchronously and 1
+        // asynchronously.
+        let row = &resilience_table(8, 8)[0];
+        assert_eq!(row.smpc_ts, 2);
+        assert_eq!(row.ampc_ta, 1);
+        assert_eq!(row.bobw, (2, 1));
+    }
+
+    #[test]
+    fn bobw_never_exceeds_single_network_optima() {
+        for row in resilience_table(4, 40) {
+            let (ts, ta) = row.bobw;
+            assert!(ts <= row.smpc_ts);
+            assert!(ta <= row.ampc_ta);
+            assert!(thresholds_feasible(row.n, ts, ta));
+        }
+    }
+
+    #[test]
+    fn bobw_beats_ampc_baseline_in_sync_resilience_for_n_at_least_5() {
+        // The motivation of the paper: in a synchronous network the BoBW
+        // protocol tolerates strictly more corruptions than any protocol that
+        // must also survive asynchrony with the same threshold (t_s = t_a <
+        // n/4), whenever n ≥ 5 and n is not a multiple where the bounds
+        // coincide.
+        for row in resilience_table(5, 40) {
+            assert!(row.bobw.0 >= row.ampc_ta);
+        }
+        let better: Vec<usize> = resilience_table(5, 40)
+            .iter()
+            .filter(|r| r.bobw.0 > r.ampc_ta)
+            .map(|r| r.n)
+            .collect();
+        assert!(better.contains(&8));
+        assert!(better.len() > 20, "BoBW strictly better for most n");
+    }
+}

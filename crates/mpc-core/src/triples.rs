@@ -1,0 +1,148 @@
+//! Local share arithmetic for Beaver multiplication (`Π_Beaver`, Fig 6) and
+//! the triple transformation/extraction protocols (`Π_TripTrans`, Fig 7 and
+//! `Π_TripExt`, Fig 9).
+//!
+//! Everything here operates on a *single party's* shares; the interactive
+//! parts (public reconstructions) are driven by
+//! [`crate::cireval::CirEval`] through [`crate::openings::OpeningManager`].
+
+use mpc_algebra::{Fp, Polynomial};
+
+/// One party's shares of a Beaver triple `(a, b, c)` with `c = a·b`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TripleShare {
+    /// Share of `a`.
+    pub a: Fp,
+    /// Share of `b`.
+    pub b: Fp,
+    /// Share of `c`.
+    pub c: Fp,
+}
+
+impl TripleShare {
+    /// Bundles three shares into a triple share.
+    pub fn new(a: Fp, b: Fp, c: Fp) -> Self {
+        TripleShare { a, b, c }
+    }
+
+    /// The all-zero default sharing used for discarded dealers (a valid
+    /// sharing of the multiplication triple `(0, 0, 0)`).
+    pub fn zero() -> Self {
+        TripleShare::default()
+    }
+}
+
+/// First step of Beaver's protocol: the shares of `d = x − a` and `e = y − b`
+/// that get publicly reconstructed.
+pub fn beaver_masked_shares(x: Fp, y: Fp, triple: &TripleShare) -> (Fp, Fp) {
+    (x - triple.a, y - triple.b)
+}
+
+/// Final step of Beaver's protocol: this party's share of `z = x·y` given the
+/// publicly reconstructed `d = x − a`, `e = y − b` (Fig 6:
+/// `[z] = d·e + d·[b] + e·[a] + [c]`).
+pub fn beaver_output_share(d: Fp, e: Fp, triple: &TripleShare) -> Fp {
+    d * e + d * triple.b + e * triple.a + triple.c
+}
+
+/// This party's share of `P(target)` where `P` is the unique polynomial of
+/// degree `< points.len()` with `P(x_i) = v_i` and `share_i` is the party's
+/// share of `v_i` — the "Lagrange linear function" applied locally to shares
+/// (valid by the linearity of `d`-sharing).
+pub fn interpolate_share(points: &[(Fp, Fp)], target: Fp) -> Fp {
+    let xs: Vec<Fp> = points.iter().map(|&(x, _)| x).collect();
+    let lambdas = Polynomial::lagrange_coefficients(&xs, target);
+    points.iter().zip(&lambdas).map(|(&(_, s), &l)| s * l).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_algebra::evaluation_points::alpha;
+    use mpc_algebra::shamir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp(v: u64) -> Fp {
+        Fp::from_u64(v)
+    }
+
+    #[test]
+    fn beaver_identity_on_shares() {
+        // share x, y and a random triple; run the Beaver algebra per party and
+        // check the reconstructed product.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 7;
+        let t = 2;
+        let (x, y, a, b) = (fp(12), fp(34), fp(1000), fp(2000));
+        let c = a * b;
+        let sx = shamir::share(&mut rng, x, t, n);
+        let sy = shamir::share(&mut rng, y, t, n);
+        let sa = shamir::share(&mut rng, a, t, n);
+        let sb = shamir::share(&mut rng, b, t, n);
+        let sc = shamir::share(&mut rng, c, t, n);
+        // public reconstruction of d, e
+        let d = x - a;
+        let e = y - b;
+        let z_shares: Vec<(usize, Fp)> = (0..n)
+            .map(|i| {
+                let triple = TripleShare::new(sa.shares[i], sb.shares[i], sc.shares[i]);
+                let (di, ei) = beaver_masked_shares(sx.shares[i], sy.shares[i], &triple);
+                // d, e are themselves t-shared; sanity check linearity
+                assert_eq!(di, sx.shares[i] - sa.shares[i]);
+                assert_eq!(ei, sy.shares[i] - sb.shares[i]);
+                (i, beaver_output_share(d, e, &triple))
+            })
+            .collect();
+        assert_eq!(shamir::reconstruct(t, &z_shares).unwrap(), x * y);
+    }
+
+    #[test]
+    fn beaver_with_non_multiplication_triple_gives_wrong_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 4;
+        let t = 1;
+        let (x, y, a, b) = (fp(3), fp(5), fp(7), fp(11));
+        let c = a * b + fp(1); // NOT a multiplication triple
+        let _sx = shamir::share(&mut rng, x, t, n);
+        let _sy = shamir::share(&mut rng, y, t, n);
+        let sa = shamir::share(&mut rng, a, t, n);
+        let sb = shamir::share(&mut rng, b, t, n);
+        let sc = shamir::share(&mut rng, c, t, n);
+        let d = x - a;
+        let e = y - b;
+        let z_shares: Vec<(usize, Fp)> = (0..n)
+            .map(|i| {
+                let triple = TripleShare::new(sa.shares[i], sb.shares[i], sc.shares[i]);
+                (i, beaver_output_share(d, e, &triple))
+            })
+            .collect();
+        assert_eq!(shamir::reconstruct(t, &z_shares).unwrap(), x * y + fp(1));
+    }
+
+    #[test]
+    fn interpolate_share_matches_cleartext_interpolation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 7;
+        let t = 2;
+        // two values on a degree-1 polynomial P with P(α_0)=6, P(α_1)=10
+        let v0 = fp(6);
+        let v1 = fp(10);
+        let s0 = shamir::share(&mut rng, v0, t, n);
+        let s1 = shamir::share(&mut rng, v1, t, n);
+        let target = fp(123);
+        // expected cleartext value at target
+        let p = Polynomial::interpolate(&[(alpha(0), v0), (alpha(1), v1)]);
+        let expected = p.evaluate(target);
+        let shares: Vec<(usize, Fp)> = (0..n)
+            .map(|i| {
+                let s = interpolate_share(
+                    &[(alpha(0), s0.shares[i]), (alpha(1), s1.shares[i])],
+                    target,
+                );
+                (i, s)
+            })
+            .collect();
+        assert_eq!(shamir::reconstruct(t, &shares).unwrap(), expected);
+    }
+}

@@ -1,0 +1,131 @@
+//! The static-corruption model of the paper.
+//!
+//! A computationally unbounded Byzantine adversary picks a set of parties to
+//! corrupt *before* the execution starts (static corruption). In a
+//! synchronous network it may corrupt up to `t_s` parties; in an asynchronous
+//! network up to `t_a`, where `t_a < t_s` and `3·t_s + t_a < n`.
+
+use crate::simulation::PartyId;
+
+/// The set of statically corrupted parties.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CorruptionSet {
+    corrupt: Vec<PartyId>,
+}
+
+impl CorruptionSet {
+    /// No corruptions.
+    pub fn none() -> Self {
+        CorruptionSet { corrupt: Vec::new() }
+    }
+
+    /// Corrupts exactly the listed parties.
+    pub fn new(mut corrupt: Vec<PartyId>) -> Self {
+        corrupt.sort_unstable();
+        corrupt.dedup();
+        CorruptionSet { corrupt }
+    }
+
+    /// Corrupts the first `t` parties (`P_1 … P_t`) — convenient for tests.
+    pub fn first(t: usize) -> Self {
+        CorruptionSet { corrupt: (0..t).collect() }
+    }
+
+    /// Corrupts the last `t` of `n` parties.
+    pub fn last(n: usize, t: usize) -> Self {
+        CorruptionSet { corrupt: (n.saturating_sub(t)..n).collect() }
+    }
+
+    /// Is `p` corrupt?
+    pub fn is_corrupt(&self, p: PartyId) -> bool {
+        self.corrupt.binary_search(&p).is_ok()
+    }
+
+    /// Is `p` honest?
+    pub fn is_honest(&self, p: PartyId) -> bool {
+        !self.is_corrupt(p)
+    }
+
+    /// Number of corrupt parties.
+    pub fn count(&self) -> usize {
+        self.corrupt.len()
+    }
+
+    /// The corrupt party ids, sorted.
+    pub fn corrupt_parties(&self) -> &[PartyId] {
+        &self.corrupt
+    }
+
+    /// The honest party ids among `0..n`, sorted.
+    pub fn honest_parties(&self, n: usize) -> Vec<PartyId> {
+        (0..n).filter(|&p| self.is_honest(p)).collect()
+    }
+}
+
+/// Checks the paper's main resilience condition `3·t_s + t_a < n`
+/// (which implies `t_s < n/3` and `t_a < n/4`).
+pub fn thresholds_feasible(n: usize, ts: usize, ta: usize) -> bool {
+    ta <= ts && 3 * ts + ta < n
+}
+
+/// The largest feasible `(t_s, t_a)` pairs for a given `n`: for every `t_s`
+/// up to `⌈n/3⌉−1`, the maximum `t_a` satisfying `3·t_s + t_a < n` (capped at
+/// `t_s`). Used by experiment E1.
+pub fn feasible_threshold_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut ts = 0usize;
+    while 3 * ts < n {
+        if 3 * ts + 0 < n {
+            let max_ta = (n - 1 - 3 * ts).min(ts);
+            out.push((ts, max_ta));
+        }
+        ts += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruption_set_membership() {
+        let c = CorruptionSet::new(vec![4, 1, 4]);
+        assert!(c.is_corrupt(1));
+        assert!(c.is_corrupt(4));
+        assert!(c.is_honest(0));
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.honest_parties(5), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn first_and_last_helpers() {
+        assert_eq!(CorruptionSet::first(2).corrupt_parties(), &[0, 1]);
+        assert_eq!(CorruptionSet::last(7, 2).corrupt_parties(), &[5, 6]);
+    }
+
+    #[test]
+    fn threshold_condition_matches_paper_example() {
+        // n = 8: the paper's motivating example — 2 corruptions in a
+        // synchronous network and 1 in an asynchronous network are feasible.
+        assert!(thresholds_feasible(8, 2, 1));
+        // t_s = t_a = 2 would need n > 8.
+        assert!(!thresholds_feasible(8, 2, 2));
+        // SMPC bound alone is not enough: t_s=2,t_a=2 feasible only for n ≥ 9.
+        assert!(thresholds_feasible(9, 2, 2));
+        // degenerate cases
+        assert!(thresholds_feasible(4, 1, 0));
+        assert!(!thresholds_feasible(4, 1, 1));
+    }
+
+    #[test]
+    fn feasible_pairs_are_feasible_and_maximal() {
+        for n in 4..20 {
+            for (ts, ta) in feasible_threshold_pairs(n) {
+                assert!(thresholds_feasible(n, ts, ta), "n={n} ts={ts} ta={ta}");
+                // maximality in ta
+                assert!(ta == ts || !thresholds_feasible(n, ts, ta + 1));
+            }
+        }
+    }
+}

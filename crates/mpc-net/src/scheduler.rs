@@ -1,0 +1,157 @@
+//! Message-delay scheduling strategies.
+//!
+//! In the synchronous network every message must be delivered within `Δ`; the
+//! scheduler may pick any delay in `[1, Δ]`. In the asynchronous network the
+//! adversary controls the delivery schedule entirely, subject only to every
+//! message being delivered eventually.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::simulation::{PartyId, Time};
+
+/// Chooses the delivery delay of each message. Implementations model the
+/// network together with the adversary's scheduling power.
+pub trait Scheduler {
+    /// Returns the delay (≥ 0) after which a message sent now from `from` to
+    /// `to` is delivered.
+    fn delay(&mut self, from: PartyId, to: PartyId, now: Time, rng: &mut StdRng) -> Time;
+
+    /// Upper bound used by the simulator for sanity horizons; must be finite.
+    fn max_delay(&self) -> Time;
+}
+
+/// Synchronous worst case: every message takes exactly `Δ`.
+#[derive(Clone, Debug)]
+pub struct FixedDelay(pub Time);
+
+impl Scheduler for FixedDelay {
+    fn delay(&mut self, _from: PartyId, _to: PartyId, _now: Time, _rng: &mut StdRng) -> Time {
+        self.0
+    }
+    fn max_delay(&self) -> Time {
+        self.0
+    }
+}
+
+/// Delays drawn uniformly from `[min, max]` — a benign network. With
+/// `max ≤ Δ` this is a valid synchronous schedule; with small values it
+/// models the fast asynchronous network of the paper's introduction
+/// (`δ ≪ Δ`).
+#[derive(Clone, Debug)]
+pub struct UniformDelay {
+    /// Minimum delivery delay.
+    pub min: Time,
+    /// Maximum delivery delay.
+    pub max: Time,
+}
+
+impl Scheduler for UniformDelay {
+    fn delay(&mut self, _from: PartyId, _to: PartyId, _now: Time, rng: &mut StdRng) -> Time {
+        if self.min >= self.max {
+            self.min
+        } else {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+    fn max_delay(&self) -> Time {
+        self.max
+    }
+}
+
+/// A generic asynchronous adversarial scheduler: most messages are delivered
+/// quickly (within `fast`), but each message is independently delayed to
+/// `slow` with probability `slow_prob_percent`%. This violates any `Δ ≤ slow`
+/// bound and models an asynchronous network where time-outs expire before
+/// messages arrive.
+#[derive(Clone, Debug)]
+pub struct AsyncScheduler {
+    /// Delay bound for "fast" messages.
+    pub fast: Time,
+    /// Delay applied to adversarially slowed messages.
+    pub slow: Time,
+    /// Percentage (0–100) of messages that are slowed.
+    pub slow_prob_percent: u32,
+}
+
+impl Scheduler for AsyncScheduler {
+    fn delay(&mut self, _from: PartyId, _to: PartyId, _now: Time, rng: &mut StdRng) -> Time {
+        if rng.gen_range(0..100) < self.slow_prob_percent {
+            rng.gen_range(self.fast.max(1)..=self.slow)
+        } else {
+            rng.gen_range(1..=self.fast.max(1))
+        }
+    }
+    fn max_delay(&self) -> Time {
+        self.slow
+    }
+}
+
+/// A targeted asynchronous adversary: every message **from** a party in
+/// `slowed_senders` is delayed by exactly `lag`, all other messages are
+/// delivered within `fast`. This is the classic attack that breaks purely
+/// synchronous protocols (it makes up to `t_a` honest parties look corrupt).
+#[derive(Clone, Debug)]
+pub struct SkewedAsyncScheduler {
+    /// Parties whose outgoing messages are delayed.
+    pub slowed_senders: Vec<PartyId>,
+    /// Delay applied to the slowed senders' messages.
+    pub lag: Time,
+    /// Delay bound for everyone else.
+    pub fast: Time,
+}
+
+impl Scheduler for SkewedAsyncScheduler {
+    fn delay(&mut self, from: PartyId, _to: PartyId, _now: Time, rng: &mut StdRng) -> Time {
+        if self.slowed_senders.contains(&from) {
+            self.lag
+        } else {
+            rng.gen_range(1..=self.fast.max(1))
+        }
+    }
+    fn max_delay(&self) -> Time {
+        self.lag.max(self.fast)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut s = FixedDelay(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.delay(0, 1, 0, &mut rng), 10);
+        assert_eq!(s.max_delay(), 10);
+    }
+
+    #[test]
+    fn uniform_delay_stays_in_range() {
+        let mut s = UniformDelay { min: 2, max: 9 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let d = s.delay(0, 1, 0, &mut rng);
+            assert!((2..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn skewed_scheduler_targets_senders() {
+        let mut s = SkewedAsyncScheduler { slowed_senders: vec![3], lag: 1000, fast: 5 };
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(s.delay(3, 0, 0, &mut rng), 1000);
+        assert!(s.delay(1, 0, 0, &mut rng) <= 5);
+    }
+
+    #[test]
+    fn async_scheduler_produces_both_fast_and_slow() {
+        let mut s = AsyncScheduler { fast: 5, slow: 500, slow_prob_percent: 50 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let delays: Vec<Time> = (0..200).map(|_| s.delay(0, 1, 0, &mut rng)).collect();
+        assert!(delays.iter().any(|&d| d <= 5));
+        assert!(delays.iter().any(|&d| d > 5));
+        assert!(delays.iter().all(|&d| d <= 500));
+    }
+}

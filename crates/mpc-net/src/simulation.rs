@@ -1,0 +1,515 @@
+//! The discrete-event simulator driving all protocol executions.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adversary::CorruptionSet;
+use crate::context::{Context, Effects, Path, Protocol};
+use crate::metrics::Metrics;
+use crate::scheduler::{FixedDelay, Scheduler, UniformDelay};
+
+/// A party identifier in `0..n` (the paper's `P_{i+1}`).
+pub type PartyId = usize;
+
+/// Simulated local/global time in abstract ticks. The synchronous bound `Δ`
+/// is expressed in the same unit.
+pub type Time = u64;
+
+/// Size accounting for message payloads, in bits. Used to reproduce the
+/// paper's communication-complexity claims.
+pub trait MessageSize {
+    /// The number of bits this payload occupies on the wire.
+    fn size_bits(&self) -> u64;
+}
+
+/// Which of the paper's two network models the execution runs in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Every message delivered within the publicly known bound `Δ`.
+    Synchronous,
+    /// Arbitrary finite, adversarially scheduled delays.
+    Asynchronous,
+}
+
+/// Static configuration of a simulation run.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Number of parties `n`.
+    pub n: usize,
+    /// The publicly known synchronous delivery bound `Δ` (in ticks).
+    pub delta: Time,
+    /// Network model.
+    pub kind: NetworkKind,
+    /// Master seed: party RNGs, the scheduler RNG and the common-coin oracle
+    /// are all derived from it, making runs fully reproducible.
+    pub seed: u64,
+}
+
+impl NetConfig {
+    /// A synchronous network of `n` parties with `Δ = 10` ticks.
+    pub fn synchronous(n: usize) -> Self {
+        NetConfig { n, delta: 10, kind: NetworkKind::Synchronous, seed: 0xB0B5 }
+    }
+
+    /// An asynchronous network of `n` parties (the protocol still believes
+    /// `Δ = 10` when computing its time-outs — that belief is simply wrong).
+    pub fn asynchronous(n: usize) -> Self {
+        NetConfig { n, delta: 10, kind: NetworkKind::Asynchronous, seed: 0xB0B5 }
+    }
+
+    /// Replaces the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces `Δ`.
+    pub fn with_delta(mut self, delta: Time) -> Self {
+        self.delta = delta;
+        self
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { to: PartyId, from: PartyId, path: Path, msg: M },
+    Timer { party: PartyId, path: Path, id: u64 },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    at: Time,
+    rank: u8,
+    /// Instance-path depth; deeper timers fire first at equal times so that a
+    /// parent's deadline observes the state its sub-protocols finalise at that
+    /// same instant (e.g. `Π_BC` reading the SBA output at `T_BC`).
+    depth: usize,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.rank, self.seq) == (other.at, other.rank, other.seq)
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.rank, std::cmp::Reverse(self.depth), self.seq).cmp(&(
+            other.at,
+            other.rank,
+            std::cmp::Reverse(other.depth),
+            other.seq,
+        ))
+    }
+}
+
+/// A deterministic discrete-event simulation of `n` parties running one root
+/// [`Protocol`] instance each over the configured network.
+///
+/// Messages are delivered and timers fired in `(time, kind, sequence)` order;
+/// at equal times, message deliveries precede timer expiries so that a party
+/// whose timer is set to the network bound `Δ` observes every message that
+/// was guaranteed to arrive by then — exactly the paper's synchronous round
+/// abstraction.
+pub struct Simulation<M> {
+    config: NetConfig,
+    parties: Vec<Box<dyn Protocol<M>>>,
+    rngs: Vec<StdRng>,
+    corruption: CorruptionSet,
+    scheduler: Box<dyn Scheduler>,
+    sched_rng: StdRng,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    now: Time,
+    metrics: Metrics,
+    coin_seed: u64,
+    initialized: bool,
+}
+
+impl<M: Clone + MessageSize + 'static> Simulation<M> {
+    /// Creates a simulation with the default scheduler for the configured
+    /// network kind: worst-case `Δ` delays when synchronous, uniform
+    /// `[1, 20·Δ]` delays when asynchronous.
+    pub fn new(
+        config: NetConfig,
+        corruption: CorruptionSet,
+        parties: Vec<Box<dyn Protocol<M>>>,
+    ) -> Self {
+        let scheduler: Box<dyn Scheduler> = match config.kind {
+            NetworkKind::Synchronous => Box::new(FixedDelay(config.delta)),
+            NetworkKind::Asynchronous => {
+                Box::new(UniformDelay { min: 1, max: config.delta * 20 })
+            }
+        };
+        Self::with_scheduler(config, corruption, scheduler, parties)
+    }
+
+    /// Creates a simulation with an explicit (possibly adversarial) scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties.len() != config.n`.
+    pub fn with_scheduler(
+        config: NetConfig,
+        corruption: CorruptionSet,
+        scheduler: Box<dyn Scheduler>,
+        parties: Vec<Box<dyn Protocol<M>>>,
+    ) -> Self {
+        assert_eq!(parties.len(), config.n, "need exactly one root protocol per party");
+        let rngs = (0..config.n)
+            .map(|i| StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
+            .collect();
+        let sched_rng = StdRng::seed_from_u64(config.seed ^ 0xDEAD_BEEF);
+        let coin_seed = config.seed ^ 0x5EED_C011;
+        Simulation {
+            config,
+            parties,
+            rngs,
+            corruption,
+            scheduler,
+            sched_rng,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            metrics: Metrics::new(),
+            coin_seed,
+            initialized: false,
+        }
+    }
+
+    /// The configuration the simulation was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Communication metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The corruption set.
+    pub fn corruption(&self) -> &CorruptionSet {
+        &self.corruption
+    }
+
+    /// Immutable access to party `i`'s root protocol instance.
+    pub fn party(&self, i: PartyId) -> &dyn Protocol<M> {
+        self.parties[i].as_ref()
+    }
+
+    /// Downcasts party `i`'s root protocol to a concrete type for inspecting
+    /// outputs after (or during) the run.
+    pub fn party_as<T: 'static>(&self, i: PartyId) -> Option<&T> {
+        self.parties[i].as_any().downcast_ref::<T>()
+    }
+
+    /// Calls `init` on every party at time 0. Invoked automatically by the
+    /// `run_*` methods if not done explicitly.
+    pub fn init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for p in 0..self.config.n {
+            let mut effects = Effects::new();
+            {
+                let mut ctx = Context::new(
+                    p,
+                    self.config.n,
+                    0,
+                    self.config.delta,
+                    &mut effects,
+                    &mut self.rngs[p],
+                    self.coin_seed,
+                );
+                self.parties[p].init(&mut ctx);
+            }
+            self.apply_effects(p, effects);
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.init();
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        self.metrics.events_processed += 1;
+        let (party, effects) = match ev.kind {
+            EventKind::Deliver { to, from, path, msg } => {
+                let mut effects = Effects::new();
+                {
+                    let mut ctx = Context::new(
+                        to,
+                        self.config.n,
+                        self.now,
+                        self.config.delta,
+                        &mut effects,
+                        &mut self.rngs[to],
+                        self.coin_seed,
+                    );
+                    self.parties[to].on_message(&mut ctx, from, &path, msg);
+                }
+                (to, effects)
+            }
+            EventKind::Timer { party, path, id } => {
+                let mut effects = Effects::new();
+                {
+                    let mut ctx = Context::new(
+                        party,
+                        self.config.n,
+                        self.now,
+                        self.config.delta,
+                        &mut effects,
+                        &mut self.rngs[party],
+                        self.coin_seed,
+                    );
+                    self.parties[party].on_timer(&mut ctx, &path, id);
+                }
+                (party, effects)
+            }
+        };
+        self.apply_effects(party, effects);
+        true
+    }
+
+    /// Runs until `pred` returns `true` (checked after every event), the
+    /// event queue drains, or simulated time exceeds `horizon`. Returns
+    /// whether `pred` became true.
+    pub fn run_until(&mut self, horizon: Time, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        self.init();
+        if pred(self) {
+            return true;
+        }
+        loop {
+            if let Some(Reverse(ev)) = self.queue.peek() {
+                if ev.at > horizon {
+                    return false;
+                }
+            }
+            if !self.step() {
+                return pred(self);
+            }
+            if pred(self) {
+                return true;
+            }
+        }
+    }
+
+    /// Runs until the event queue is empty or `horizon` is exceeded.
+    pub fn run_to_quiescence(&mut self, horizon: Time) {
+        let _ = self.run_until(horizon, |_| false);
+    }
+
+    fn apply_effects(&mut self, sender: PartyId, effects: Effects<M>) {
+        let honest = self.corruption.is_honest(sender);
+        for (to, path, msg) in effects.sends {
+            let bits = msg.size_bits();
+            self.metrics.record_send(honest, bits, path.first().copied());
+            let delay = if to == sender {
+                0
+            } else {
+                self.scheduler.delay(sender, to, self.now, &mut self.sched_rng)
+            };
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.now + delay,
+                rank: 0,
+                depth: path.len(),
+                seq: self.seq,
+                kind: EventKind::Deliver { to, from: sender, path, msg },
+            }));
+        }
+        for (delay, path, id) in effects.timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Event {
+                at: self.now + delay,
+                rank: 1,
+                depth: path.len(),
+                seq: self.seq,
+                kind: EventKind::Timer { party: sender, path, id },
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    /// A toy protocol: party 0 sends "ping" to everyone at init; everyone who
+    /// receives a ping replies "pong" to the sender; party 0 counts pongs.
+    #[derive(Debug, Default)]
+    struct PingPong {
+        pongs: usize,
+        got_ping_at: Option<Time>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl MessageSize for Msg {
+        fn size_bits(&self) -> u64 {
+            8
+        }
+    }
+
+    impl Protocol<Msg> for PingPong {
+        fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.me == 0 {
+                ctx.send_all(Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, _path: &[u32], msg: Msg) {
+            match msg {
+                Msg::Ping => {
+                    self.got_ping_at = Some(ctx.now);
+                    ctx.send(from, Msg::Pong);
+                }
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _path: &[u32], _id: u64) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn parties(n: usize) -> Vec<Box<dyn Protocol<Msg>>> {
+        (0..n).map(|_| Box::new(PingPong::default()) as Box<dyn Protocol<Msg>>).collect()
+    }
+
+    #[test]
+    fn ping_pong_completes_in_sync_network() {
+        let n = 5;
+        let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties(n));
+        let done = sim.run_until(1000, |s| s.party_as::<PingPong>(0).unwrap().pongs == n);
+        assert!(done);
+        // all pings delivered within Δ
+        for i in 1..n {
+            let p = sim.party_as::<PingPong>(i).unwrap();
+            assert!(p.got_ping_at.unwrap() <= sim.config().delta);
+        }
+    }
+
+    #[test]
+    fn sync_network_respects_delta_bound() {
+        let n = 4;
+        let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties(n));
+        sim.run_to_quiescence(10_000);
+        // ping at 0 → delivered by Δ; pong → by 2Δ; nothing after that.
+        assert!(sim.now() <= 2 * sim.config().delta);
+    }
+
+    #[test]
+    fn async_network_can_exceed_delta() {
+        let n = 4;
+        let cfg = NetConfig::asynchronous(n).with_seed(3);
+        let delta = cfg.delta;
+        let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties(n));
+        sim.run_to_quiescence(100_000);
+        let late = (1..n).any(|i| {
+            sim.party_as::<PingPong>(i).unwrap().got_ping_at.unwrap() > delta
+        });
+        assert!(late, "with the async scheduler some delivery should exceed Δ");
+    }
+
+    #[test]
+    fn metrics_count_honest_messages() {
+        let n = 4;
+        let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties(n));
+        sim.run_to_quiescence(10_000);
+        // n pings + (n-1) pongs + self-ping answered by self pong = n + n
+        assert_eq!(sim.metrics().honest_messages, (n + n) as u64);
+        assert_eq!(sim.metrics().honest_bits, (n + n) as u64 * 8);
+    }
+
+    #[test]
+    fn corrupt_sender_messages_not_counted_as_honest() {
+        let n = 4;
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::new(vec![0]),
+            parties(n),
+        );
+        sim.run_to_quiescence(10_000);
+        // party 0 sends n pings plus the pong answering its own ping
+        assert_eq!(sim.metrics().corrupt_messages, (n + 1) as u64);
+        assert_eq!(sim.metrics().honest_messages, (n - 1) as u64); // the other pongs
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let n = 6;
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                NetConfig::asynchronous(n).with_seed(seed),
+                CorruptionSet::none(),
+                parties(n),
+            );
+            sim.run_to_quiescence(100_000);
+            (sim.now(), sim.metrics().clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn timer_fires_after_messages_at_same_time() {
+        // A protocol that sends itself a message with delay 0 and sets a timer
+        // with delay 0; the message must be handled first.
+        #[derive(Debug, Default)]
+        struct Order {
+            log: Vec<&'static str>,
+        }
+        impl Protocol<Msg> for Order {
+            fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(0, 1);
+                ctx.send(ctx.me, Msg::Ping);
+            }
+            fn on_message(&mut self, _c: &mut Context<'_, Msg>, _f: PartyId, _p: &[u32], _m: Msg) {
+                self.log.push("msg");
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, Msg>, _p: &[u32], _id: u64) {
+                self.log.push("timer");
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(1),
+            CorruptionSet::none(),
+            vec![Box::new(Order::default()) as Box<dyn Protocol<Msg>>],
+        );
+        sim.run_to_quiescence(100);
+        assert_eq!(sim.party_as::<Order>(0).unwrap().log, vec!["msg", "timer"]);
+    }
+}

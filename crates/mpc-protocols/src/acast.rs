@@ -1,0 +1,232 @@
+//! Bracha's asynchronous reliable broadcast `Π_ACast` (Section 2.1,
+//! Lemma 2.4).
+//!
+//! A designated sender `S` distributes a value identically to all parties
+//! despite `t < n/3` corruptions. In an asynchronous network the protocol
+//! provides liveness/validity for an honest `S` and consistency for a corrupt
+//! one; in a synchronous network an honest sender's value is output by every
+//! honest party within `3Δ`, and for a corrupt sender any two honest outputs
+//! are equal and appear within `2Δ` of each other.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
+
+use crate::msg::{AcastMsg, BcValue, Msg};
+
+/// One instance of Bracha's A-cast.
+#[derive(Debug)]
+pub struct Acast {
+    sender: PartyId,
+    n: usize,
+    t: usize,
+    input: Option<BcValue>,
+    sent_send: bool,
+    sent_echo: bool,
+    sent_ready: bool,
+    accepted_send: Option<BcValue>,
+    echoes: HashMap<BcValue, HashSet<PartyId>>,
+    readies: HashMap<BcValue, HashSet<PartyId>>,
+    /// The delivered value, if any.
+    pub output: Option<BcValue>,
+    /// Local time at which the value was delivered.
+    pub output_at: Option<Time>,
+}
+
+impl Acast {
+    /// Creates a participant instance. The designated `sender` must be given
+    /// its input via [`Acast::new_sender`] or [`Acast::provide_input`].
+    pub fn new(sender: PartyId, n: usize, t: usize) -> Self {
+        Acast {
+            sender,
+            n,
+            t,
+            input: None,
+            sent_send: false,
+            sent_echo: false,
+            sent_ready: false,
+            accepted_send: None,
+            echoes: HashMap::new(),
+            readies: HashMap::new(),
+            output: None,
+            output_at: None,
+        }
+    }
+
+    /// Creates the sender-side instance with its input value.
+    pub fn new_sender(sender: PartyId, n: usize, t: usize, input: BcValue) -> Self {
+        let mut a = Self::new(sender, n, t);
+        a.input = Some(input);
+        a
+    }
+
+    /// Supplies the sender's input after construction (starts the broadcast
+    /// immediately). Has no effect on non-sender parties or if already begun.
+    pub fn provide_input(&mut self, ctx: &mut Context<'_, Msg>, input: BcValue) {
+        if ctx.me == self.sender && !self.sent_send {
+            self.input = Some(input);
+            self.start(ctx);
+        }
+    }
+
+    /// The echo threshold `⌈(n + t + 1) / 2⌉`.
+    fn echo_threshold(&self) -> usize {
+        (self.n + self.t + 2) / 2
+    }
+
+    fn start(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(v) = self.input.clone() {
+            self.sent_send = true;
+            ctx.send_all(Msg::Acast(AcastMsg::Send(v)));
+        }
+    }
+
+    fn maybe_send_ready(&mut self, ctx: &mut Context<'_, Msg>, value: &BcValue) {
+        if !self.sent_ready {
+            self.sent_ready = true;
+            ctx.send_all(Msg::Acast(AcastMsg::Ready(value.clone())));
+        }
+    }
+
+    fn check_thresholds(&mut self, ctx: &mut Context<'_, Msg>, value: &BcValue) {
+        let echo_count = self.echoes.get(value).map_or(0, HashSet::len);
+        if echo_count >= self.echo_threshold() {
+            self.maybe_send_ready(ctx, value);
+        }
+        let ready_count = self.readies.get(value).map_or(0, HashSet::len);
+        if ready_count >= self.t + 1 {
+            self.maybe_send_ready(ctx, value);
+        }
+        if ready_count >= 2 * self.t + 1 && self.output.is_none() {
+            self.output = Some(value.clone());
+            self.output_at = Some(ctx.now);
+        }
+    }
+}
+
+impl Protocol<Msg> for Acast {
+    fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+        if ctx.me == self.sender {
+            self.start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, _path: PathSlice<'_>, msg: Msg) {
+        let Msg::Acast(am) = msg else { return };
+        match am {
+            AcastMsg::Send(v) => {
+                if from == self.sender && self.accepted_send.is_none() {
+                    self.accepted_send = Some(v.clone());
+                    if !self.sent_echo {
+                        self.sent_echo = true;
+                        ctx.send_all(Msg::Acast(AcastMsg::Echo(v)));
+                    }
+                }
+            }
+            AcastMsg::Echo(v) => {
+                self.echoes.entry(v.clone()).or_default().insert(from);
+                self.check_thresholds(ctx, &v);
+            }
+            AcastMsg::Ready(v) => {
+                self.readies.entry(v.clone()).or_default().insert(from);
+                self.check_thresholds(ctx, &v);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _path: PathSlice<'_>, _id: u64) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_algebra::Fp;
+    use mpc_net::{CorruptionSet, NetConfig, Simulation};
+
+    fn value(x: u64) -> BcValue {
+        BcValue::Value(vec![Fp::from_u64(x)])
+    }
+
+    fn make_parties(n: usize, t: usize, sender: PartyId, input: BcValue) -> Vec<Box<dyn Protocol<Msg>>> {
+        (0..n)
+            .map(|i| {
+                let a = if i == sender {
+                    Acast::new_sender(sender, n, t, input.clone())
+                } else {
+                    Acast::new(sender, n, t)
+                };
+                Box::new(a) as Box<dyn Protocol<Msg>>
+            })
+            .collect()
+    }
+
+    fn all_output(sim: &Simulation<Msg>, n: usize) -> bool {
+        (0..n).all(|i| sim.party_as::<Acast>(i).unwrap().output.is_some())
+    }
+
+    #[test]
+    fn honest_sender_sync_delivers_within_3_delta() {
+        let n = 7;
+        let t = 2;
+        let cfg = NetConfig::synchronous(n);
+        let delta = cfg.delta;
+        let mut sim = Simulation::new(cfg, CorruptionSet::none(), make_parties(n, t, 0, value(9)));
+        assert!(sim.run_until(1000, |s| all_output(s, n)));
+        for i in 0..n {
+            let p = sim.party_as::<Acast>(i).unwrap();
+            assert_eq!(p.output, Some(value(9)));
+            assert!(p.output_at.unwrap() <= 3 * delta, "Lemma 2.4: liveness within 3Δ");
+        }
+    }
+
+    #[test]
+    fn honest_sender_async_eventually_delivers() {
+        let n = 7;
+        let t = 2;
+        let mut sim = Simulation::new(
+            NetConfig::asynchronous(n).with_seed(5),
+            CorruptionSet::none(),
+            make_parties(n, t, 2, value(11)),
+        );
+        assert!(sim.run_until(1_000_000, |s| all_output(s, n)));
+        for i in 0..n {
+            assert_eq!(sim.party_as::<Acast>(i).unwrap().output, Some(value(11)));
+        }
+    }
+
+    #[test]
+    fn silent_sender_produces_no_output() {
+        let n = 4;
+        let t = 1;
+        // sender is "corrupt" by never being given an input
+        let parties: Vec<Box<dyn Protocol<Msg>>> =
+            (0..n).map(|_| Box::new(Acast::new(0, n, t)) as Box<dyn Protocol<Msg>>).collect();
+        let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::new(vec![0]), parties);
+        sim.run_to_quiescence(10_000);
+        assert!((0..n).all(|i| sim.party_as::<Acast>(i).unwrap().output.is_none()));
+    }
+
+    #[test]
+    fn communication_is_order_n_squared_messages() {
+        let n = 7;
+        let t = 2;
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::none(),
+            make_parties(n, t, 0, value(1)),
+        );
+        sim.run_to_quiescence(10_000);
+        // send (n) + echo (n^2) + ready (n^2)
+        let msgs = sim.metrics().honest_messages;
+        assert!(msgs as usize <= n + 2 * n * n);
+        assert!(msgs as usize >= 2 * n * (n - t));
+    }
+}

@@ -1,0 +1,42 @@
+//! Best-of-both-worlds building blocks of the paper (Sections 3–5):
+//!
+//! * [`acast`] — Bracha's asynchronous reliable broadcast `Π_ACast`.
+//! * [`sba`] — the synchronous phase-king Byzantine agreement used as
+//!   `Π_BGP` (DESIGN.md substitution S2).
+//! * [`aba`] — asynchronous Byzantine agreement with an ideal common coin
+//!   (DESIGN.md substitution S1), providing the `Π_ABA` interface of
+//!   Lemma 3.3.
+//! * [`bc`] — the synchronous broadcast with asynchronous guarantees `Π_BC`
+//!   (Fig 1), with regular and fallback output modes.
+//! * [`ba`] — the best-of-both-worlds Byzantine agreement `Π_BA` (Fig 2).
+//! * [`star`] — the `(n,t)`-star finding algorithm `AlgStar` of \[13\].
+//! * [`voteboard`] — reliable dissemination of the OK/NOK pairwise
+//!   consistency votes that build the consistency graphs of `Π_WPS`/`Π_VSS`.
+//! * [`wps`] — the weak polynomial sharing protocol `Π_WPS` (Fig 3).
+//! * [`vss`] — the verifiable secret sharing protocol `Π_VSS` (Fig 4).
+//! * [`acs`] — agreement on a common subset `Π_ACS` (Fig 5).
+//! * [`byzantine`] — adversarial protocol implementations used by tests and
+//!   experiments.
+//!
+//! All protocols are written against [`mpc_net::Protocol`] and compose by
+//! instance-path routing; see the crate-level documentation of `mpc-net`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aba;
+pub mod acast;
+pub mod acs;
+pub mod ba;
+pub mod bc;
+pub mod byzantine;
+pub mod msg;
+pub mod params;
+pub mod sba;
+pub mod star;
+pub mod voteboard;
+pub mod vss;
+pub mod wps;
+
+pub use msg::{AbaMsg, AcastMsg, BcValue, Msg, SbaMsg, Vote};
+pub use params::Params;

@@ -1,0 +1,214 @@
+//! The wire-format message enum shared by every protocol in the stack.
+//!
+//! Keeping a single payload enum lets the whole composition tree run inside
+//! one [`mpc_net::Simulation`] and lets the communication metrics attribute a
+//! bit size to every message (the paper counts "bits communicated by the
+//! honest parties").
+
+use mpc_algebra::Fp;
+use mpc_net::MessageSize;
+use serde::{Deserialize, Serialize};
+
+/// One pairwise-consistency verdict cast by a party about a counterpart
+/// (the `OK(i, j)` / `NOK(i, j, q_i(α_j))` messages of `Π_WPS` / `Π_VSS`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Vote {
+    /// The common points agreed (`OK`).
+    Ok,
+    /// The common points disagreed (`NOK`); carries the index of the first
+    /// disagreeing polynomial and the voter's version of the disputed point.
+    Nok {
+        /// Index (0-based) of the first polynomial whose check failed.
+        ell: u32,
+        /// The voter's version of the disputed common point.
+        value: Fp,
+    },
+}
+
+/// Values carried by the broadcast primitives (`Π_ACast`, `Π_BGP`, `Π_BC`).
+///
+/// The protocols of the paper broadcast a handful of structured values —
+/// input bits, vote vectors, `(W, E, F)` triplets and `(E′, F′)` stars — so
+/// they are enumerated here rather than serialised to opaque byte strings.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BcValue {
+    /// A single bit (input broadcast of `Π_BA`).
+    Bit(bool),
+    /// A vector of pairwise-consistency votes `(counterpart, vote)`.
+    Votes(Vec<(u32, Vote)>),
+    /// The dealer's `(W, E, F)` triplet of `Π_WPS`/`Π_VSS` phase IV.
+    Wef {
+        /// The candidate support set `W` (`|W| ≥ n − t_s`).
+        w: Vec<u32>,
+        /// The star core `E` (`|E| ≥ n − 2·t_s`).
+        e: Vec<u32>,
+        /// The star periphery `F` (`|F| ≥ n − t_s`).
+        f: Vec<u32>,
+    },
+    /// The dealer's `(E′, F′)` star of the asynchronous fallback path.
+    Star {
+        /// The star core `E′` (`|E′| ≥ n − 2·t_a`).
+        e: Vec<u32>,
+        /// The star periphery `F′` (`|F′| ≥ n − t_a`).
+        f: Vec<u32>,
+    },
+    /// An opaque vector of field elements (generic payload, used by tests).
+    Value(Vec<Fp>),
+}
+
+impl BcValue {
+    fn elements(&self) -> u64 {
+        match self {
+            BcValue::Bit(_) => 1,
+            BcValue::Votes(v) => v.len() as u64,
+            BcValue::Wef { w, e, f } => (w.len() + e.len() + f.len()) as u64,
+            BcValue::Star { e, f } => (e.len() + f.len()) as u64,
+            BcValue::Value(v) => v.len() as u64,
+        }
+    }
+}
+
+/// Bracha A-cast messages.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcastMsg {
+    /// The sender's initial dissemination.
+    Send(BcValue),
+    /// First-stage echo.
+    Echo(BcValue),
+    /// Second-stage ready/commit.
+    Ready(BcValue),
+}
+
+/// The value domain of the phase-king SBA: either a broadcast value or `⊥`
+/// (encoded as `None`, the paper's "default value").
+pub type SbaValue = Option<BcValue>;
+
+/// Phase-king SBA messages (one phase = three rounds).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SbaMsg {
+    /// Round 1 of a phase: every party sends its current value.
+    Round1 {
+        /// Phase index (0-based; there are `t_s + 1` phases).
+        phase: u32,
+        /// The sender's current value.
+        value: SbaValue,
+    },
+    /// Round 2 of a phase: every party sends its round-1 candidate (a value
+    /// seen at least `n − t` times) or "no candidate".
+    Round2 {
+        /// Phase index.
+        phase: u32,
+        /// The candidate, if any.
+        candidate: Option<SbaValue>,
+    },
+    /// Round 3 of a phase: only the phase king sends its proposal.
+    King {
+        /// Phase index.
+        phase: u32,
+        /// The king's proposal.
+        value: SbaValue,
+    },
+}
+
+/// Common-coin ABA messages (MMR-style round structure).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbaMsg {
+    /// Round estimate.
+    Est {
+        /// Round number.
+        round: u32,
+        /// Estimated value.
+        value: bool,
+    },
+    /// Auxiliary vote of a round.
+    Aux {
+        /// Round number.
+        round: u32,
+        /// Vote value (must be in the sender's `bin_values`).
+        value: bool,
+    },
+    /// Termination-gadget message sent once a party decides.
+    Finish {
+        /// The decided value.
+        value: bool,
+    },
+}
+
+/// The unified payload type routed by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Msg {
+    /// Bracha A-cast sub-messages.
+    Acast(AcastMsg),
+    /// Phase-king SBA sub-messages.
+    Sba(SbaMsg),
+    /// Common-coin ABA sub-messages.
+    Aba(AbaMsg),
+    /// Dealer → party: the `L` row polynomials of `Π_WPS`/`Π_VSS` phase I
+    /// (each polynomial by its coefficient vector).
+    RowPolys(Vec<Vec<Fp>>),
+    /// Pairwise-consistency points (`L` supposedly common values) exchanged
+    /// in `Π_WPS` phase II.
+    Points(Vec<Fp>),
+    /// A share-opening message (public reconstruction): used by Beaver's
+    /// protocol, `Π_TripSh` difference/suspected-triple openings and the
+    /// output phase of `Π_CirEval`.
+    Open {
+        /// Disambiguates parallel openings inside one protocol instance.
+        tag: u32,
+        /// The sender's shares of the opened values.
+        values: Vec<Fp>,
+    },
+    /// Termination-phase `(ready, y)` message of `Π_CirEval`.
+    Ready(Vec<Fp>),
+}
+
+const HEADER_BITS: u64 = 16;
+const FIELD_BITS: u64 = 64;
+
+impl MessageSize for Msg {
+    fn size_bits(&self) -> u64 {
+        let elements = match self {
+            Msg::Acast(AcastMsg::Send(v) | AcastMsg::Echo(v) | AcastMsg::Ready(v)) => v.elements(),
+            Msg::Sba(SbaMsg::Round1 { value, .. } | SbaMsg::King { value, .. }) => {
+                value.as_ref().map_or(0, BcValue::elements)
+            }
+            Msg::Sba(SbaMsg::Round2 { candidate, .. }) => candidate
+                .as_ref()
+                .and_then(|c| c.as_ref())
+                .map_or(0, BcValue::elements),
+            Msg::Aba(_) => 1,
+            Msg::RowPolys(polys) => polys.iter().map(|p| p.len() as u64).sum(),
+            Msg::Points(v) => v.len() as u64,
+            Msg::Open { values, .. } => values.len() as u64,
+            Msg::Ready(v) => v.len() as u64,
+        };
+        HEADER_BITS + elements * FIELD_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_sizes_scale_with_payload() {
+        let small = Msg::Acast(AcastMsg::Send(BcValue::Bit(true)));
+        let big = Msg::Acast(AcastMsg::Send(BcValue::Value(vec![Fp::from_u64(1); 100])));
+        assert!(big.size_bits() > small.size_bits());
+        assert_eq!(big.size_bits(), 16 + 100 * 64);
+    }
+
+    #[test]
+    fn votes_and_stars_have_nonzero_size() {
+        let v = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![(1, Vote::Ok), (2, Vote::Ok)])));
+        assert_eq!(v.size_bits(), 16 + 2 * 64);
+        let s = Msg::Acast(AcastMsg::Ready(BcValue::Star { e: vec![1, 2], f: vec![1, 2, 3] }));
+        assert_eq!(s.size_bits(), 16 + 5 * 64);
+    }
+
+    #[test]
+    fn sba_bottom_has_header_only() {
+        let m = Msg::Sba(SbaMsg::Round1 { phase: 0, value: None });
+        assert_eq!(m.size_bits(), 16);
+    }
+}

@@ -1,0 +1,265 @@
+//! The synchronous Byzantine agreement `Π_BGP` used inside `Π_BC`.
+//!
+//! We implement the classic phase-king protocol (Berman–Garay–Perry) for
+//! `t < n/3`: `t + 1` phases of three `Δ`-rounds each, over an arbitrary
+//! value domain (here [`SbaValue`] — a broadcast value or `⊥`). See DESIGN.md
+//! substitution S2 for how this differs from the recursive variant the paper
+//! cites (\[16\]) and why every property `Π_BC` needs is preserved:
+//!
+//! * in a synchronous network it is a `t`-perfectly-secure SBA with all
+//!   honest parties holding their output at time `T_BGP = 3(t+1)Δ`;
+//! * in an asynchronous network it still has guaranteed liveness at local
+//!   time `T_BGP` (the output value may be arbitrary — `Π_BC` only needs
+//!   liveness there, see footnote 4 of the paper).
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+
+use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
+
+use crate::msg::{Msg, SbaMsg, SbaValue};
+
+/// One instance of the phase-king SBA.
+#[derive(Debug)]
+pub struct Sba {
+    n: usize,
+    t: usize,
+    value: SbaValue,
+    start: Option<Time>,
+    // per-phase bookkeeping
+    round1: HashMap<u32, HashMap<SbaValue, HashSet<PartyId>>>,
+    round1_seen: HashSet<(u32, PartyId)>,
+    round2: HashMap<u32, HashMap<SbaValue, HashSet<PartyId>>>,
+    round2_seen: HashSet<(u32, PartyId)>,
+    king_value: HashMap<u32, SbaValue>,
+    phase_d: HashMap<u32, (SbaValue, usize)>,
+    /// The agreed value, set at local time `T_BGP` after the final phase.
+    pub output: Option<SbaValue>,
+    /// Local time at which the output was fixed.
+    pub output_at: Option<Time>,
+}
+
+impl Sba {
+    /// Creates an SBA instance with the party's input value (`None` encodes
+    /// the paper's `⊥`/default input).
+    pub fn new(n: usize, t: usize, input: SbaValue) -> Self {
+        Sba {
+            n,
+            t,
+            value: input,
+            start: None,
+            round1: HashMap::new(),
+            round1_seen: HashSet::new(),
+            round2: HashMap::new(),
+            round2_seen: HashSet::new(),
+            king_value: HashMap::new(),
+            phase_d: HashMap::new(),
+            output: None,
+            output_at: None,
+        }
+    }
+
+    /// Total running time of the protocol: `3(t+1)Δ`.
+    pub fn duration(t: usize, delta: Time) -> Time {
+        3 * (t as Time + 1) * delta
+    }
+
+    fn king(&self, phase: u32) -> PartyId {
+        phase as usize % self.n
+    }
+
+    /// Applies the end-of-phase update rule to `self.value`.
+    fn finish_phase(&mut self, phase: u32) {
+        if let Some((d_val, d_count)) = self.phase_d.get(&phase).cloned() {
+            if d_count >= self.n - self.t {
+                self.value = d_val;
+                return;
+            }
+        }
+        if let Some(kv) = self.king_value.get(&phase).cloned() {
+            self.value = kv;
+        }
+    }
+}
+
+impl Protocol<Msg> for Sba {
+    fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.start = Some(ctx.now);
+        // schedule every round of every phase plus the final output point
+        for phase in 0..=(self.t as u64) {
+            for round in 0..3u64 {
+                ctx.set_timer((3 * phase + round) * ctx.delta, 3 * phase + round);
+            }
+        }
+        ctx.set_timer(3 * (self.t as Time + 1) * ctx.delta, 3 * (self.t as u64 + 1));
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, from: PartyId, _path: PathSlice<'_>, msg: Msg) {
+        let Msg::Sba(sm) = msg else { return };
+        match sm {
+            SbaMsg::Round1 { phase, value } => {
+                if self.round1_seen.insert((phase, from)) {
+                    self.round1.entry(phase).or_default().entry(value).or_default().insert(from);
+                }
+            }
+            SbaMsg::Round2 { phase, candidate } => {
+                if self.round2_seen.insert((phase, from)) {
+                    if let Some(c) = candidate {
+                        self.round2.entry(phase).or_default().entry(c).or_default().insert(from);
+                    }
+                }
+            }
+            SbaMsg::King { phase, value } => {
+                if from == self.king(phase) {
+                    self.king_value.entry(phase).or_insert(value);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _path: PathSlice<'_>, id: u64) {
+        let phase = (id / 3) as u32;
+        let round = id % 3;
+        if id == 3 * (self.t as u64 + 1) {
+            // end of the final phase: fix the output
+            self.finish_phase(phase - 1);
+            if self.output.is_none() {
+                self.output = Some(self.value.clone());
+                self.output_at = Some(ctx.now);
+            }
+            return;
+        }
+        match round {
+            0 => {
+                if phase > 0 {
+                    self.finish_phase(phase - 1);
+                }
+                ctx.send_all(Msg::Sba(SbaMsg::Round1 { phase, value: self.value.clone() }));
+            }
+            1 => {
+                // candidate: a value seen at least n - t times in round 1
+                let candidate = self
+                    .round1
+                    .get(&phase)
+                    .and_then(|m| {
+                        m.iter().find(|(_, s)| s.len() >= self.n - self.t).map(|(v, _)| v.clone())
+                    });
+                ctx.send_all(Msg::Sba(SbaMsg::Round2 { phase, candidate }));
+            }
+            _ => {
+                // determine D (most supported candidate with >= t+1 support)
+                let d = self.round2.get(&phase).and_then(|m| {
+                    m.iter()
+                        .filter(|(_, s)| s.len() >= self.t + 1)
+                        .max_by_key(|(_, s)| s.len())
+                        .map(|(v, s)| (v.clone(), s.len()))
+                });
+                if let Some(d) = d {
+                    self.phase_d.insert(phase, d);
+                }
+                if ctx.me == self.king(phase) {
+                    let proposal = self
+                        .phase_d
+                        .get(&phase)
+                        .map(|(v, _)| v.clone())
+                        .unwrap_or_else(|| self.value.clone());
+                    ctx.send_all(Msg::Sba(SbaMsg::King { phase, value: proposal }));
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::BcValue;
+    use mpc_algebra::Fp;
+    use mpc_net::{CorruptionSet, NetConfig, Simulation};
+
+    fn value(x: u64) -> SbaValue {
+        Some(BcValue::Value(vec![Fp::from_u64(x)]))
+    }
+
+    fn run(n: usize, t: usize, inputs: Vec<SbaValue>, corrupt: CorruptionSet, seed: u64) -> Vec<SbaValue> {
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .into_iter()
+            .map(|v| Box::new(Sba::new(n, t, v)) as Box<dyn Protocol<Msg>>)
+            .collect();
+        let cfg = NetConfig::synchronous(n).with_seed(seed);
+        let mut sim = Simulation::new(cfg, corrupt.clone(), parties);
+        let done =
+            sim.run_until(100_000, |s| (0..n).all(|i| s.party_as::<Sba>(i).unwrap().output.is_some()));
+        assert!(done, "SBA must have guaranteed liveness");
+        (0..n)
+            .filter(|&i| corrupt.is_honest(i))
+            .map(|i| sim.party_as::<Sba>(i).unwrap().output.clone().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn validity_with_unanimous_inputs() {
+        let n = 4;
+        let t = 1;
+        let outs = run(n, t, vec![value(7); n], CorruptionSet::none(), 1);
+        assert!(outs.iter().all(|o| *o == value(7)));
+    }
+
+    #[test]
+    fn validity_with_bottom_inputs() {
+        let n = 7;
+        let t = 2;
+        let outs = run(n, t, vec![None; n], CorruptionSet::none(), 2);
+        assert!(outs.iter().all(|o| o.is_none()));
+    }
+
+    #[test]
+    fn consistency_with_mixed_inputs() {
+        let n = 7;
+        let t = 2;
+        let mut inputs = vec![value(1); 4];
+        inputs.extend(vec![value(2); 3]);
+        let outs = run(n, t, inputs, CorruptionSet::none(), 3);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "all honest outputs must agree");
+    }
+
+    #[test]
+    fn consistency_with_silent_corrupt_parties() {
+        // corrupt parties participate as silent (they are modelled by parties
+        // that never send because their timers do fire but... here we model
+        // them by honest-coded parties counted as corrupt: the adversary that
+        // follows the protocol). Stronger adversaries are exercised in the
+        // byzantine module tests.
+        let n = 7;
+        let t = 2;
+        let mut inputs = vec![value(5); 5];
+        inputs.extend(vec![value(9); 2]);
+        let outs = run(n, t, inputs, CorruptionSet::new(vec![5, 6]), 4);
+        assert!(outs.windows(2).all(|w| w[0] == w[1]));
+        // validity: all honest had input 5
+        assert!(outs.iter().all(|o| *o == value(5)));
+    }
+
+    #[test]
+    fn output_arrives_exactly_at_t_bgp() {
+        let n = 4;
+        let t = 1;
+        let parties: Vec<Box<dyn Protocol<Msg>>> =
+            (0..n).map(|_| Box::new(Sba::new(n, t, value(3))) as Box<dyn Protocol<Msg>>).collect();
+        let cfg = NetConfig::synchronous(n);
+        let delta = cfg.delta;
+        let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
+        sim.run_to_quiescence(100_000);
+        for i in 0..n {
+            let p = sim.party_as::<Sba>(i).unwrap();
+            assert_eq!(p.output_at.unwrap(), Sba::duration(t, delta));
+        }
+    }
+}

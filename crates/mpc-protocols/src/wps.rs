@@ -1,0 +1,686 @@
+//! `Π_WPS` — the best-of-both-worlds weak polynomial sharing protocol
+//! (Fig 3, Theorem 4.8).
+//!
+//! A dealer `D` holds `L` polynomials of degree `t_s`. It embeds each into a
+//! random symmetric bivariate polynomial and hands every party its row
+//! polynomials; parties exchange the supposedly common points, publish
+//! `OK`/`NOK` votes and build a consistency graph. The dealer then either
+//! gets a `(W, E, F)` structure accepted within the synchronous schedule
+//! (checked by a `Π_BA` vote), or the parties fall back to waiting for an
+//! `(n, t_a)`-star, which the dealer finds and A-casts once enough votes have
+//! accumulated. Either way every party that produces an output holds points
+//! on the same `t_s`-degree polynomials (weak commitment: for a corrupt
+//! dealer in a synchronous network, only at least `t_s + 1` honest parties
+//! are guaranteed to succeed — fixing that is exactly what `Π_VSS` adds).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use mpc_algebra::evaluation_points::alpha;
+use mpc_algebra::{rs, Fp, Polynomial, SymmetricBivariate};
+use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
+
+use crate::ba::Ba;
+use crate::bc::Bc;
+use crate::msg::{BcValue, Msg, Vote};
+use crate::params::Params;
+use crate::star::ConsistencyGraph;
+use crate::voteboard::VoteBoard;
+
+const SEG_WEF_BC: u32 = 0;
+const SEG_BA: u32 = 1;
+const SEG_STAR: u32 = 2;
+const SEG_VOTES: u32 = 3;
+
+const TIMER_SEND_POINTS: u64 = 10;
+const TIMER_VOTES: u64 = 11;
+const TIMER_WEF: u64 = 12;
+const TIMER_BA: u64 = 13;
+
+/// Dealer-side computation of the `(W, E, F)` structure from the regular-mode
+/// consistency graph (Phase IV of `Π_WPS`/`Π_VSS`). `nok_is_wrong(i, ell, v)`
+/// must return `true` if party `i`'s published NOK value `v` for polynomial
+/// `ell` differs from the dealer's own bivariate polynomial (in which case the
+/// dealer discards `P_i`).
+pub fn dealer_compute_wef(
+    params: &Params,
+    graph: &ConsistencyGraph,
+    noks: impl Fn(PartyId) -> Vec<(PartyId, u32, Fp)>,
+    nok_is_wrong: impl Fn(PartyId, PartyId, u32, Fp) -> bool,
+) -> Option<(Vec<PartyId>, Vec<PartyId>, Vec<PartyId>)> {
+    let n = params.n;
+    let ts = params.ts;
+    let mut g = graph.clone();
+    for i in 0..n {
+        for (j, ell, v) in noks(i) {
+            if nok_is_wrong(i, j, ell, v) {
+                g.remove_vertex_edges(i);
+            }
+        }
+    }
+    // W = parties consistent with at least n - t_s parties (counting
+    // themselves, as is standard for consistency graphs), then iteratively
+    // prune parties not consistent with at least n - t_s parties of W.
+    let mut w: Vec<PartyId> = (0..n).filter(|&i| g.degree(i) + 1 >= n - ts).collect();
+    loop {
+        let before = w.len();
+        w = w
+            .iter()
+            .copied()
+            .filter(|&i| g.degree_within(i, &w) + 1 >= n - ts)
+            .collect();
+        if w.len() == before {
+            break;
+        }
+        if w.is_empty() {
+            return None;
+        }
+    }
+    if w.len() < n - ts {
+        return None;
+    }
+    let (e, f) = g.find_star(ts, Some(&w))?;
+    Some((w, e, f))
+}
+
+/// The receiver-side acceptance check for a `(W, E, F)` broadcast by the
+/// dealer, based on votes received through regular mode (Local Computation
+/// "Verifying and Accepting (W, E, F)").
+pub fn accept_wef(
+    params: &Params,
+    votes: &VoteBoard,
+    w: &[PartyId],
+    e: &[PartyId],
+    f: &[PartyId],
+) -> bool {
+    let n = params.n;
+    let ts = params.ts;
+    if w.len() < n - ts || w.iter().any(|&i| i >= n) {
+        return false;
+    }
+    if votes.has_conflicting_noks(w) {
+        return false;
+    }
+    let g = votes.graph_regular();
+    if w.iter().any(|&j| g.degree(j) + 1 < n - ts) {
+        return false;
+    }
+    if w.iter().any(|&j| g.degree_within(j, w) + 1 < n - ts) {
+        return false;
+    }
+    g.is_star(ts, e, f, Some(w))
+}
+
+/// Decodes a `(W, E, F)` broadcast value.
+pub fn decode_wef(value: &BcValue) -> Option<(Vec<PartyId>, Vec<PartyId>, Vec<PartyId>)> {
+    match value {
+        BcValue::Wef { w, e, f } => Some((
+            w.iter().map(|&x| x as PartyId).collect(),
+            e.iter().map(|&x| x as PartyId).collect(),
+            f.iter().map(|&x| x as PartyId).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Decodes an `(E′, F′)` star broadcast value.
+pub fn decode_star(value: &BcValue) -> Option<(Vec<PartyId>, Vec<PartyId>)> {
+    match value {
+        BcValue::Star { e, f } => Some((
+            e.iter().map(|&x| x as PartyId).collect(),
+            f.iter().map(|&x| x as PartyId).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// One instance of `Π_WPS` for `L` polynomials.
+#[derive(Debug)]
+pub struct Wps {
+    dealer: PartyId,
+    params: Params,
+    l_count: usize,
+    /// Dealer only: the embedded symmetric bivariate polynomials.
+    bivariates: Vec<SymmetricBivariate>,
+    /// Dealer only: whether the row polynomials have been distributed.
+    distributed: bool,
+    /// This party's row polynomials received from the dealer.
+    my_rows: Option<Vec<Polynomial>>,
+    /// Points received from counterpart `j` (their evaluation of their row at
+    /// my `α`), i.e. points on my row polynomials.
+    points_from: BTreeMap<PartyId, Vec<Fp>>,
+    points_sent: bool,
+    votes: VoteBoard,
+    wef_bc: Option<Bc>,
+    ba: Option<Ba>,
+    star_acast: Option<crate::acast::Acast>,
+    pending: Vec<(u32, PartyId, Msg)>,
+    accepted_wef: Option<(Vec<PartyId>, Vec<PartyId>, Vec<PartyId>)>,
+    ba_output: Option<bool>,
+    star_published: bool,
+    start: Time,
+    /// The WPS-shares (one per polynomial) once computed.
+    pub shares: Option<Vec<Fp>>,
+    /// Local time at which the shares were output.
+    pub output_at: Option<Time>,
+}
+
+impl Wps {
+    /// Creates a participant instance.
+    pub fn new(dealer: PartyId, params: Params, l_count: usize) -> Self {
+        Wps {
+            dealer,
+            params,
+            l_count,
+            bivariates: Vec::new(),
+            distributed: false,
+            my_rows: None,
+            points_from: BTreeMap::new(),
+            points_sent: false,
+            votes: VoteBoard::new(SEG_VOTES, params.ts, params),
+            wef_bc: None,
+            ba: None,
+            star_acast: None,
+            pending: Vec::new(),
+            accepted_wef: None,
+            ba_output: None,
+            star_published: false,
+            start: 0,
+            shares: None,
+            output_at: None,
+        }
+    }
+
+    /// Creates the dealer-side instance with its `L` input polynomials
+    /// (degree ≤ `t_s` each); the bivariate embeddings are sampled from the
+    /// party RNG at `init`.
+    pub fn new_dealer(dealer: PartyId, params: Params, polynomials: Vec<Polynomial>) -> Self {
+        let mut wps = Self::new(dealer, params, polynomials.len());
+        // store the inputs temporarily as "rows"; real embedding happens at init
+        wps.my_rows = Some(polynomials);
+        wps
+    }
+
+    /// The dealer of this instance.
+    pub fn dealer(&self) -> PartyId {
+        self.dealer
+    }
+
+    /// Supplies the dealer's polynomials after creation (used by `Π_VSS`,
+    /// where a party becomes a WPS dealer only once it has received its row
+    /// polynomials from the VSS dealer).
+    pub fn provide_dealer_input(&mut self, ctx: &mut Context<'_, Msg>, polynomials: Vec<Polynomial>) {
+        if ctx.me == self.dealer && !self.distributed {
+            self.l_count = polynomials.len();
+            self.distribute(ctx, polynomials);
+        }
+    }
+
+    fn distribute(&mut self, ctx: &mut Context<'_, Msg>, polynomials: Vec<Polynomial>) {
+        self.distributed = true;
+        let ts = self.params.ts;
+        self.bivariates = polynomials
+            .iter()
+            .map(|q| SymmetricBivariate::embedding(ctx.rng(), ts, q))
+            .collect();
+        for i in 0..self.params.n {
+            let rows: Vec<Vec<Fp>> = self
+                .bivariates
+                .iter()
+                .map(|b| b.row(alpha(i)).coeffs().to_vec())
+                .collect();
+            ctx.send(i, Msg::RowPolys(rows));
+        }
+    }
+
+    fn schedule_point_sending(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.points_sent {
+            return;
+        }
+        let rem = ctx.now % ctx.delta;
+        let delay = if rem == 0 { 0 } else { ctx.delta - rem };
+        ctx.set_timer(delay, TIMER_SEND_POINTS);
+    }
+
+    fn send_points(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.points_sent {
+            return;
+        }
+        let Some(rows) = &self.my_rows else { return };
+        self.points_sent = true;
+        for j in 0..self.params.n {
+            let pts: Vec<Fp> = rows.iter().map(|r| r.evaluate(alpha(j))).collect();
+            ctx.send(j, Msg::Points(pts));
+        }
+    }
+
+    fn compute_vote(&self, j: PartyId) -> Option<Vote> {
+        let rows = self.my_rows.as_ref()?;
+        let pts = self.points_from.get(&j)?;
+        if pts.len() != rows.len() {
+            return Some(Vote::Nok { ell: 0, value: rows[0].evaluate(alpha(j)) });
+        }
+        for (ell, (row, &p)) in rows.iter().zip(pts).enumerate() {
+            let mine = row.evaluate(alpha(j));
+            if mine != p {
+                return Some(Vote::Nok { ell: ell as u32, value: mine });
+            }
+        }
+        Some(Vote::Ok)
+    }
+
+    fn refresh_votes(&mut self, ctx: &mut Context<'_, Msg>) {
+        let counterparts: Vec<PartyId> = self.points_from.keys().copied().collect();
+        for j in counterparts {
+            if let Some(v) = self.compute_vote(j) {
+                self.votes.add_vote(ctx, j, v);
+            }
+        }
+    }
+
+    fn dealer_try_publish_wef(&mut self, ctx: &mut Context<'_, Msg>) {
+        if ctx.me != self.dealer || !self.distributed {
+            return;
+        }
+        let graph = self.votes.graph_regular();
+        let votes = &self.votes;
+        let bivariates = &self.bivariates;
+        let wef = dealer_compute_wef(
+            &self.params,
+            &graph,
+            |i| votes.regular_noks_of(i),
+            |i, j, ell, v| {
+                bivariates
+                    .get(ell as usize)
+                    .map_or(true, |b| v != b.evaluate(alpha(j), alpha(i)))
+            },
+        );
+        if let Some((w, e, f)) = wef {
+            let value = BcValue::Wef {
+                w: w.iter().map(|&x| x as u32).collect(),
+                e: e.iter().map(|&x| x as u32).collect(),
+                f: f.iter().map(|&x| x as u32).collect(),
+            };
+            if let Some(bc) = self.wef_bc.as_mut() {
+                ctx.scoped(SEG_WEF_BC, |ctx| bc.provide_input(ctx, value));
+            }
+        }
+    }
+
+    fn dealer_try_publish_star(&mut self, ctx: &mut Context<'_, Msg>) {
+        if ctx.me != self.dealer || self.star_published || self.ba_output != Some(true) {
+            return;
+        }
+        let graph = self.votes.graph_any();
+        if let Some((e, f)) = graph.find_star(self.params.ta, None) {
+            self.star_published = true;
+            let value = BcValue::Star {
+                e: e.iter().map(|&x| x as u32).collect(),
+                f: f.iter().map(|&x| x as u32).collect(),
+            };
+            let mut acast =
+                crate::acast::Acast::new_sender(self.dealer, self.params.n, self.params.ts, value);
+            ctx.scoped(SEG_STAR, |ctx| acast.init(ctx));
+            self.star_acast = Some(acast);
+        }
+    }
+
+    /// Attempts to produce the WPS-shares given the current state.
+    fn try_output(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.shares.is_some() {
+            return;
+        }
+        match self.ba_output {
+            Some(false) => {
+                // (W, E, F) path
+                let wef = self.accepted_wef.clone().or_else(|| {
+                    self.wef_bc.as_ref().and_then(|bc| bc.value()).and_then(decode_wef)
+                });
+                let Some((w, _e, f)) = wef else { return };
+                self.output_via(ctx, &w, &f);
+            }
+            Some(true) => {
+                // (n, t_a)-star path
+                let Some(star) =
+                    self.star_acast.as_ref().and_then(|a| a.output.as_ref()).and_then(decode_star)
+                else {
+                    return;
+                };
+                let (e, f) = star;
+                if !self.votes.graph_any().is_star(self.params.ta, &e, &f, None) {
+                    return;
+                }
+                self.output_via(ctx, &f, &f);
+            }
+            None => {}
+        }
+    }
+
+    /// Outputs directly if this party belongs to `direct_set` and holds its
+    /// rows, otherwise via OEC on the points received from the parties of
+    /// `support_set`.
+    fn output_via(&mut self, ctx: &mut Context<'_, Msg>, direct_set: &[PartyId], support_set: &[PartyId]) {
+        let me = ctx.me;
+        if direct_set.contains(&me) {
+            if let Some(rows) = &self.my_rows {
+                self.shares = Some(rows.iter().map(|r| r.constant_term()).collect());
+                self.output_at = Some(ctx.now);
+                return;
+            }
+        }
+        // OEC(t_s, t_s, ·) on the common points received from `support_set`
+        let ts = self.params.ts;
+        let mut shares = Vec::with_capacity(self.l_count);
+        for ell in 0..self.l_count {
+            let pts: Vec<(Fp, Fp)> = support_set
+                .iter()
+                .filter_map(|&j| {
+                    self.points_from.get(&j).and_then(|v| v.get(ell)).map(|&p| (alpha(j), p))
+                })
+                .collect();
+            match rs::oec_decode(ts, ts, &pts) {
+                Some(poly) => shares.push(poly.constant_term()),
+                None => return, // not enough consistent points yet
+            }
+        }
+        self.shares = Some(shares);
+        self.output_at = Some(ctx.now);
+    }
+
+    fn check_progress(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(ba) = &self.ba {
+            if self.ba_output.is_none() {
+                self.ba_output = ba.output;
+            }
+        }
+        self.dealer_try_publish_star(ctx);
+        self.try_output(ctx);
+    }
+}
+
+impl Protocol<Msg> for Wps {
+    fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.start = ctx.now;
+        if ctx.me == self.dealer {
+            if let Some(polys) = self.my_rows.take() {
+                self.distribute(ctx, polys);
+            }
+        }
+        ctx.set_timer(2 * ctx.delta, TIMER_VOTES);
+        ctx.set_timer(2 * ctx.delta + self.params.t_bc(), TIMER_WEF);
+        ctx.set_timer(2 * ctx.delta + 2 * self.params.t_bc(), TIMER_BA);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+        match path.first() {
+            None => match msg {
+                Msg::RowPolys(rows) if from == self.dealer && self.my_rows.is_none() => {
+                    self.my_rows =
+                        Some(rows.into_iter().map(Polynomial::from_coeffs).collect());
+                    self.schedule_point_sending(ctx);
+                    self.refresh_votes(ctx);
+                    self.check_progress(ctx);
+                }
+                Msg::Points(pts) => {
+                    self.points_from.entry(from).or_insert(pts);
+                    self.refresh_votes(ctx);
+                    self.check_progress(ctx);
+                }
+                _ => {}
+            },
+            Some(&SEG_WEF_BC) => {
+                if let Some(bc) = self.wef_bc.as_mut() {
+                    ctx.scoped(SEG_WEF_BC, |ctx| bc.on_message(ctx, from, &path[1..], msg));
+                } else {
+                    self.pending.push((SEG_WEF_BC, from, msg));
+                }
+                self.check_progress(ctx);
+            }
+            Some(&SEG_BA) => {
+                if let Some(ba) = self.ba.as_mut() {
+                    ctx.scoped(SEG_BA, |ctx| ba.on_message(ctx, from, &path[1..], msg));
+                } else {
+                    self.pending.push((SEG_BA, from, msg));
+                }
+                self.check_progress(ctx);
+            }
+            Some(&SEG_STAR) => {
+                let dealer = self.dealer;
+                let acast = self.star_acast.get_or_insert_with(|| {
+                    crate::acast::Acast::new(dealer, self.params.n, self.params.ts)
+                });
+                ctx.scoped(SEG_STAR, |ctx| acast.on_message(ctx, from, &path[1..], msg));
+                self.check_progress(ctx);
+            }
+            Some(&seg) if self.votes.owns_segment(seg) => {
+                self.votes.on_message(ctx, from, path, msg);
+                self.check_progress(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, path: PathSlice<'_>, id: u64) {
+        match path.first() {
+            None => match id {
+                TIMER_SEND_POINTS => self.send_points(ctx),
+                TIMER_VOTES => {
+                    self.refresh_votes(ctx);
+                    self.votes.start(ctx);
+                }
+                TIMER_WEF => {
+                    let mut bc = Bc::new(self.dealer, self.params.ts, self.params);
+                    ctx.scoped(SEG_WEF_BC, |ctx| bc.init(ctx));
+                    self.wef_bc = Some(bc);
+                    let pending = std::mem::take(&mut self.pending);
+                    for (seg, from, msg) in pending {
+                        if seg == SEG_WEF_BC {
+                            let bc = self.wef_bc.as_mut().expect("just created");
+                            ctx.scoped(SEG_WEF_BC, |ctx| bc.on_message(ctx, from, &[], msg));
+                        } else {
+                            self.pending.push((seg, from, msg));
+                        }
+                    }
+                    self.dealer_try_publish_wef(ctx);
+                }
+                TIMER_BA => {
+                    // acceptance check based on regular-mode votes
+                    let accepted = self
+                        .wef_bc
+                        .as_ref()
+                        .and_then(|bc| bc.regular_value())
+                        .and_then(decode_wef)
+                        .filter(|(w, e, f)| accept_wef(&self.params, &self.votes, w, e, f));
+                    self.accepted_wef = accepted.clone();
+                    let input = accepted.is_none(); // 0 = accepted, 1 = go for star
+                    let mut ba = Ba::new(self.params.ts, self.params, Some(input));
+                    ctx.scoped(SEG_BA, |ctx| ba.init(ctx));
+                    self.ba = Some(ba);
+                    let pending = std::mem::take(&mut self.pending);
+                    for (seg, from, msg) in pending {
+                        if seg == SEG_BA {
+                            let ba = self.ba.as_mut().expect("just created");
+                            ctx.scoped(SEG_BA, |ctx| ba.on_message(ctx, from, &[], msg));
+                        } else {
+                            self.pending.push((seg, from, msg));
+                        }
+                    }
+                    self.check_progress(ctx);
+                }
+                _ => {}
+            },
+            Some(&SEG_WEF_BC) => {
+                if let Some(bc) = self.wef_bc.as_mut() {
+                    ctx.scoped(SEG_WEF_BC, |ctx| bc.on_timer(ctx, &path[1..], id));
+                }
+                self.check_progress(ctx);
+            }
+            Some(&SEG_BA) => {
+                if let Some(ba) = self.ba.as_mut() {
+                    ctx.scoped(SEG_BA, |ctx| ba.on_timer(ctx, &path[1..], id));
+                }
+                self.check_progress(ctx);
+            }
+            Some(&SEG_STAR) => {
+                if let Some(acast) = self.star_acast.as_mut() {
+                    ctx.scoped(SEG_STAR, |ctx| acast.on_timer(ctx, &path[1..], id));
+                }
+            }
+            Some(&seg) if self.votes.owns_segment(seg) => {
+                self.votes.on_timer(ctx, path, id);
+                self.check_progress(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpc_net::{CorruptionSet, NetConfig, NetworkKind, Simulation};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_parties(params: Params, dealer: PartyId, polys: Vec<Polynomial>) -> Vec<Box<dyn Protocol<Msg>>> {
+        (0..params.n)
+            .map(|i| {
+                let w = if i == dealer {
+                    Wps::new_dealer(dealer, params, polys.clone())
+                } else {
+                    Wps::new(dealer, params, polys.len())
+                };
+                Box::new(w) as Box<dyn Protocol<Msg>>
+            })
+            .collect()
+    }
+
+    fn check_shares(sim: &Simulation<Msg>, params: Params, polys: &[Polynomial], corrupt: &CorruptionSet) {
+        for i in 0..params.n {
+            if corrupt.is_corrupt(i) {
+                continue;
+            }
+            let p = sim.party_as::<Wps>(i).unwrap();
+            let shares = p.shares.as_ref().expect("honest party must have shares");
+            for (ell, q) in polys.iter().enumerate() {
+                assert_eq!(shares[ell], q.evaluate(alpha(i)), "party {i}, poly {ell}");
+            }
+        }
+    }
+
+    #[test]
+    fn honest_dealer_sync_correctness_within_t_wps() {
+        let params = Params::new(4, 1, 0, 10);
+        let mut rng = StdRng::seed_from_u64(42);
+        let polys = vec![
+            Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(77)),
+            Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(99)),
+        ];
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n),
+            CorruptionSet::none(),
+            make_parties(params, 0, polys.clone()),
+        );
+        let done = sim.run_until(params.t_wps() + params.delta, |s| {
+            (0..params.n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
+        });
+        assert!(done, "WPS must complete within T_WPS in a synchronous network");
+        check_shares(&sim, params, &polys, &CorruptionSet::none());
+        for i in 0..params.n {
+            let at = sim.party_as::<Wps>(i).unwrap().output_at.unwrap();
+            assert!(at <= params.t_wps(), "output at {at} > T_WPS {}", params.t_wps());
+        }
+    }
+
+    #[test]
+    fn honest_dealer_async_eventual_correctness() {
+        let params = Params::new(5, 1, 1, 10);
+        let mut rng = StdRng::seed_from_u64(43);
+        let polys =
+            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(123))];
+        let corrupt = CorruptionSet::new(vec![4]);
+        let mut sim = Simulation::new(
+            NetConfig::asynchronous(params.n).with_seed(9),
+            corrupt.clone(),
+            make_parties(params, 0, polys.clone()),
+        );
+        let done = sim.run_until(50_000_000, |s| {
+            (0..params.n)
+                .filter(|&i| corrupt.is_honest(i))
+                .all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
+        });
+        assert!(done, "honest parties must eventually output in an asynchronous network");
+        check_shares(&sim, params, &polys, &corrupt);
+    }
+
+    #[test]
+    fn silent_dealer_produces_no_output() {
+        let params = Params::new(4, 1, 0, 10);
+        let parties: Vec<Box<dyn Protocol<Msg>>> = (0..params.n)
+            .map(|_| Box::new(Wps::new(0, params, 1)) as Box<dyn Protocol<Msg>>)
+            .collect();
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n),
+            CorruptionSet::new(vec![0]),
+            parties,
+        );
+        sim.run_to_quiescence(params.t_wps() * 3);
+        for i in 1..params.n {
+            assert!(sim.party_as::<Wps>(i).unwrap().shares.is_none());
+        }
+    }
+
+    #[test]
+    fn privacy_any_ts_shares_leak_nothing() {
+        // Structural privacy check backing Lemma 4.1: the shares of any t_s
+        // parties are insufficient to reconstruct the secret (the adversary's
+        // view — its t_s row polynomials — is consistent with every candidate
+        // secret by Lemma 2.2).
+        let params = Params::new(4, 1, 0, 10);
+        let mut rng = StdRng::seed_from_u64(44);
+        let polys =
+            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(5))];
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n),
+            CorruptionSet::none(),
+            make_parties(params, 2, polys),
+        );
+        let done = sim.run_until(params.t_wps() + params.delta, |s| {
+            (0..params.n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
+        });
+        assert!(done);
+        // any t_s shares alone do not determine the degree-t_s polynomial
+        let adversary_view: Vec<(usize, Fp)> = (0..params.ts)
+            .map(|i| (i, sim.party_as::<Wps>(i).unwrap().shares.as_ref().unwrap()[0]))
+            .collect();
+        assert!(mpc_algebra::shamir::reconstruct(params.ts, &adversary_view).is_none());
+    }
+
+    #[test]
+    fn works_in_async_network_for_both_network_kinds_same_code() {
+        // the same party code runs in both network kinds (best-of-both-worlds)
+        for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+            let params = Params::new(4, 1, 0, 10);
+            let mut rng = StdRng::seed_from_u64(45);
+            let polys =
+                vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(8))];
+            let cfg = match kind {
+                NetworkKind::Synchronous => NetConfig::synchronous(params.n),
+                NetworkKind::Asynchronous => NetConfig::asynchronous(params.n),
+            };
+            let mut sim = Simulation::new(cfg.with_seed(3), CorruptionSet::none(), make_parties(params, 1, polys.clone()));
+            let done = sim.run_until(50_000_000, |s| {
+                (0..params.n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
+            });
+            assert!(done, "{kind:?}");
+            check_shares(&sim, params, &polys, &CorruptionSet::none());
+        }
+    }
+}

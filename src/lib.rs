@@ -1,0 +1,33 @@
+//! # bobw-mpc — facade crate
+//!
+//! Re-exports the whole best-of-both-worlds MPC stack (PODC 2022,
+//! Appan–Chandramouli–Choudhury) under a single dependency.
+//!
+//! * [`algebra`] — finite field, polynomials, Shamir sharing, Reed–Solomon.
+//! * [`net`] — deterministic network simulator (synchronous / asynchronous).
+//! * [`protocols`] — A-cast, broadcast, Byzantine agreement, WPS, VSS, ACS.
+//! * [`core`] — Beaver triples, preprocessing and circuit evaluation.
+//!
+//! ```rust
+//! use bobw_mpc::core::{Circuit, MpcBuilder};
+//! use bobw_mpc::net::NetworkKind;
+//!
+//! // f(x1,..,x4) = x1*x2 + x3 + x4 over GF(2^61-1)
+//! let mut c = Circuit::new(4);
+//! let prod = c.mul(c.input(0), c.input(1));
+//! let s = c.add(c.input(2), c.input(3));
+//! let out = c.add(prod, s);
+//! c.set_output(out);
+//!
+//! let result = MpcBuilder::new(4, 1, 0)
+//!     .network(NetworkKind::Synchronous)
+//!     .inputs(&[3, 5, 7, 11])
+//!     .run(&c)
+//!     .expect("protocol run succeeds");
+//! assert_eq!(result.output.as_u64(), 3 * 5 + 7 + 11);
+//! ```
+
+pub use mpc_algebra as algebra;
+pub use mpc_core as core;
+pub use mpc_net as net;
+pub use mpc_protocols as protocols;

@@ -1,0 +1,84 @@
+//! Cross-crate integration tests: full `Π_CirEval` runs through the public
+//! facade, compared against cleartext evaluation, in both network models.
+
+use bobw_mpc::algebra::Fp;
+use bobw_mpc::core::{Circuit, MpcBuilder};
+use bobw_mpc::net::NetworkKind;
+
+fn inner_product(n: usize, weights: &[u64]) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut acc = c.constant(Fp::ZERO);
+    for i in 0..n {
+        let scaled = c.mul_const(c.input(i), Fp::from_u64(weights[i]));
+        acc = c.add(acc, scaled);
+    }
+    c.set_output(acc);
+    c
+}
+
+#[test]
+fn weighted_sum_matches_cleartext_in_both_networks() {
+    let n = 4;
+    let weights = [2u64, 3, 5, 7];
+    let inputs = [10u64, 20, 30, 40];
+    let circuit = inner_product(n, &weights);
+    let expected: u64 = weights.iter().zip(&inputs).map(|(w, x)| w * x).sum();
+    for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+        let result = MpcBuilder::new(n, 1, 0)
+            .network(kind)
+            .seed(100)
+            .inputs(&inputs)
+            .run(&circuit)
+            .expect("run completes");
+        assert_eq!(result.output.as_u64(), expected, "{kind:?}");
+        assert_eq!(result.input_subset.len(), n);
+    }
+}
+
+#[test]
+fn deep_multiplication_circuit_sync() {
+    let n = 4;
+    let circuit = Circuit::layered(n, 2, 3);
+    let inputs = [2u64, 3, 4, 5];
+    let expected = circuit.evaluate_clear(&inputs.map(Fp::from_u64));
+    let result = MpcBuilder::new(n, 1, 0)
+        .network(NetworkKind::Synchronous)
+        .inputs(&inputs)
+        .run(&circuit)
+        .expect("run completes");
+    assert_eq!(result.output, expected);
+}
+
+#[test]
+fn product_circuit_with_five_parties() {
+    let n = 5;
+    let circuit = Circuit::product_of_inputs(n);
+    let inputs = [2u64, 3, 4, 5, 6];
+    let result = MpcBuilder::new(n, 1, 0)
+        .network(NetworkKind::Synchronous)
+        .inputs(&inputs)
+        .run(&circuit)
+        .expect("run completes");
+    assert_eq!(result.output.as_u64(), 2 * 3 * 4 * 5 * 6);
+}
+
+#[test]
+fn outputs_are_deterministic_per_seed_and_differ_across_networks_in_timing_only() {
+    let n = 4;
+    let circuit = Circuit::product_of_inputs(n);
+    let inputs = [3u64, 3, 3, 3];
+    let run = |kind, seed| {
+        MpcBuilder::new(n, 1, 0)
+            .network(kind)
+            .seed(seed)
+            .inputs(&inputs)
+            .run(&circuit)
+            .expect("run completes")
+    };
+    let a = run(NetworkKind::Synchronous, 5);
+    let b = run(NetworkKind::Synchronous, 5);
+    assert_eq!(a.finished_at, b.finished_at, "same seed → identical execution");
+    assert_eq!(a.metrics.honest_bits, b.metrics.honest_bits);
+    let c = run(NetworkKind::Asynchronous, 5);
+    assert_eq!(a.output, c.output, "network kind affects timing, never the output");
+}

@@ -1,0 +1,63 @@
+//! Experiment E1 as an integration test: behaviour at the resilience
+//! boundary `3·t_s + t_a < n`, with crashed (silent Byzantine) parties.
+
+use bobw_mpc::core::thresholds::{resilience_table, thresholds_feasible};
+use bobw_mpc::core::{Circuit, MpcBuilder};
+use bobw_mpc::net::NetworkKind;
+
+#[test]
+fn feasibility_table_matches_paper_bounds() {
+    for row in resilience_table(4, 20) {
+        assert!(thresholds_feasible(row.n, row.bobw.0, row.bobw.1));
+        assert!(row.bobw.0 <= row.smpc_ts);
+        assert!(row.bobw.1 <= row.ampc_ta);
+        // increasing either threshold beyond the BoBW point breaks feasibility
+        assert!(
+            row.bobw.0 == row.bobw.1 || !thresholds_feasible(row.n, row.bobw.0, row.bobw.1 + 1)
+        );
+    }
+    // the paper's n = 8 example
+    let row8 = &resilience_table(8, 8)[0];
+    assert_eq!((row8.smpc_ts, row8.ampc_ta, row8.bobw), (2, 1, (2, 1)));
+}
+
+#[test]
+fn sync_run_tolerates_ts_crashes() {
+    // n = 4, t_s = 1: one crashed party, synchronous network.
+    let n = 4;
+    let circuit = Circuit::sum_of_inputs(n);
+    let result = MpcBuilder::new(n, 1, 0)
+        .network(NetworkKind::Synchronous)
+        .inputs(&[5, 6, 7, 1000])
+        .corrupt(&[3])
+        .run(&circuit)
+        .expect("must tolerate t_s = 1 crash in a synchronous network");
+    // the crashed party's input is excluded (defaults to 0)
+    assert_eq!(result.output.as_u64(), 5 + 6 + 7);
+    assert!(!result.input_subset.contains(&3));
+    assert!(result.input_subset.len() >= n - 1);
+}
+
+#[test]
+fn async_run_tolerates_ta_crashes() {
+    // n = 5, (t_s, t_a) = (1, 1): one crashed party, asynchronous network.
+    let n = 5;
+    let circuit = Circuit::sum_of_inputs(n);
+    let result = MpcBuilder::new(n, 1, 1)
+        .network(NetworkKind::Asynchronous)
+        .inputs(&[1, 2, 3, 4, 1000])
+        .corrupt(&[4])
+        .run(&circuit)
+        .expect("must tolerate t_a = 1 crash in an asynchronous network");
+    assert_eq!(result.output.as_u64(), 1 + 2 + 3 + 4);
+    assert!(result.input_subset.len() >= n - 1);
+}
+
+#[test]
+fn builder_refuses_thresholds_outside_the_feasible_region() {
+    // 3*1 + 1 = 4 is not < 4: the paper's bound is tight.
+    assert!(std::panic::catch_unwind(|| MpcBuilder::new(4, 1, 1)).is_err());
+    assert!(std::panic::catch_unwind(|| MpcBuilder::new(8, 2, 2)).is_err());
+    // but the documented operating points are accepted
+    assert!(std::panic::catch_unwind(|| MpcBuilder::new(8, 2, 1)).is_ok());
+}

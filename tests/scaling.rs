@@ -1,0 +1,93 @@
+//! Communication-scaling sanity checks backing the complexity claims of
+//! experiments E5–E7 (they are also printed as full series by the benchmark
+//! harness; here we assert the monotonicity/shape properties that must hold
+//! on every machine).
+
+use bobw_mpc::algebra::{Fp, Polynomial};
+use bobw_mpc::net::{CorruptionSet, NetConfig, Protocol, Simulation};
+use bobw_mpc::protocols::vss::Vss;
+use bobw_mpc::protocols::wps::Wps;
+use bobw_mpc::protocols::{Msg, Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn wps_bits(n: usize, l: usize) -> u64 {
+    let params = Params::max_thresholds(n, 10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let polys: Vec<Polynomial> = (0..l)
+        .map(|i| Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64)))
+        .collect();
+    let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+        .map(|i| {
+            let w = if i == 0 { Wps::new_dealer(0, params, polys.clone()) } else { Wps::new(0, params, l) };
+            Box::new(w) as Box<dyn Protocol<Msg>>
+        })
+        .collect();
+    let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties);
+    let done = sim.run_until(params.t_wps() * 4, |s| {
+        (0..n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
+    });
+    assert!(done);
+    sim.metrics().honest_bits
+}
+
+fn vss_bits(n: usize, l: usize) -> u64 {
+    let params = Params::max_thresholds(n, 10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let polys: Vec<Polynomial> = (0..l)
+        .map(|i| Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64)))
+        .collect();
+    let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+        .map(|i| {
+            let v = if i == 0 { Vss::new_dealer(0, params, polys.clone()) } else { Vss::new(0, params, l) };
+            Box::new(v) as Box<dyn Protocol<Msg>>
+        })
+        .collect();
+    let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties);
+    let done = sim.run_until(params.t_vss() * 4, |s| {
+        (0..n).all(|i| s.party_as::<Vss>(i).unwrap().shares.is_some())
+    });
+    assert!(done);
+    sim.metrics().honest_bits
+}
+
+#[test]
+fn wps_cost_is_affine_in_l() {
+    // Theorem 4.8: O(n² L + n⁴) — doubling L far less than doubles the cost
+    // for small L (the n⁴ term dominates), and the marginal cost per extra
+    // polynomial is roughly constant.
+    let n = 4;
+    let b1 = wps_bits(n, 1);
+    let b8 = wps_bits(n, 8);
+    let b16 = wps_bits(n, 16);
+    assert!(b8 > b1);
+    assert!(b16 > b8);
+    let marginal_low = (b8 - b1) as f64 / 7.0;
+    let marginal_high = (b16 - b8) as f64 / 8.0;
+    assert!(
+        (marginal_low - marginal_high).abs() / marginal_high < 0.5,
+        "per-polynomial marginal cost should be roughly constant: {marginal_low} vs {marginal_high}"
+    );
+    assert!(b16 < b1 * 16, "cost must be far from linear in L (fixed n⁴ term dominates)");
+}
+
+#[test]
+fn vss_costs_about_n_times_wps() {
+    // Π_VSS runs one Π_WPS instance per party plus the same vote/BA overhead:
+    // its cost must sit between n/2× and 3n× the single-WPS cost.
+    let n = 4;
+    let wps = wps_bits(n, 1) as f64;
+    let vss = vss_bits(n, 1) as f64;
+    let ratio = vss / wps;
+    assert!(
+        ratio > n as f64 / 2.0 && ratio < 3.0 * n as f64,
+        "VSS/WPS cost ratio {ratio:.1} should be around n = {n}"
+    );
+}
+
+#[test]
+fn communication_grows_with_n() {
+    // More parties → strictly more honest communication for the same task.
+    assert!(wps_bits(7, 1) > wps_bits(4, 1));
+    assert!(vss_bits(5, 1) > vss_bits(4, 1));
+}
