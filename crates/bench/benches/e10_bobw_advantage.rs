@@ -14,26 +14,43 @@ use mpc_core::Circuit;
 use mpc_net::NetworkKind;
 
 fn main() {
-    println!("# E10a — synchronous-network corruption tolerance: BoBW vs single-threshold baseline");
-    println!("{:>4} {:>22} {:>22}", "n", "baseline (t_s = t_a)", "BoBW t_s");
+    println!(
+        "# E10a — synchronous-network corruption tolerance: BoBW vs single-threshold baseline"
+    );
+    println!(
+        "{:>4} {:>22} {:>22}",
+        "n", "baseline (t_s = t_a)", "BoBW t_s"
+    );
     for row in resilience_table(4, 13) {
         println!("{:>4} {:>22} {:>22}", row.n, row.ampc_ta, row.bobw.0);
     }
     println!("(n = 8 reproduces the paper's motivating example: 1 vs 2)");
     println!();
 
-    println!("# E10b — responsiveness: same circuit, Δ-bounded synchronous vs fast asynchronous (δ ≪ Δ)");
+    println!(
+        "# E10b — responsiveness: same circuit, Δ-bounded synchronous vs fast asynchronous (δ ≪ Δ)"
+    );
     let n = 4;
     let circuit = Circuit::product_of_inputs(n);
     let (m_sync, out_sync) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 11);
     let (m_fast, out_fast) = run_cireval_fast_async(n, &circuit, 2, 11);
-    println!("synchronous  (delay = Δ = 10): simulated completion time {}", m_sync.completed_at);
-    println!("asynchronous (delay <= δ = 2): simulated completion time {}", m_fast.completed_at);
+    println!(
+        "synchronous  (delay = Δ = 10): simulated completion time {}",
+        m_sync.completed_at
+    );
+    println!(
+        "asynchronous (delay <= δ = 2): simulated completion time {}",
+        m_fast.completed_at
+    );
     println!(
         "outputs agree: {} — speed-up from responsiveness alone: {:.2}x",
         out_sync == out_fast,
         m_sync.completed_at as f64 / m_fast.completed_at as f64
     );
-    println!("(the asynchronous path is still bounded below by the protocol's fixed Δ-based time-outs");
-    println!(" for the broadcast phases, but every message-driven phase completes at network speed)");
+    println!(
+        "(the asynchronous path is still bounded below by the protocol's fixed Δ-based time-outs"
+    );
+    println!(
+        " for the broadcast phases, but every message-driven phase completes at network speed)"
+    );
 }

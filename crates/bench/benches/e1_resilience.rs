@@ -13,7 +13,10 @@ use mpc_net::NetworkKind;
 
 fn main() {
     println!("# E1 — resilience landscape (paper Section 1)");
-    println!("{:>4} {:>10} {:>10} {:>16}", "n", "SMPC t_s", "AMPC t_a", "BoBW (t_s,t_a)");
+    println!(
+        "{:>4} {:>10} {:>10} {:>16}",
+        "n", "SMPC t_s", "AMPC t_a", "BoBW (t_s,t_a)"
+    );
     for row in resilience_table(4, 16) {
         println!(
             "{:>4} {:>10} {:>10} {:>16}",

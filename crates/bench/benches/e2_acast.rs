@@ -5,7 +5,10 @@ use bench::run_acast;
 
 fn main() {
     println!("# E2 — Bracha A-cast: bits vs n and payload ℓ (claim: O(n^2 ℓ))");
-    println!("{:>4} {:>6} {:>12} {:>10} {:>12} {:>12}", "n", "ell", "bits", "msgs", "sim-time", "bits/(n²ℓ)");
+    println!(
+        "{:>4} {:>6} {:>12} {:>10} {:>12} {:>12}",
+        "n", "ell", "bits", "msgs", "sim-time", "bits/(n²ℓ)"
+    );
     for n in [4usize, 7, 10, 13] {
         for ell in [1usize, 16, 64] {
             let m = run_acast(n, ell);

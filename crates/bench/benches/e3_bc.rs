@@ -8,7 +8,10 @@ use mpc_protocols::Params;
 
 fn main() {
     println!("# E3 — Π_BC: bits and output time vs n (sync and async)");
-    println!("{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}", "n", "net", "bits", "msgs", "sim-time", "T_BC");
+    println!(
+        "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
+        "n", "net", "bits", "msgs", "sim-time", "T_BC"
+    );
     for n in [4usize, 7, 10] {
         let params = Params::max_thresholds(n, 10);
         for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
@@ -19,7 +22,12 @@ fn main() {
             };
             println!(
                 "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
-                n, tag, m.honest_bits, m.honest_messages, m.completed_at, params.t_bc()
+                n,
+                tag,
+                m.honest_bits,
+                m.honest_messages,
+                m.completed_at,
+                params.t_bc()
             );
         }
     }

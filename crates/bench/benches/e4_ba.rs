@@ -25,7 +25,11 @@ fn main() {
                     "{:>4} {:>10} {:>6} {:>12} {:>10} {:>12} {:>10}",
                     n,
                     if unanimous { "unanimous" } else { "mixed" },
-                    if kind == NetworkKind::Synchronous { "sync" } else { "async" },
+                    if kind == NetworkKind::Synchronous {
+                        "sync"
+                    } else {
+                        "async"
+                    },
                     m.honest_bits,
                     m.honest_messages,
                     m.completed_at,

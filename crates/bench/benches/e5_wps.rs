@@ -6,14 +6,22 @@ use mpc_protocols::Params;
 
 fn main() {
     println!("# E5 — Π_WPS: bits vs n and L");
-    println!("{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}", "n", "L", "bits", "msgs", "sim-time", "T_WPS");
+    println!(
+        "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
+        "n", "L", "bits", "msgs", "sim-time", "T_WPS"
+    );
     for n in [4usize, 7] {
         let params = Params::max_thresholds(n, 10);
         for l in [1usize, 8, 32] {
             let m = run_wps(n, l);
             println!(
                 "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
-                n, l, m.honest_bits, m.honest_messages, m.completed_at, params.t_wps()
+                n,
+                l,
+                m.honest_bits,
+                m.honest_messages,
+                m.completed_at,
+                params.t_wps()
             );
         }
     }

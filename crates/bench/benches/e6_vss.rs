@@ -6,16 +6,26 @@ use mpc_protocols::Params;
 
 fn main() {
     println!("# E6 — Π_VSS: bits vs n and L");
-    println!("{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}", "n", "L", "bits", "msgs", "sim-time", "T_VSS");
+    println!(
+        "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
+        "n", "L", "bits", "msgs", "sim-time", "T_VSS"
+    );
     for n in [4usize, 7] {
         let params = Params::max_thresholds(n, 10);
         for l in [1usize, 8] {
             let m = run_vss(n, l);
             println!(
                 "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
-                n, l, m.honest_bits, m.honest_messages, m.completed_at, params.t_vss()
+                n,
+                l,
+                m.honest_bits,
+                m.honest_messages,
+                m.completed_at,
+                params.t_vss()
             );
         }
     }
-    println!("(one VSS costs ≈ n× one WPS — compare with the E5 rows — matching the n-fold WPS fan-out)");
+    println!(
+        "(one VSS costs ≈ n× one WPS — compare with the E5 rows — matching the n-fold WPS fan-out)"
+    );
 }

@@ -10,7 +10,10 @@ use mpc_net::NetworkKind;
 
 fn main() {
     println!("# E8 — preprocessing: total bits vs number of multiplication gates c_M (n = 4)");
-    println!("{:>6} {:>12} {:>10} {:>12} {:>10}", "c_M", "bits", "msgs", "sim-time", "correct");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>10}",
+        "c_M", "bits", "msgs", "sim-time", "correct"
+    );
     let n = 4;
     for width in [1usize, 2, 4, 8] {
         let circuit = Circuit::layered(n, width, 1);

@@ -11,7 +11,10 @@ use mpc_net::NetworkKind;
 fn main() {
     let n = 4;
     println!("# E9a — completion time vs multiplicative depth D_M (n = 4, synchronous)");
-    println!("{:>6} {:>6} {:>12} {:>12} {:>10}", "D_M", "c_M", "sim-time", "bits", "correct");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>10}",
+        "D_M", "c_M", "sim-time", "bits", "correct"
+    );
     for depth in [1usize, 2, 4, 6] {
         let circuit = Circuit::layered(n, 2, depth);
         let (m, out) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 7);
@@ -26,7 +29,10 @@ fn main() {
     }
     println!();
     println!("# E9b — completion time vs n (product circuit, synchronous vs asynchronous)");
-    println!("{:>4} {:>6} {:>12} {:>12} {:>10}", "n", "net", "sim-time", "bits", "correct");
+    println!(
+        "{:>4} {:>6} {:>12} {:>12} {:>10}",
+        "n", "net", "sim-time", "bits", "correct"
+    );
     for n in [4usize, 5] {
         let circuit = Circuit::product_of_inputs(n);
         for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
@@ -34,7 +40,11 @@ fn main() {
             println!(
                 "{:>4} {:>6} {:>12} {:>12} {:>10}",
                 n,
-                if kind == NetworkKind::Synchronous { "sync" } else { "async" },
+                if kind == NetworkKind::Synchronous {
+                    "sync"
+                } else {
+                    "async"
+                },
                 m.completed_at,
                 m.honest_bits,
                 out == expected_clear(n, &circuit)
@@ -42,5 +52,7 @@ fn main() {
         }
     }
     println!("(E9a: sim-time grows by a constant number of Δ per extra multiplication layer,");
-    println!(" on top of a circuit-independent preprocessing term that dominates — the paper's shape)");
+    println!(
+        " on top of a circuit-independent preprocessing term that dominates — the paper's shape)"
+    );
 }

@@ -12,8 +12,12 @@ use rand::SeedableRng;
 fn bench_field(c: &mut Criterion) {
     let a = Fp::from_u64(123_456_789_123);
     let b = Fp::from_u64(987_654_321_987);
-    c.bench_function("field/mul", |bench| bench.iter(|| std::hint::black_box(a) * std::hint::black_box(b)));
-    c.bench_function("field/inverse", |bench| bench.iter(|| std::hint::black_box(a).inverse()));
+    c.bench_function("field/mul", |bench| {
+        bench.iter(|| std::hint::black_box(a) * std::hint::black_box(b))
+    });
+    c.bench_function("field/inverse", |bench| {
+        bench.iter(|| std::hint::black_box(a).inverse())
+    });
 }
 
 fn bench_poly(c: &mut Criterion) {
@@ -39,7 +43,11 @@ fn bench_bivariate_and_oec(c: &mut Criterion) {
     pts[2].1 += Fp::ONE;
     pts[9].1 += Fp::from_u64(7);
     c.bench_function("rs/oec_decode_d4_t4_2errors", |bench| {
-        bench.iter_batched(|| pts.clone(), |p| rs::oec_decode(4, 4, &p), BatchSize::SmallInput)
+        bench.iter_batched(
+            || pts.clone(),
+            |p| rs::oec_decode(4, 4, &p),
+            BatchSize::SmallInput,
+        )
     });
 }
 

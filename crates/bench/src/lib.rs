@@ -13,10 +13,8 @@
 use std::time::Instant;
 
 use mpc_algebra::{Fp, Polynomial};
-use mpc_core::{Circuit, CirEval, MpcBuilder};
-use mpc_net::{
-    CorruptionSet, NetConfig, NetworkKind, Protocol, Simulation, Time, UniformDelay,
-};
+use mpc_core::{CirEval, Circuit, MpcBuilder};
+use mpc_net::{CorruptionSet, NetConfig, NetworkKind, Protocol, Simulation, Time, UniformDelay};
 use mpc_protocols::acast::Acast;
 use mpc_protocols::acs::Acs;
 use mpc_protocols::ba::Ba;
@@ -68,8 +66,14 @@ pub fn run_acast(n: usize, ell: usize) -> Measurement {
             })
             .collect();
         let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::none(), parties);
-        sim.run_until(10_000, |s| (0..n).all(|i| s.party_as::<Acast>(i).unwrap().output.is_some()));
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        sim.run_until(10_000, |s| {
+            (0..n).all(|i| s.party_as::<Acast>(i).unwrap().output.is_some())
+        });
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -97,7 +101,11 @@ pub fn run_bc(n: usize, ell: usize, kind: NetworkKind) -> Measurement {
         sim.run_until(params.t_bc() * 20, |s| {
             (0..n).all(|i| s.party_as::<Bc>(i).unwrap().value().is_some())
         });
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -120,7 +128,11 @@ pub fn run_ba(n: usize, unanimous: bool, kind: NetworkKind) -> Measurement {
         sim.run_until(params.t_ba() * 50, |s| {
             (0..n).all(|i| s.party_as::<Ba>(i).unwrap().output.is_some())
         });
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -131,7 +143,9 @@ pub fn run_wps(n: usize, l: usize) -> Measurement {
     measure(|| {
         let mut rng = StdRng::seed_from_u64(1);
         let polys: Vec<Polynomial> = (0..l)
-            .map(|i| Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64)))
+            .map(|i| {
+                Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64))
+            })
             .collect();
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
             .map(|i| {
@@ -147,7 +161,11 @@ pub fn run_wps(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_wps() * 4, |s| {
             (0..n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
         });
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -158,7 +176,9 @@ pub fn run_vss(n: usize, l: usize) -> Measurement {
     measure(|| {
         let mut rng = StdRng::seed_from_u64(2);
         let polys: Vec<Polynomial> = (0..l)
-            .map(|i| Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64)))
+            .map(|i| {
+                Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64))
+            })
             .collect();
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
             .map(|i| {
@@ -174,7 +194,11 @@ pub fn run_vss(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_vss() * 4, |s| {
             (0..n).all(|i| s.party_as::<Vss>(i).unwrap().shares.is_some())
         });
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -188,7 +212,11 @@ pub fn run_acs(n: usize, l: usize) -> Measurement {
             .map(|i| {
                 let polys: Vec<Polynomial> = (0..l)
                     .map(|_| {
-                        Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(i as u64))
+                        Polynomial::random_with_constant_term(
+                            &mut rng,
+                            params.ts,
+                            Fp::from_u64(i as u64),
+                        )
                     })
                     .collect();
                 Box::new(Acs::new(params, polys)) as Box<dyn Protocol<Msg>>
@@ -198,7 +226,11 @@ pub fn run_acs(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_acs() * 6, |s| {
             (0..n).all(|i| s.party_as::<Acs>(i).unwrap().ready())
         });
-        (sim.metrics().honest_bits, sim.metrics().honest_messages, sim.now())
+        (
+            sim.metrics().honest_bits,
+            sim.metrics().honest_messages,
+            sim.now(),
+        )
     })
 }
 
@@ -233,13 +265,21 @@ pub fn run_cireval(
 /// Runs a full evaluation on an explicitly fast asynchronous network
 /// (actual delay `δ ≪ Δ`), used by experiment E10 to demonstrate
 /// responsiveness.
-pub fn run_cireval_fast_async(n: usize, circuit: &Circuit, max_delay: Time, seed: u64) -> (Measurement, Fp) {
+pub fn run_cireval_fast_async(
+    n: usize,
+    circuit: &Circuit,
+    max_delay: Time,
+    seed: u64,
+) -> (Measurement, Fp) {
     let params = Params::max_thresholds(n, 10);
     let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
     let start = Instant::now();
     let result = MpcBuilder::new(n, params.ts, params.ta)
         .network(NetworkKind::Asynchronous)
-        .scheduler(Box::new(UniformDelay { min: 1, max: max_delay }))
+        .scheduler(Box::new(UniformDelay {
+            min: 1,
+            max: max_delay,
+        }))
         .seed(seed)
         .inputs(&inputs)
         .run(circuit)

@@ -44,6 +44,8 @@ pub struct SymmetricBivariate {
 impl SymmetricBivariate {
     /// Samples a uniformly random `(degree, degree)`-degree symmetric
     /// bivariate polynomial.
+    // Index loops: every draw writes the mirrored pair (i,j) and (j,i).
+    #[allow(clippy::needless_range_loop)]
     pub fn random<R: Rng + ?Sized>(rng: &mut R, degree: usize) -> Self {
         let mut coeffs = vec![vec![Fp::ZERO; degree + 1]; degree + 1];
         for i in 0..=degree {
@@ -143,7 +145,7 @@ impl SymmetricBivariate {
         // For each x-power i, interpolate the polynomial in y through the
         // points (α_k, coeff_i(f_k)).
         let mut coeffs = vec![vec![Fp::ZERO; d + 1]; d + 1];
-        for i in 0..=d {
+        for (i, out_row) in coeffs.iter_mut().enumerate() {
             let pts: Vec<(Fp, Fp)> = use_rows
                 .iter()
                 .map(|(alpha, f)| (*alpha, f.coeffs().get(i).copied().unwrap_or(Fp::ZERO)))
@@ -152,8 +154,8 @@ impl SymmetricBivariate {
             if gi.degree() > d && !gi.is_zero() {
                 return None;
             }
-            for j in 0..=d {
-                coeffs[i][j] = gi.coeffs().get(j).copied().unwrap_or(Fp::ZERO);
+            for (j, v) in out_row.iter_mut().enumerate() {
+                *v = gi.coeffs().get(j).copied().unwrap_or(Fp::ZERO);
             }
         }
         let candidate = SymmetricBivariate { degree: d, coeffs };
@@ -197,7 +199,10 @@ mod tests {
         assert_eq!(f.secret_polynomial(), q);
         assert_eq!(f.secret(), Fp::from_u64(1234));
         for x in 1..10u64 {
-            assert_eq!(f.evaluate(Fp::ZERO, Fp::from_u64(x)), q.evaluate(Fp::from_u64(x)));
+            assert_eq!(
+                f.evaluate(Fp::ZERO, Fp::from_u64(x)),
+                q.evaluate(Fp::from_u64(x))
+            );
         }
     }
 
@@ -209,7 +214,10 @@ mod tests {
         let rows: Vec<(Fp, Polynomial)> = (0..n).map(|i| (alpha(i), f.row(alpha(i)))).collect();
         for (i, a) in rows.iter().enumerate() {
             for b in rows.iter().skip(i + 1) {
-                assert!(SymmetricBivariate::rows_consistent((a.0, &a.1), (b.0, &b.1)));
+                assert!(SymmetricBivariate::rows_consistent(
+                    (a.0, &a.1),
+                    (b.0, &b.1)
+                ));
             }
         }
     }
@@ -230,8 +238,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let d = 3;
         let f = SymmetricBivariate::random(&mut rng, d);
-        let rows: Vec<(Fp, Polynomial)> =
-            (0..d + 1).map(|i| (alpha(i), f.row(alpha(i)))).collect();
+        let rows: Vec<(Fp, Polynomial)> = (0..d + 1).map(|i| (alpha(i), f.row(alpha(i)))).collect();
         let g = SymmetricBivariate::interpolate_rows(d, &rows).expect("consistent rows");
         assert_eq!(f, g);
     }

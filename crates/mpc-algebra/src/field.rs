@@ -176,6 +176,8 @@ impl Div for Fp {
     /// # Panics
     /// Panics if `rhs` is zero.
     #[inline]
+    // Field division *is* multiplication by the inverse.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Fp) -> Fp {
         self * rhs.inverse().expect("division by zero in Fp")
     }

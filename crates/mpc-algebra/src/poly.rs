@@ -134,9 +134,12 @@ impl Polynomial {
                     let lower = num[k - 1];
                     num[k] = num[k] * (-xj) + lower;
                 }
-                num[0] = num[0] * (-xj);
+                num[0] *= -xj;
             }
-            let scale = yi * denom.inverse().expect("distinct points imply nonzero denom");
+            let scale = yi
+                * denom
+                    .inverse()
+                    .expect("distinct points imply nonzero denom");
             for k in 0..n {
                 result[k] += num[k] * scale;
             }
@@ -249,7 +252,7 @@ impl Polynomial {
     }
 
     fn trim(&mut self) {
-        while self.coeffs.last().map_or(false, |c| c.is_zero()) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
             self.coeffs.pop();
         }
     }

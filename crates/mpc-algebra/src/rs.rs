@@ -42,18 +42,20 @@ pub fn solve_linear_system(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
         };
         m.swap(rank, pivot_row);
         let inv = m[rank][col].inverse().expect("pivot is nonzero");
-        for c in col..=cols {
-            m[rank][c] = m[rank][c] * inv;
+        for v in &mut m[rank][col..] {
+            *v *= inv;
         }
-        for r in 0..rows {
-            if r != rank && !m[r][col].is_zero() {
-                let factor = m[r][col];
-                for c in col..=cols {
-                    let sub = factor * m[rank][c];
-                    m[r][c] = m[r][c] - sub;
+        // Take the pivot row out so eliminating the other rows doesn't alias it.
+        let pivot = std::mem::take(&mut m[rank]);
+        for (r, row) in m.iter_mut().enumerate() {
+            if r != rank && !row[col].is_zero() {
+                let factor = row[col];
+                for (v, p) in row.iter_mut().zip(&pivot).skip(col) {
+                    *v -= factor * *p;
                 }
             }
         }
+        m[rank] = pivot;
         pivot_cols.push(col);
         rank += 1;
         if rank == rows {
@@ -61,8 +63,8 @@ pub fn solve_linear_system(a: &[Vec<Fp>], b: &[Fp]) -> Option<Vec<Fp>> {
         }
     }
     // Inconsistent row: all zero coefficients but nonzero rhs.
-    for r in rank..rows {
-        if m[r][..cols].iter().all(|c| c.is_zero()) && !m[r][cols].is_zero() {
+    for row in &m[rank..] {
+        if row[..cols].iter().all(|c| c.is_zero()) && !row[cols].is_zero() {
             return None;
         }
     }
@@ -107,15 +109,15 @@ pub fn berlekamp_welch(d: usize, e: usize, points: &[(Fp, Fp)]) -> Option<Polyno
         let mut row = vec![Fp::ZERO; cols];
         // -y·(e_0 + e_1 x + ... + e_{e-1} x^{e-1}) + Q(x) = y·x^e
         let mut xp = Fp::ONE;
-        for j in 0..num_e {
-            row[j] = -(y * xp);
+        for v in &mut row[..num_e] {
+            *v = -(y * xp);
             xp *= x;
         }
         // xp is now x^e
         let rhs = y * xp;
         let mut xq = Fp::ONE;
-        for j in 0..num_q {
-            row[num_e + j] = xq;
+        for v in &mut row[num_e..] {
+            *v = xq;
             xq *= x;
         }
         a.push(row);
@@ -155,7 +157,7 @@ pub fn oec_decode(d: usize, t: usize, points: &[(Fp, Fp)]) -> Option<Polynomial>
     for e in 0..=max_errors {
         if let Some(f) = berlekamp_welch(d, e, points) {
             let agree = points.iter().filter(|&&(x, y)| f.evaluate(x) == y).count();
-            if agree >= d + t + 1 {
+            if agree > d + t {
                 return Some(f);
             }
         }
@@ -233,7 +235,9 @@ mod tests {
         let d = 2;
         let t = 1;
         let f = Polynomial::random(&mut rng, d);
-        let pts: Vec<(Fp, Fp)> = (0..d + t).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+        let pts: Vec<(Fp, Fp)> = (0..d + t)
+            .map(|i| (alpha(i), f.evaluate(alpha(i))))
+            .collect();
         assert!(oec_decode(d, t, &pts).is_none());
     }
 
@@ -245,7 +249,7 @@ mod tests {
         let f = Polynomial::random(&mut rng, d);
         // 7 points, one corrupted: d + t + 1 = 5 honest agreeing points exist.
         let mut pts: Vec<(Fp, Fp)> = (0..7).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
-        pts[3].1 = pts[3].1 + fp(7);
+        pts[3].1 += fp(7);
         assert_eq!(oec_decode(d, t, &pts).unwrap(), f);
     }
 

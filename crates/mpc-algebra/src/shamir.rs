@@ -187,7 +187,12 @@ mod tests {
         let a = share(&mut rng, fp(10), d, n);
         let b = share(&mut rng, fp(32), d, n);
         let combined: Vec<(usize, Fp)> = (0..n)
-            .map(|i| (i, linear::add(linear::scale(fp(3), a.shares[i]), b.shares[i])))
+            .map(|i| {
+                (
+                    i,
+                    linear::add(linear::scale(fp(3), a.shares[i]), b.shares[i]),
+                )
+            })
             .collect();
         assert_eq!(reconstruct(d, &combined).unwrap(), fp(3 * 10 + 32));
     }

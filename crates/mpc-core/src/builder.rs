@@ -177,7 +177,12 @@ impl MpcBuilder {
                 }
             })
             .collect();
-        let cfg = NetConfig { n, delta: self.delta, kind: self.network, seed: self.seed };
+        let cfg = NetConfig {
+            n,
+            delta: self.delta,
+            kind: self.network,
+            seed: self.seed,
+        };
         let mut sim = match self.scheduler {
             Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
             None => Simulation::new(cfg, corrupt.clone(), parties),
@@ -186,24 +191,30 @@ impl MpcBuilder {
         let done = sim.run_until(horizon, |s| {
             (0..n)
                 .filter(|&i| corrupt.is_honest(i))
-                .all(|i| s.party_as::<CirEval>(i).map_or(false, |p| p.output.is_some()))
+                .all(|i| s.party_as::<CirEval>(i).is_some_and(|p| p.output.is_some()))
         });
         if !done {
             return Err(RunError {
                 message: format!("honest parties did not terminate within horizon {horizon}"),
             });
         }
-        let outputs: Vec<Option<Fp>> =
-            (0..n).map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.output)).collect();
+        let outputs: Vec<Option<Fp>> = (0..n)
+            .map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.output))
+            .collect();
         let honest_outputs: Vec<Fp> = (0..n)
             .filter(|&i| corrupt.is_honest(i))
             .map(|i| outputs[i].expect("checked by predicate"))
             .collect();
         if honest_outputs.windows(2).any(|w| w[0] != w[1]) {
-            return Err(RunError { message: "honest parties disagree on the output".to_string() });
+            return Err(RunError {
+                message: "honest parties disagree on the output".to_string(),
+            });
         }
         let input_subset = (0..n)
-            .find_map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.input_subset.clone()))
+            .find_map(|i| {
+                sim.party_as::<CirEval>(i)
+                    .and_then(|p| p.input_subset.clone())
+            })
             .unwrap_or_default();
         Ok(MpcRunResult {
             output: honest_outputs[0],
@@ -245,9 +256,8 @@ mod tests {
     #[test]
     fn builder_rejects_wrong_input_count() {
         let c = Circuit::sum_of_inputs(4);
-        let result = std::panic::catch_unwind(|| {
-            MpcBuilder::new(4, 1, 0).inputs(&[1, 2, 3]).run(&c)
-        });
+        let result =
+            std::panic::catch_unwind(|| MpcBuilder::new(4, 1, 0).inputs(&[1, 2, 3]).run(&c));
         assert!(result.is_err());
     }
 }

@@ -59,7 +59,11 @@ impl Circuit {
     /// Creates a circuit with `n_inputs` input wires (one per party).
     pub fn new(n_inputs: usize) -> Self {
         let gates = (0..n_inputs).map(Gate::Input).collect();
-        Circuit { n_inputs, gates, output: None }
+        Circuit {
+            n_inputs,
+            gates,
+            output: None,
+        }
     }
 
     /// Number of inputs.
@@ -132,7 +136,10 @@ impl Circuit {
 
     /// Number of multiplication gates `c_M`.
     pub fn mult_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Mul(_, _))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Mul(_, _)))
+            .count()
     }
 
     /// The multiplicative depth `D_M` and per-gate multiplication layer

@@ -188,11 +188,16 @@ impl CirEval {
     /// My share of `X(target)` (resp. `Y`) of the per-dealer transformed
     /// triple polynomials, defined by the first `t_s + 1` raw triples.
     fn dealer_xy_share(&self, dpos: usize, batch: usize, target: Fp) -> (Fp, Fp) {
-        let pts_a: Vec<(Fp, Fp)> =
-            (0..=self.ts()).map(|i| (alpha(i), self.raw_triple(dpos, batch, i).a)).collect();
-        let pts_b: Vec<(Fp, Fp)> =
-            (0..=self.ts()).map(|i| (alpha(i), self.raw_triple(dpos, batch, i).b)).collect();
-        (interpolate_share(&pts_a, target), interpolate_share(&pts_b, target))
+        let pts_a: Vec<(Fp, Fp)> = (0..=self.ts())
+            .map(|i| (alpha(i), self.raw_triple(dpos, batch, i).a))
+            .collect();
+        let pts_b: Vec<(Fp, Fp)> = (0..=self.ts())
+            .map(|i| (alpha(i), self.raw_triple(dpos, batch, i).b))
+            .collect();
+        (
+            interpolate_share(&pts_a, target),
+            interpolate_share(&pts_b, target),
+        )
     }
 
     /// My share of `Z(target)` of the per-dealer transformed triple
@@ -211,7 +216,12 @@ impl CirEval {
         interpolate_share(&pts, target)
     }
 
-    fn verification_triple(&self, sup: PartyId, batch: usize, dealer_party: PartyId) -> TripleShare {
+    fn verification_triple(
+        &self,
+        sup: PartyId,
+        batch: usize,
+        dealer_party: PartyId,
+    ) -> TripleShare {
         let acs = self.acs_triples.as_ref().expect("phase after ACS");
         let shares = acs.shares_from(sup).expect("supervisor is in CS2");
         TripleShare::new(
@@ -248,7 +258,9 @@ impl CirEval {
     }
 
     fn drive_await_acs(&mut self, ctx: &mut Context<'_, Msg>) {
-        let (Some(acs1), Some(acs2)) = (&self.acs_input, &self.acs_triples) else { return };
+        let (Some(acs1), Some(acs2)) = (&self.acs_input, &self.acs_triples) else {
+            return;
+        };
         if !acs1.ready() || !acs2.ready() {
             return;
         }
@@ -257,13 +269,25 @@ impl CirEval {
         self.input_subset = Some(cs1.clone());
         // input shares: default 0-sharing for parties outside CS1
         self.input_shares = (0..self.params.n)
-            .map(|j| if cs1.contains(&j) { acs1.shares_from(j).expect("in CS")[0] } else { Fp::ZERO })
+            .map(|j| {
+                if cs1.contains(&j) {
+                    acs1.shares_from(j).expect("in CS")[0]
+                } else {
+                    Fp::ZERO
+                }
+            })
             .collect();
         self.supervisors = cs2.clone();
         self.dealers = cs2.iter().copied().take(2 * self.d_ext + 1).collect();
         // cache my shares of every dealer's raw triples
         for (dpos, &dealer) in self.dealers.iter().enumerate() {
-            let shares = self.acs_triples.as_ref().unwrap().shares_from(dealer).unwrap().clone();
+            let shares = self
+                .acs_triples
+                .as_ref()
+                .unwrap()
+                .shares_from(dealer)
+                .unwrap()
+                .clone();
             for batch in 0..self.batches {
                 for k in 0..self.raw_per_dealer() {
                     let t = TripleShare::new(
@@ -427,11 +451,16 @@ impl CirEval {
     /// (degree `d`, defined by the verified triples of the first `d + 1`
     /// dealer positions).
     fn ext_xy_share(&self, batch: usize, target: Fp) -> (Fp, Fp) {
-        let pts_a: Vec<(Fp, Fp)> =
-            (0..=self.d_ext).map(|p| (alpha(p), self.verified[&(p, batch)].a)).collect();
-        let pts_b: Vec<(Fp, Fp)> =
-            (0..=self.d_ext).map(|p| (alpha(p), self.verified[&(p, batch)].b)).collect();
-        (interpolate_share(&pts_a, target), interpolate_share(&pts_b, target))
+        let pts_a: Vec<(Fp, Fp)> = (0..=self.d_ext)
+            .map(|p| (alpha(p), self.verified[&(p, batch)].a))
+            .collect();
+        let pts_b: Vec<(Fp, Fp)> = (0..=self.d_ext)
+            .map(|p| (alpha(p), self.verified[&(p, batch)].b))
+            .collect();
+        (
+            interpolate_share(&pts_a, target),
+            interpolate_share(&pts_b, target),
+        )
     }
 
     fn ext_z_share(&self, batch: usize, target: Fp) -> Fp {
@@ -491,7 +520,10 @@ impl CirEval {
                 next += 1;
             }
         }
-        assert!(next <= self.pool.len(), "triple pool must cover every multiplication gate");
+        assert!(
+            next <= self.pool.len(),
+            "triple pool must cover every multiplication gate"
+        );
         self.phase = Phase::Circuit;
         self.drive_circuit(ctx);
     }
@@ -554,7 +586,11 @@ impl CirEval {
 
     fn drive_open_output(&mut self, ctx: &mut Context<'_, Msg>) {
         let ts = self.ts();
-        let Some(y) = self.openings.try_reconstruct(TAG_OUTPUT, 1, ts, ts).cloned() else {
+        let Some(y) = self
+            .openings
+            .try_reconstruct(TAG_OUTPUT, 1, ts, ts)
+            .cloned()
+        else {
             return;
         };
         self.phase = Phase::Ready;
@@ -568,11 +604,11 @@ impl CirEval {
     fn drive_ready(&mut self, ctx: &mut Context<'_, Msg>) {
         let ts = self.ts();
         for (y, senders) in self.ready_counts.clone() {
-            if senders.len() >= ts + 1 && !self.sent_ready {
+            if senders.len() > ts && !self.sent_ready {
                 self.sent_ready = true;
                 ctx.send_all(Msg::Ready(vec![y]));
             }
-            if senders.len() >= 2 * ts + 1 && self.output.is_none() {
+            if senders.len() > 2 * ts && self.output.is_none() {
                 self.output = Some(y);
                 self.output_at = Some(ctx.now);
                 self.phase = Phase::Done;
@@ -616,16 +652,26 @@ impl Protocol<Msg> for CirEval {
         self.acs_triples = Some(acs2);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         match path.first() {
             Some(&SEG_ACS_INPUT) => {
                 if let Some(acs) = self.acs_input.as_mut() {
-                    ctx.scoped(SEG_ACS_INPUT, |ctx| acs.on_message(ctx, from, &path[1..], msg));
+                    ctx.scoped(SEG_ACS_INPUT, |ctx| {
+                        acs.on_message(ctx, from, &path[1..], msg)
+                    });
                 }
             }
             Some(&SEG_ACS_TRIPLES) => {
                 if let Some(acs) = self.acs_triples.as_mut() {
-                    ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs.on_message(ctx, from, &path[1..], msg));
+                    ctx.scoped(SEG_ACS_TRIPLES, |ctx| {
+                        acs.on_message(ctx, from, &path[1..], msg)
+                    });
                 }
             }
             None => match msg {
@@ -687,16 +733,21 @@ mod tests {
                     as Box<dyn Protocol<Msg>>
             })
             .collect();
-        let cfg = if sync { NetConfig::synchronous(params.n) } else { NetConfig::asynchronous(params.n) }
-            .with_seed(seed);
+        let cfg = if sync {
+            NetConfig::synchronous(params.n)
+        } else {
+            NetConfig::asynchronous(params.n)
+        }
+        .with_seed(seed);
         let mut sim = Simulation::with_scheduler(
             cfg.clone(),
             corrupt.clone(),
             match cfg.kind {
                 mpc_net::NetworkKind::Synchronous => Box::new(mpc_net::FixedDelay(cfg.delta)),
-                mpc_net::NetworkKind::Asynchronous => {
-                    Box::new(mpc_net::UniformDelay { min: 1, max: cfg.delta * 5 })
-                }
+                mpc_net::NetworkKind::Asynchronous => Box::new(mpc_net::UniformDelay {
+                    min: 1,
+                    max: cfg.delta * 5,
+                }),
             },
             parties,
         );
@@ -707,7 +758,9 @@ mod tests {
                 .all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
         });
         assert!(done, "circuit evaluation did not finish before the horizon");
-        let outs = (0..params.n).map(|i| sim.party_as::<CirEval>(i).unwrap().output).collect();
+        let outs = (0..params.n)
+            .map(|i| sim.party_as::<CirEval>(i).unwrap().output)
+            .collect();
         (outs, sim.now())
     }
 
@@ -759,13 +812,15 @@ mod tests {
             })
             .collect();
         let corrupt = CorruptionSet::new(vec![3]);
-        let mut sim =
-            Simulation::new(NetConfig::synchronous(params.n), corrupt.clone(), parties);
+        let mut sim = Simulation::new(NetConfig::synchronous(params.n), corrupt.clone(), parties);
         let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
         let done = sim.run_until(horizon, |s| {
             (0..3).all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
         });
-        assert!(done, "honest parties must finish despite a silent corrupt party");
+        assert!(
+            done,
+            "honest parties must finish despite a silent corrupt party"
+        );
         // the silent party's input is replaced by 0 → product is 0
         for i in 0..3 {
             let p = sim.party_as::<CirEval>(i).unwrap();

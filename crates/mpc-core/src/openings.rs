@@ -34,18 +34,31 @@ impl OpeningManager {
             return;
         }
         self.my_batches.insert(tag, my_shares.len());
-        ctx.send_all(Msg::Open { tag, values: my_shares });
+        ctx.send_all(Msg::Open {
+            tag,
+            values: my_shares,
+        });
     }
 
     /// Records a received `Open` message.
     pub fn on_open(&mut self, from: PartyId, tag: u32, values: Vec<Fp>) {
-        self.received.entry(tag).or_default().entry(from).or_insert(values);
+        self.received
+            .entry(tag)
+            .or_default()
+            .entry(from)
+            .or_insert(values);
     }
 
     /// Attempts to reconstruct the batch under `tag` (containing `count`
     /// values, each shared with degree `degree` and at most `t` corrupt
     /// shares). Results are cached once successful.
-    pub fn try_reconstruct(&mut self, tag: u32, count: usize, degree: usize, t: usize) -> Option<&Vec<Fp>> {
+    pub fn try_reconstruct(
+        &mut self,
+        tag: u32,
+        count: usize,
+        degree: usize,
+        t: usize,
+    ) -> Option<&Vec<Fp>> {
         if !self.opened.contains_key(&tag) {
             let received = self.received.get(&tag)?;
             let mut out = Vec::with_capacity(count);

@@ -33,7 +33,12 @@ pub fn resilience_table(n_min: usize, n_max: usize) -> Vec<ResilienceRow> {
                 .into_iter()
                 .max_by_key(|&(ts, ta)| (ts, ta))
                 .unwrap_or((0, 0));
-            ResilienceRow { n, smpc_ts, ampc_ta, bobw }
+            ResilienceRow {
+                n,
+                smpc_ts,
+                ampc_ta,
+                bobw,
+            }
         })
         .collect()
 }

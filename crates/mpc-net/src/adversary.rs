@@ -16,7 +16,9 @@ pub struct CorruptionSet {
 impl CorruptionSet {
     /// No corruptions.
     pub fn none() -> Self {
-        CorruptionSet { corrupt: Vec::new() }
+        CorruptionSet {
+            corrupt: Vec::new(),
+        }
     }
 
     /// Corrupts exactly the listed parties.
@@ -28,12 +30,16 @@ impl CorruptionSet {
 
     /// Corrupts the first `t` parties (`P_1 … P_t`) — convenient for tests.
     pub fn first(t: usize) -> Self {
-        CorruptionSet { corrupt: (0..t).collect() }
+        CorruptionSet {
+            corrupt: (0..t).collect(),
+        }
     }
 
     /// Corrupts the last `t` of `n` parties.
     pub fn last(n: usize, t: usize) -> Self {
-        CorruptionSet { corrupt: (n.saturating_sub(t)..n).collect() }
+        CorruptionSet {
+            corrupt: (n.saturating_sub(t)..n).collect(),
+        }
     }
 
     /// Is `p` corrupt?
@@ -75,7 +81,7 @@ pub fn feasible_threshold_pairs(n: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut ts = 0usize;
     while 3 * ts < n {
-        if 3 * ts + 0 < n {
+        if (3 * ts) < n {
             let max_ta = (n - 1 - 3 * ts).min(ts);
             out.push((ts, max_ta));
         }

@@ -62,7 +62,10 @@ pub struct Effects<M> {
 impl<M> Effects<M> {
     /// An empty effect set.
     pub fn new() -> Self {
-        Effects { sends: Vec::new(), timers: Vec::new() }
+        Effects {
+            sends: Vec::new(),
+            timers: Vec::new(),
+        }
     }
 }
 
@@ -99,7 +102,16 @@ impl<'a, M> Context<'a, M> {
         rng: &'a mut StdRng,
         coin_seed: u64,
     ) -> Self {
-        Context { me, n, now, delta, path: Vec::new(), effects, rng, coin_seed }
+        Context {
+            me,
+            n,
+            now,
+            delta,
+            path: Vec::new(),
+            effects,
+            rng,
+            coin_seed,
+        }
     }
 
     /// The instance path of the code currently executing.
@@ -126,7 +138,9 @@ impl<'a, M> Context<'a, M> {
     /// Requests a timer that fires after `delay` local time units, delivered
     /// back to the current instance path with the given `timer_id`.
     pub fn set_timer(&mut self, delay: Time, timer_id: u64) {
-        self.effects.timers.push((delay, self.path.clone(), timer_id));
+        self.effects
+            .timers
+            .push((delay, self.path.clone(), timer_id));
     }
 
     /// Requests a timer that fires at the next local time that is an exact
@@ -135,7 +149,11 @@ impl<'a, M> Context<'a, M> {
     /// already a multiple of `Δ`, the timer fires after a full `Δ`.
     pub fn set_timer_next_delta_multiple(&mut self, timer_id: u64) {
         let rem = self.now % self.delta;
-        let delay = if rem == 0 { self.delta } else { self.delta - rem };
+        let delay = if rem == 0 {
+            self.delta
+        } else {
+            self.delta - rem
+        };
         self.set_timer(delay, timer_id);
     }
 
@@ -247,7 +265,9 @@ mod tests {
         let b = c2.scoped(3, |c| c.common_coin(2));
         assert_eq!(a, b);
         // different rounds give (eventually) different coins
-        let coins: Vec<bool> = (0..64).map(|r| c1.scoped(3, |c| c.common_coin(r))).collect();
+        let coins: Vec<bool> = (0..64)
+            .map(|r| c1.scoped(3, |c| c.common_coin(r)))
+            .collect();
         assert!(coins.iter().any(|&c| c) && coins.iter().any(|&c| !c));
     }
 }

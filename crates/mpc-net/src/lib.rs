@@ -35,4 +35,7 @@ pub use adversary::CorruptionSet;
 pub use context::{Context, Effects, Path, PathSlice, Protocol};
 pub use metrics::Metrics;
 pub use scheduler::{AsyncScheduler, FixedDelay, Scheduler, SkewedAsyncScheduler, UniformDelay};
-pub use simulation::{MessageSize, NetConfig, NetworkKind, PartyId, Simulation, Time};
+pub use simulation::{
+    MessageSize, NetConfig, NetworkKind, PartyId, Simulation, Time, TranscriptEntry,
+    TranscriptEvent,
+};

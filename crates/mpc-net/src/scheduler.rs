@@ -139,7 +139,11 @@ mod tests {
 
     #[test]
     fn skewed_scheduler_targets_senders() {
-        let mut s = SkewedAsyncScheduler { slowed_senders: vec![3], lag: 1000, fast: 5 };
+        let mut s = SkewedAsyncScheduler {
+            slowed_senders: vec![3],
+            lag: 1000,
+            fast: 5,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(s.delay(3, 0, 0, &mut rng), 1000);
         assert!(s.delay(1, 0, 0, &mut rng) <= 5);
@@ -147,7 +151,11 @@ mod tests {
 
     #[test]
     fn async_scheduler_produces_both_fast_and_slow() {
-        let mut s = AsyncScheduler { fast: 5, slow: 500, slow_prob_percent: 50 };
+        let mut s = AsyncScheduler {
+            fast: 5,
+            slow: 500,
+            slow_prob_percent: 50,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let delays: Vec<Time> = (0..200).map(|_| s.delay(0, 1, 0, &mut rng)).collect();
         assert!(delays.iter().any(|&d| d <= 5));

@@ -51,13 +51,23 @@ pub struct NetConfig {
 impl NetConfig {
     /// A synchronous network of `n` parties with `Δ = 10` ticks.
     pub fn synchronous(n: usize) -> Self {
-        NetConfig { n, delta: 10, kind: NetworkKind::Synchronous, seed: 0xB0B5 }
+        NetConfig {
+            n,
+            delta: 10,
+            kind: NetworkKind::Synchronous,
+            seed: 0xB0B5,
+        }
     }
 
     /// An asynchronous network of `n` parties (the protocol still believes
     /// `Δ = 10` when computing its time-outs — that belief is simply wrong).
     pub fn asynchronous(n: usize) -> Self {
-        NetConfig { n, delta: 10, kind: NetworkKind::Asynchronous, seed: 0xB0B5 }
+        NetConfig {
+            n,
+            delta: 10,
+            kind: NetworkKind::Asynchronous,
+            seed: 0xB0B5,
+        }
     }
 
     /// Replaces the master seed.
@@ -75,8 +85,53 @@ impl NetConfig {
 
 #[derive(Debug)]
 enum EventKind<M> {
-    Deliver { to: PartyId, from: PartyId, path: Path, msg: M },
-    Timer { party: PartyId, path: Path, id: u64 },
+    Deliver {
+        to: PartyId,
+        from: PartyId,
+        path: Path,
+        msg: M,
+    },
+    Timer {
+        party: PartyId,
+        path: Path,
+        id: u64,
+    },
+}
+
+/// One processed event, as recorded by [`Simulation::record_transcript`].
+///
+/// Message payloads are summarised by their wire size; together with the
+/// delivery order, times and instance paths this fingerprints an execution
+/// tightly enough to assert replay determinism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// Simulated time at which the event was processed.
+    pub at: Time,
+    /// The party that handled the event.
+    pub party: PartyId,
+    /// What happened.
+    pub event: TranscriptEvent,
+}
+
+/// The observable payload of a [`TranscriptEntry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranscriptEvent {
+    /// A message delivery.
+    Deliver {
+        /// Sending party.
+        from: PartyId,
+        /// Instance path the message was routed to.
+        path: Path,
+        /// Wire size of the payload ([`MessageSize::size_bits`]).
+        bits: u64,
+    },
+    /// A timer expiry.
+    Timer {
+        /// Instance path owning the timer.
+        path: Path,
+        /// Timer id within that instance.
+        id: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -134,6 +189,7 @@ pub struct Simulation<M> {
     metrics: Metrics,
     coin_seed: u64,
     initialized: bool,
+    transcript: Option<Vec<TranscriptEntry>>,
 }
 
 impl<M: Clone + MessageSize + 'static> Simulation<M> {
@@ -147,9 +203,10 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
     ) -> Self {
         let scheduler: Box<dyn Scheduler> = match config.kind {
             NetworkKind::Synchronous => Box::new(FixedDelay(config.delta)),
-            NetworkKind::Asynchronous => {
-                Box::new(UniformDelay { min: 1, max: config.delta * 20 })
-            }
+            NetworkKind::Asynchronous => Box::new(UniformDelay {
+                min: 1,
+                max: config.delta * 20,
+            }),
         };
         Self::with_scheduler(config, corruption, scheduler, parties)
     }
@@ -165,7 +222,11 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
         scheduler: Box<dyn Scheduler>,
         parties: Vec<Box<dyn Protocol<M>>>,
     ) -> Self {
-        assert_eq!(parties.len(), config.n, "need exactly one root protocol per party");
+        assert_eq!(
+            parties.len(),
+            config.n,
+            "need exactly one root protocol per party"
+        );
         let rngs = (0..config.n)
             .map(|i| StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
             .collect();
@@ -184,7 +245,20 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
             metrics: Metrics::new(),
             coin_seed,
             initialized: false,
+            transcript: None,
         }
+    }
+
+    /// Starts recording every processed event; call before running. Off by
+    /// default because full transcripts of large runs are memory-heavy.
+    pub fn record_transcript(&mut self) {
+        self.transcript.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded transcript (empty unless [`Simulation::record_transcript`]
+    /// was called before running).
+    pub fn transcript(&self) -> &[TranscriptEntry] {
+        self.transcript.as_deref().unwrap_or(&[])
     }
 
     /// The configuration the simulation was built with.
@@ -252,8 +326,39 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
         debug_assert!(ev.at >= self.now, "time must be monotone");
         self.now = ev.at;
         self.metrics.events_processed += 1;
+        if let Some(transcript) = &mut self.transcript {
+            transcript.push(match &ev.kind {
+                EventKind::Deliver {
+                    to,
+                    from,
+                    path,
+                    msg,
+                } => TranscriptEntry {
+                    at: ev.at,
+                    party: *to,
+                    event: TranscriptEvent::Deliver {
+                        from: *from,
+                        path: path.clone(),
+                        bits: msg.size_bits(),
+                    },
+                },
+                EventKind::Timer { party, path, id } => TranscriptEntry {
+                    at: ev.at,
+                    party: *party,
+                    event: TranscriptEvent::Timer {
+                        path: path.clone(),
+                        id: *id,
+                    },
+                },
+            });
+        }
         let (party, effects) = match ev.kind {
-            EventKind::Deliver { to, from, path, msg } => {
+            EventKind::Deliver {
+                to,
+                from,
+                path,
+                msg,
+            } => {
                 let mut effects = Effects::new();
                 {
                     let mut ctx = Context::new(
@@ -322,11 +427,13 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
         let honest = self.corruption.is_honest(sender);
         for (to, path, msg) in effects.sends {
             let bits = msg.size_bits();
-            self.metrics.record_send(honest, bits, path.first().copied());
+            self.metrics
+                .record_send(honest, bits, path.first().copied());
             let delay = if to == sender {
                 0
             } else {
-                self.scheduler.delay(sender, to, self.now, &mut self.sched_rng)
+                self.scheduler
+                    .delay(sender, to, self.now, &mut self.sched_rng)
             };
             self.seq += 1;
             self.queue.push(Reverse(Event {
@@ -334,7 +441,12 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
                 rank: 0,
                 depth: path.len(),
                 seq: self.seq,
-                kind: EventKind::Deliver { to, from: sender, path, msg },
+                kind: EventKind::Deliver {
+                    to,
+                    from: sender,
+                    path,
+                    msg,
+                },
             }));
         }
         for (delay, path, id) in effects.timers {
@@ -344,7 +456,11 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
                 rank: 1,
                 depth: path.len(),
                 seq: self.seq,
-                kind: EventKind::Timer { party: sender, path, id },
+                kind: EventKind::Timer {
+                    party: sender,
+                    path,
+                    id,
+                },
             }));
         }
     }
@@ -381,7 +497,13 @@ mod tests {
                 ctx.send_all(Msg::Ping);
             }
         }
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, _path: &[u32], msg: Msg) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, Msg>,
+            from: PartyId,
+            _path: &[u32],
+            msg: Msg,
+        ) {
             match msg {
                 Msg::Ping => {
                     self.got_ping_at = Some(ctx.now);
@@ -400,7 +522,9 @@ mod tests {
     }
 
     fn parties(n: usize) -> Vec<Box<dyn Protocol<Msg>>> {
-        (0..n).map(|_| Box::new(PingPong::default()) as Box<dyn Protocol<Msg>>).collect()
+        (0..n)
+            .map(|_| Box::new(PingPong::default()) as Box<dyn Protocol<Msg>>)
+            .collect()
     }
 
     #[test]
@@ -432,10 +556,12 @@ mod tests {
         let delta = cfg.delta;
         let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties(n));
         sim.run_to_quiescence(100_000);
-        let late = (1..n).any(|i| {
-            sim.party_as::<PingPong>(i).unwrap().got_ping_at.unwrap() > delta
-        });
-        assert!(late, "with the async scheduler some delivery should exceed Δ");
+        let late =
+            (1..n).any(|i| sim.party_as::<PingPong>(i).unwrap().got_ping_at.unwrap() > delta);
+        assert!(
+            late,
+            "with the async scheduler some delivery should exceed Δ"
+        );
     }
 
     #[test]

@@ -93,7 +93,10 @@ impl Aba {
     }
 
     fn bin(&self, round: u32) -> [bool; 2] {
-        self.bin_values.get(&round).copied().unwrap_or([false, false])
+        self.bin_values
+            .get(&round)
+            .copied()
+            .unwrap_or([false, false])
     }
 
     fn send_est(&mut self, ctx: &mut Context<'_, Msg>, round: u32, value: bool) {
@@ -117,10 +120,10 @@ impl Aba {
         // termination gadget (independent of rounds)
         for v in [false, true] {
             let idx = v as usize;
-            if self.finish_senders[idx].len() >= self.t + 1 {
+            if self.finish_senders[idx].len() > self.t {
                 self.send_finish(ctx, v);
             }
-            if self.finish_senders[idx].len() >= 2 * self.t + 1 {
+            if self.finish_senders[idx].len() > 2 * self.t {
                 self.output = Some(v);
                 self.output_at = Some(ctx.now);
                 return;
@@ -135,17 +138,17 @@ impl Aba {
             // echo amplification and bin_values
             for v in [false, true] {
                 let count = self.est_senders.get(&(r, v)).map_or(0, HashSet::len);
-                if count >= self.t + 1 {
+                if count > self.t {
                     self.send_est(ctx, r, v);
                 }
-                if count >= 2 * self.t + 1 {
+                if count > 2 * self.t {
                     self.bin_values.entry(r).or_insert([false, false])[v as usize] = true;
                 }
             }
             let bin = self.bin(r);
             if (bin[0] || bin[1]) && !self.sent_aux.contains(&r) {
                 self.sent_aux.insert(r);
-                let value = if bin[1] { true } else { false };
+                let value = bin[1];
                 ctx.send_all(Msg::Aba(AbaMsg::Aux { round: r, value }));
             }
             // try to close the round
@@ -181,14 +184,27 @@ impl Protocol<Msg> for Aba {
         self.try_progress(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, _path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        _path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let Msg::Aba(am) = msg else { return };
         match am {
             AbaMsg::Est { round, value } => {
-                self.est_senders.entry((round, value)).or_default().insert(from);
+                self.est_senders
+                    .entry((round, value))
+                    .or_default()
+                    .insert(from);
             }
             AbaMsg::Aux { round, value } => {
-                self.aux_received.entry(round).or_default().entry(from).or_insert(value);
+                self.aux_received
+                    .entry(round)
+                    .or_default()
+                    .entry(from)
+                    .or_insert(value);
             }
             AbaMsg::Finish { value } => {
                 self.finish_senders[value as usize].insert(from);
@@ -231,7 +247,9 @@ mod tests {
         .with_seed(seed);
         let mut sim = Simulation::new(cfg, corrupt.clone(), parties);
         let done = sim.run_until(10_000_000, |s| {
-            (0..n).filter(|&i| corrupt.is_honest(i)).all(|i| s.party_as::<Aba>(i).unwrap().output.is_some())
+            (0..n)
+                .filter(|&i| corrupt.is_honest(i))
+                .all(|i| s.party_as::<Aba>(i).unwrap().output.is_some())
         });
         assert!(done, "ABA did not terminate");
         let outs = (0..n)
@@ -243,20 +261,45 @@ mod tests {
 
     #[test]
     fn validity_unanimous_true_sync() {
-        let (outs, _) = run(4, 1, vec![Some(true); 4], CorruptionSet::none(), NetworkKind::Synchronous, 1);
+        let (outs, _) = run(
+            4,
+            1,
+            vec![Some(true); 4],
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            1,
+        );
         assert!(outs.iter().all(|&o| o));
     }
 
     #[test]
     fn validity_unanimous_false_sync() {
-        let (outs, _) = run(7, 2, vec![Some(false); 7], CorruptionSet::none(), NetworkKind::Synchronous, 2);
+        let (outs, _) = run(
+            7,
+            2,
+            vec![Some(false); 7],
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            2,
+        );
         assert!(outs.iter().all(|&o| !o));
     }
 
     #[test]
     fn consistency_mixed_inputs_sync_and_async() {
-        for (kind, seed) in [(NetworkKind::Synchronous, 3), (NetworkKind::Asynchronous, 4)] {
-            let inputs = vec![Some(true), Some(false), Some(true), Some(false), Some(true), Some(false), Some(true)];
+        for (kind, seed) in [
+            (NetworkKind::Synchronous, 3),
+            (NetworkKind::Asynchronous, 4),
+        ] {
+            let inputs = vec![
+                Some(true),
+                Some(false),
+                Some(true),
+                Some(false),
+                Some(true),
+                Some(false),
+                Some(true),
+            ];
             let (outs, _) = run(7, 2, inputs, CorruptionSet::none(), kind, seed);
             assert!(outs.windows(2).all(|w| w[0] == w[1]), "{kind:?}");
         }
@@ -267,7 +310,14 @@ mod tests {
         // the corrupt parties never get an input (silent)
         let mut inputs = vec![Some(true); 5];
         inputs.extend(vec![None; 2]);
-        let (outs, _) = run(7, 2, inputs, CorruptionSet::new(vec![5, 6]), NetworkKind::Asynchronous, 5);
+        let (outs, _) = run(
+            7,
+            2,
+            inputs,
+            CorruptionSet::new(vec![5, 6]),
+            NetworkKind::Asynchronous,
+            5,
+        );
         assert!(outs.iter().all(|&o| o));
     }
 
@@ -275,10 +325,19 @@ mod tests {
     fn unanimous_inputs_terminate_quickly_in_sync_network() {
         // Lemma 3.3: guaranteed liveness within T_ABA = k·Δ when unanimous.
         let n = 7;
-        let (_, finish_time) =
-            run(n, 2, vec![Some(false); n], CorruptionSet::none(), NetworkKind::Synchronous, 6);
+        let (_, finish_time) = run(
+            n,
+            2,
+            vec![Some(false); n],
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            6,
+        );
         let delta = 10;
-        assert!(finish_time <= 10 * delta, "unanimous ABA should finish within T_ABA, took {finish_time}");
+        assert!(
+            finish_time <= 10 * delta,
+            "unanimous ABA should finish within T_ABA, took {finish_time}"
+        );
     }
 
     #[test]
@@ -291,7 +350,14 @@ mod tests {
         // 7 with t = 2 suffice to decide and finish).
         let mut inputs = vec![Some(true); 6];
         inputs.push(None);
-        let (outs, _) = run(7, 2, inputs, CorruptionSet::none(), NetworkKind::Synchronous, 7);
+        let (outs, _) = run(
+            7,
+            2,
+            inputs,
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            7,
+        );
         assert!(outs.iter().all(|&o| o));
     }
 }

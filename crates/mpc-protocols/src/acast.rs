@@ -95,10 +95,10 @@ impl Acast {
             self.maybe_send_ready(ctx, value);
         }
         let ready_count = self.readies.get(value).map_or(0, HashSet::len);
-        if ready_count >= self.t + 1 {
+        if ready_count > self.t {
             self.maybe_send_ready(ctx, value);
         }
-        if ready_count >= 2 * self.t + 1 && self.output.is_none() {
+        if ready_count > 2 * self.t && self.output.is_none() {
             self.output = Some(value.clone());
             self.output_at = Some(ctx.now);
         }
@@ -112,7 +112,13 @@ impl Protocol<Msg> for Acast {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, _path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        _path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let Msg::Acast(am) = msg else { return };
         match am {
             AcastMsg::Send(v) => {
@@ -155,7 +161,12 @@ mod tests {
         BcValue::Value(vec![Fp::from_u64(x)])
     }
 
-    fn make_parties(n: usize, t: usize, sender: PartyId, input: BcValue) -> Vec<Box<dyn Protocol<Msg>>> {
+    fn make_parties(
+        n: usize,
+        t: usize,
+        sender: PartyId,
+        input: BcValue,
+    ) -> Vec<Box<dyn Protocol<Msg>>> {
         (0..n)
             .map(|i| {
                 let a = if i == sender {
@@ -183,7 +194,10 @@ mod tests {
         for i in 0..n {
             let p = sim.party_as::<Acast>(i).unwrap();
             assert_eq!(p.output, Some(value(9)));
-            assert!(p.output_at.unwrap() <= 3 * delta, "Lemma 2.4: liveness within 3Δ");
+            assert!(
+                p.output_at.unwrap() <= 3 * delta,
+                "Lemma 2.4: liveness within 3Δ"
+            );
         }
     }
 
@@ -207,9 +221,14 @@ mod tests {
         let n = 4;
         let t = 1;
         // sender is "corrupt" by never being given an input
-        let parties: Vec<Box<dyn Protocol<Msg>>> =
-            (0..n).map(|_| Box::new(Acast::new(0, n, t)) as Box<dyn Protocol<Msg>>).collect();
-        let mut sim = Simulation::new(NetConfig::synchronous(n), CorruptionSet::new(vec![0]), parties);
+        let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+            .map(|_| Box::new(Acast::new(0, n, t)) as Box<dyn Protocol<Msg>>)
+            .collect();
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::new(vec![0]),
+            parties,
+        );
         sim.run_to_quiescence(10_000);
         assert!((0..n).all(|i| sim.party_as::<Acast>(i).unwrap().output.is_none()));
     }

@@ -102,8 +102,9 @@ impl Acs {
         }
         // all BAs decided → CS is fixed
         if self.common_subset.is_none() && self.bas.iter().all(|b| b.output.is_some()) {
-            let cs: Vec<PartyId> =
-                (0..self.params.n).filter(|&j| self.bas[j].output == Some(true)).collect();
+            let cs: Vec<PartyId> = (0..self.params.n)
+                .filter(|&j| self.bas[j].output == Some(true))
+                .collect();
             self.common_subset = Some(cs);
             self.output_at = Some(ctx.now);
         }
@@ -125,7 +126,13 @@ impl Protocol<Msg> for Acs {
         ctx.set_timer(self.params.t_vss(), TIMER_START_BAS);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let n = self.params.n;
         let Some(&seg) = path.first() else { return };
         if (seg as usize) < n {
@@ -191,11 +198,15 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn make_parties(params: Params, rng: &mut StdRng) -> (Vec<Box<dyn Protocol<Msg>>>, Vec<Polynomial>) {
+    fn make_parties(
+        params: Params,
+        rng: &mut StdRng,
+    ) -> (Vec<Box<dyn Protocol<Msg>>>, Vec<Polynomial>) {
         let mut polys = Vec::new();
         let mut parties: Vec<Box<dyn Protocol<Msg>>> = Vec::new();
         for i in 0..params.n {
-            let p = Polynomial::random_with_constant_term(rng, params.ts, Fp::from_u64(100 + i as u64));
+            let p =
+                Polynomial::random_with_constant_term(rng, params.ts, Fp::from_u64(100 + i as u64));
             polys.push(p.clone());
             parties.push(Box::new(Acs::new(params, vec![p])));
         }
@@ -207,13 +218,21 @@ mod tests {
         let params = Params::new(4, 1, 0, 10);
         let mut rng = StdRng::seed_from_u64(77);
         let (parties, polys) = make_parties(params, &mut rng);
-        let mut sim =
-            Simulation::new(NetConfig::synchronous(params.n), CorruptionSet::none(), parties);
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n),
+            CorruptionSet::none(),
+            parties,
+        );
         let done = sim.run_until(params.t_acs() * 4, |s| {
             (0..params.n).all(|i| s.party_as::<Acs>(i).unwrap().ready())
         });
         assert!(done, "ACS must complete in a synchronous network");
-        let cs0 = sim.party_as::<Acs>(0).unwrap().common_subset.clone().unwrap();
+        let cs0 = sim
+            .party_as::<Acs>(0)
+            .unwrap()
+            .common_subset
+            .clone()
+            .unwrap();
         assert!(cs0.len() >= params.n - params.ts);
         // all honest parties (everyone here) must be in CS in a sync network
         assert_eq!(cs0, (0..params.n).collect::<Vec<_>>());
@@ -232,7 +251,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(78);
         let (mut parties, polys) = make_parties(params, &mut rng);
         // party 4 is corrupt and silent: replace with a do-nothing protocol
-        parties[4] = Box::new(crate::byzantine::SilentParty::default());
+        parties[4] = Box::new(crate::byzantine::SilentParty);
         let corrupt = CorruptionSet::new(vec![4]);
         let mut sim = Simulation::new(
             NetConfig::asynchronous(params.n).with_seed(3),
@@ -242,8 +261,16 @@ mod tests {
         let done = sim.run_until(200_000_000, |s| {
             (0..4).all(|i| s.party_as::<Acs>(i).unwrap().ready())
         });
-        assert!(done, "ACS must eventually complete in an asynchronous network");
-        let cs0 = sim.party_as::<Acs>(0).unwrap().common_subset.clone().unwrap();
+        assert!(
+            done,
+            "ACS must eventually complete in an asynchronous network"
+        );
+        let cs0 = sim
+            .party_as::<Acs>(0)
+            .unwrap()
+            .common_subset
+            .clone()
+            .unwrap();
         assert!(cs0.len() >= params.n - params.ts);
         assert!(!cs0.contains(&4), "a silent dealer cannot enter CS");
         for i in 0..4 {

@@ -118,7 +118,13 @@ impl Protocol<Msg> for Ba {
         ctx.set_timer(self.params.t_bc(), TIMER_START_ABA);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let Some(&seg) = path.first() else { return };
         if (seg as usize) < self.params.n {
             let bc = &mut self.bcs[seg as usize];
@@ -227,33 +233,65 @@ mod tests {
     #[test]
     fn validity_and_time_bound_in_sync_network() {
         let params = Params::new(4, 1, 0, 10);
-        let (outs, latest) =
-            run(params, vec![Some(true); 4], CorruptionSet::none(), NetworkKind::Synchronous, 1);
+        let (outs, latest) = run(
+            params,
+            vec![Some(true); 4],
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            1,
+        );
         assert!(outs.iter().all(|&o| o));
-        assert!(latest <= params.t_ba(), "Theorem 3.6: output within T_BA = T_BC + T_ABA, got {latest}");
+        assert!(
+            latest <= params.t_ba(),
+            "Theorem 3.6: output within T_BA = T_BC + T_ABA, got {latest}"
+        );
     }
 
     #[test]
     fn validity_false_in_sync_network() {
         let params = Params::new(7, 2, 0, 10);
-        let (outs, _) =
-            run(params, vec![Some(false); 7], CorruptionSet::none(), NetworkKind::Synchronous, 2);
+        let (outs, _) = run(
+            params,
+            vec![Some(false); 7],
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            2,
+        );
         assert!(outs.iter().all(|&o| !o));
     }
 
     #[test]
     fn consistency_with_mixed_inputs_sync() {
         let params = Params::new(7, 2, 0, 10);
-        let inputs = vec![Some(true), Some(false), Some(false), Some(true), Some(true), Some(false), Some(true)];
-        let (outs, _) = run(params, inputs, CorruptionSet::none(), NetworkKind::Synchronous, 3);
+        let inputs = vec![
+            Some(true),
+            Some(false),
+            Some(false),
+            Some(true),
+            Some(true),
+            Some(false),
+            Some(true),
+        ];
+        let (outs, _) = run(
+            params,
+            inputs,
+            CorruptionSet::none(),
+            NetworkKind::Synchronous,
+            3,
+        );
         assert!(outs.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]
     fn validity_in_async_network() {
         let params = Params::new(7, 2, 0, 10);
-        let (outs, _) =
-            run(params, vec![Some(true); 7], CorruptionSet::none(), NetworkKind::Asynchronous, 4);
+        let (outs, _) = run(
+            params,
+            vec![Some(true); 7],
+            CorruptionSet::none(),
+            NetworkKind::Asynchronous,
+            4,
+        );
         assert!(outs.iter().all(|&o| o));
     }
 
@@ -262,9 +300,17 @@ mod tests {
         let params = Params::new(7, 2, 0, 10);
         let mut inputs = vec![Some(false); 6];
         inputs.push(None); // corrupt party never participates
-        let (outs, _) =
-            run(params, inputs, CorruptionSet::new(vec![6]), NetworkKind::Asynchronous, 5);
+        let (outs, _) = run(
+            params,
+            inputs,
+            CorruptionSet::new(vec![6]),
+            NetworkKind::Asynchronous,
+            5,
+        );
         assert!(outs.windows(2).all(|w| w[0] == w[1]));
-        assert!(outs.iter().all(|&o| !o), "validity with 6 unanimous honest parties");
+        assert!(
+            outs.iter().all(|&o| !o),
+            "validity with 6 unanimous honest parties"
+        );
     }
 }

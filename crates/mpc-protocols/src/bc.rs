@@ -122,10 +122,18 @@ impl Protocol<Msg> for Bc {
         ctx.set_timer(3 * ctx.delta + self.params.t_bgp(), TIMER_REGULAR);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         match path.first() {
             Some(&SEG_ACAST) => {
-                ctx.scoped(SEG_ACAST, |ctx| self.acast.on_message(ctx, from, &path[1..], msg));
+                ctx.scoped(SEG_ACAST, |ctx| {
+                    self.acast.on_message(ctx, from, &path[1..], msg)
+                });
                 self.check_fallback(ctx.now);
             }
             Some(&SEG_SBA) => {
@@ -195,7 +203,11 @@ mod tests {
         BcValue::Value(vec![Fp::from_u64(x)])
     }
 
-    fn make_parties(params: Params, sender: PartyId, input: Option<BcValue>) -> Vec<Box<dyn Protocol<Msg>>> {
+    fn make_parties(
+        params: Params,
+        sender: PartyId,
+        input: Option<BcValue>,
+    ) -> Vec<Box<dyn Protocol<Msg>>> {
         (0..params.n)
             .map(|i| {
                 let bc = match (&input, i == sender) {
@@ -211,7 +223,11 @@ mod tests {
     fn validity_in_sync_network_at_t_bc() {
         let params = Params::new(7, 2, 0, 10);
         let cfg = NetConfig::synchronous(params.n);
-        let mut sim = Simulation::new(cfg, CorruptionSet::none(), make_parties(params, 0, Some(value(5))));
+        let mut sim = Simulation::new(
+            cfg,
+            CorruptionSet::none(),
+            make_parties(params, 0, Some(value(5))),
+        );
         sim.run_until(params.t_bc() + 1, |s| {
             (0..params.n).all(|i| s.party_as::<Bc>(i).unwrap().output.is_some())
         });
@@ -219,7 +235,11 @@ mod tests {
             let p = sim.party_as::<Bc>(i).unwrap();
             assert_eq!(p.output, Some(Some(value(5))));
             assert_eq!(p.mode, Some(BcMode::Regular));
-            assert_eq!(p.output_at.unwrap(), params.t_bc(), "Theorem 3.5: output exactly at T_BC");
+            assert_eq!(
+                p.output_at.unwrap(),
+                params.t_bc(),
+                "Theorem 3.5: output exactly at T_BC"
+            );
         }
     }
 
@@ -234,7 +254,11 @@ mod tests {
         sim.run_to_quiescence(params.t_bc() * 3);
         for i in [0, 1, 3] {
             let p = sim.party_as::<Bc>(i).unwrap();
-            assert_eq!(p.output, Some(None), "liveness: ⊥ output even for a silent sender");
+            assert_eq!(
+                p.output,
+                Some(None),
+                "liveness: ⊥ output even for a silent sender"
+            );
         }
     }
 
@@ -244,7 +268,11 @@ mod tests {
         // regular mode outputs ⊥, then check the fallback mode kicks in.
         let params = Params::new(4, 1, 0, 10);
         let lag = params.t_bc() * 2;
-        let scheduler = SkewedAsyncScheduler { slowed_senders: vec![0], lag, fast: 2 };
+        let scheduler = SkewedAsyncScheduler {
+            slowed_senders: vec![0],
+            lag,
+            fast: 2,
+        };
         let cfg = NetConfig::asynchronous(params.n).with_seed(11);
         let mut sim = Simulation::with_scheduler(
             cfg,
@@ -261,7 +289,9 @@ mod tests {
             assert_eq!(p.value(), Some(&value(8)));
         }
         // at least one party must have needed the fallback for this test to be meaningful
-        assert!((0..params.n).any(|i| sim.party_as::<Bc>(i).unwrap().mode == Some(BcMode::Fallback)));
+        assert!(
+            (0..params.n).any(|i| sim.party_as::<Bc>(i).unwrap().mode == Some(BcMode::Fallback))
+        );
     }
 
     #[test]
@@ -281,6 +311,9 @@ mod tests {
         // for the O(n^2 ℓ + n^3)-ish scaling of the substituted SBA)
         assert!(bits[2] > bits[0]);
         let ratio = bits[2] / bits[0];
-        assert!(ratio < ((10.0f64 / 4.0).powi(4)), "ratio {ratio} grows too fast");
+        assert!(
+            ratio < ((10.0f64 / 4.0).powi(4)),
+            "ratio {ratio} grows too fast"
+        );
     }
 }

@@ -18,7 +18,14 @@ pub struct SilentParty;
 
 impl<M: 'static> Protocol<M> for SilentParty {
     fn init(&mut self, _ctx: &mut Context<'_, M>) {}
-    fn on_message(&mut self, _ctx: &mut Context<'_, M>, _from: PartyId, _path: PathSlice<'_>, _msg: M) {}
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, M>,
+        _from: PartyId,
+        _path: PathSlice<'_>,
+        _msg: M,
+    ) {
+    }
     fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _path: PathSlice<'_>, _id: u64) {}
     fn as_any(&self) -> &dyn Any {
         self
@@ -43,11 +50,22 @@ impl Protocol<Msg> for EquivocatingAcastSender {
     fn init(&mut self, ctx: &mut Context<'_, Msg>) {
         let n = ctx.n;
         for i in 0..n {
-            let v = if i < n / 2 { self.value_a.clone() } else { self.value_b.clone() };
+            let v = if i < n / 2 {
+                self.value_a.clone()
+            } else {
+                self.value_b.clone()
+            };
             ctx.send(i, Msg::Acast(AcastMsg::Send(v)));
         }
     }
-    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: PartyId, _path: PathSlice<'_>, _msg: Msg) {}
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, Msg>,
+        _from: PartyId,
+        _path: PathSlice<'_>,
+        _msg: Msg,
+    ) {
+    }
     fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _path: PathSlice<'_>, _id: u64) {}
     fn as_any(&self) -> &dyn Any {
         self
@@ -73,18 +91,29 @@ pub struct InconsistentRowsDealer {
 impl Protocol<Msg> for InconsistentRowsDealer {
     fn init(&mut self, ctx: &mut Context<'_, Msg>) {
         let n = ctx.n;
-        let a: Vec<SymmetricBivariate> =
-            (0..self.l_count).map(|_| SymmetricBivariate::random(ctx.rng(), self.degree)).collect();
-        let b: Vec<SymmetricBivariate> =
-            (0..self.l_count).map(|_| SymmetricBivariate::random(ctx.rng(), self.degree)).collect();
+        let a: Vec<SymmetricBivariate> = (0..self.l_count)
+            .map(|_| SymmetricBivariate::random(ctx.rng(), self.degree))
+            .collect();
+        let b: Vec<SymmetricBivariate> = (0..self.l_count)
+            .map(|_| SymmetricBivariate::random(ctx.rng(), self.degree))
+            .collect();
         for i in 0..n {
             let source = if i < n / 2 { &a } else { &b };
-            let rows: Vec<Vec<Fp>> =
-                source.iter().map(|f| f.row(alpha(i)).coeffs().to_vec()).collect();
+            let rows: Vec<Vec<Fp>> = source
+                .iter()
+                .map(|f| f.row(alpha(i)).coeffs().to_vec())
+                .collect();
             ctx.send(i, Msg::RowPolys(rows));
         }
     }
-    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: PartyId, _path: PathSlice<'_>, _msg: Msg) {}
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, Msg>,
+        _from: PartyId,
+        _path: PathSlice<'_>,
+        _msg: Msg,
+    ) {
+    }
     fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _path: PathSlice<'_>, _id: u64) {}
     fn as_any(&self) -> &dyn Any {
         self
@@ -107,17 +136,22 @@ mod tests {
     fn equivocating_acast_sender_cannot_split_honest_parties() {
         let n = 7;
         let t = 2;
-        let mut parties: Vec<Box<dyn Protocol<Msg>>> =
-            (0..n).map(|_| Box::new(Acast::new(0, n, t)) as Box<dyn Protocol<Msg>>).collect();
+        let mut parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+            .map(|_| Box::new(Acast::new(0, n, t)) as Box<dyn Protocol<Msg>>)
+            .collect();
         parties[0] = Box::new(EquivocatingAcastSender {
             value_a: BcValue::Bit(false),
             value_b: BcValue::Bit(true),
         });
-        let mut sim =
-            Simulation::new(NetConfig::synchronous(n), CorruptionSet::new(vec![0]), parties);
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::new(vec![0]),
+            parties,
+        );
         sim.run_to_quiescence(100_000);
-        let outputs: Vec<Option<BcValue>> =
-            (1..n).map(|i| sim.party_as::<Acast>(i).unwrap().output.clone()).collect();
+        let outputs: Vec<Option<BcValue>> = (1..n)
+            .map(|i| sim.party_as::<Acast>(i).unwrap().output.clone())
+            .collect();
         let delivered: Vec<&BcValue> = outputs.iter().flatten().collect();
         // consistency: no two honest parties deliver different values
         assert!(delivered.windows(2).all(|w| w[0] == w[1]));
@@ -143,14 +177,25 @@ mod tests {
         );
         sim.run_to_quiescence(params.t_bc() * 4);
         let regular: Vec<Option<Option<BcValue>>> = (1..params.n)
-            .map(|i| sim.party_as::<crate::bc::Bc>(i).unwrap().regular_output.clone())
+            .map(|i| {
+                sim.party_as::<crate::bc::Bc>(i)
+                    .unwrap()
+                    .regular_output
+                    .clone()
+            })
             .collect();
         assert!(regular.iter().all(|o| o.is_some()), "liveness at T_BC");
-        assert!(regular.windows(2).all(|w| w[0] == w[1]), "t-consistency for a corrupt sender");
+        assert!(
+            regular.windows(2).all(|w| w[0] == w[1]),
+            "t-consistency for a corrupt sender"
+        );
         let final_values: Vec<&BcValue> = (1..params.n)
             .filter_map(|i| sim.party_as::<crate::bc::Bc>(i).unwrap().value())
             .collect();
-        assert!(final_values.windows(2).all(|w| w[0] == w[1]), "fallback consistency");
+        assert!(
+            final_values.windows(2).all(|w| w[0] == w[1]),
+            "fallback consistency"
+        );
     }
 
     #[test]
@@ -170,9 +215,18 @@ mod tests {
         let mut sim = Simulation::new(NetConfig::synchronous(n), corrupt, parties);
         sim.run_to_quiescence(100_000);
         let outs: Vec<_> = (1..n)
-            .map(|i| sim.party_as::<crate::sba::Sba>(i).unwrap().output.clone().unwrap())
+            .map(|i| {
+                sim.party_as::<crate::sba::Sba>(i)
+                    .unwrap()
+                    .output
+                    .clone()
+                    .unwrap()
+            })
             .collect();
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "honest outputs must agree");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "honest outputs must agree"
+        );
     }
 
     #[test]
@@ -181,7 +235,10 @@ mod tests {
         let mut parties: Vec<Box<dyn Protocol<Msg>>> = (0..params.n)
             .map(|_| Box::new(Vss::new(0, params, 1)) as Box<dyn Protocol<Msg>>)
             .collect();
-        parties[0] = Box::new(InconsistentRowsDealer { degree: params.ts, l_count: 1 });
+        parties[0] = Box::new(InconsistentRowsDealer {
+            degree: params.ts,
+            l_count: 1,
+        });
         let mut sim = Simulation::new(
             NetConfig::synchronous(params.n),
             CorruptionSet::new(vec![0]),
@@ -192,15 +249,22 @@ mod tests {
         // lies on one degree-t_s polynomial.
         let outputs: Vec<(usize, Fp)> = (1..params.n)
             .filter_map(|i| {
-                sim.party_as::<Vss>(i).unwrap().shares.as_ref().map(|s| (i, s[0]))
+                sim.party_as::<Vss>(i)
+                    .unwrap()
+                    .shares
+                    .as_ref()
+                    .map(|s| (i, s[0]))
             })
             .collect();
         if outputs.len() > params.ts + 1 {
-            let pts: Vec<(Fp, Fp)> =
-                outputs.iter().map(|&(i, s)| (alpha(i), s)).collect();
+            let pts: Vec<(Fp, Fp)> = outputs.iter().map(|&(i, s)| (alpha(i), s)).collect();
             let poly = Polynomial::interpolate(&pts[..params.ts + 1]);
             for &(x, y) in &pts {
-                assert_eq!(poly.evaluate(x), y, "honest shares must lie on one polynomial");
+                assert_eq!(
+                    poly.evaluate(x),
+                    y,
+                    "honest shares must lie on one polynomial"
+                );
             }
         }
     }

@@ -200,15 +200,24 @@ mod tests {
 
     #[test]
     fn votes_and_stars_have_nonzero_size() {
-        let v = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![(1, Vote::Ok), (2, Vote::Ok)])));
+        let v = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![
+            (1, Vote::Ok),
+            (2, Vote::Ok),
+        ])));
         assert_eq!(v.size_bits(), 16 + 2 * 64);
-        let s = Msg::Acast(AcastMsg::Ready(BcValue::Star { e: vec![1, 2], f: vec![1, 2, 3] }));
+        let s = Msg::Acast(AcastMsg::Ready(BcValue::Star {
+            e: vec![1, 2],
+            f: vec![1, 2, 3],
+        }));
         assert_eq!(s.size_bits(), 16 + 5 * 64);
     }
 
     #[test]
     fn sba_bottom_has_header_only() {
-        let m = Msg::Sba(SbaMsg::Round1 { phase: 0, value: None });
+        let m = Msg::Sba(SbaMsg::Round1 {
+            phase: 0,
+            value: None,
+        });
         assert_eq!(m.size_bits(), 16);
     }
 }

@@ -112,7 +112,15 @@ mod tests {
     #[test]
     fn timing_constants_are_delta_multiples_and_monotone() {
         let p = Params::new(7, 2, 0, 10);
-        for t in [p.t_bgp(), p.t_bc(), p.t_aba(), p.t_ba(), p.t_wps(), p.t_vss(), p.t_acs()] {
+        for t in [
+            p.t_bgp(),
+            p.t_bc(),
+            p.t_aba(),
+            p.t_ba(),
+            p.t_wps(),
+            p.t_vss(),
+            p.t_acs(),
+        ] {
             assert_eq!(t % p.delta, 0, "all time-outs are multiples of Δ");
         }
         assert!(p.t_bc() > p.t_bgp());

@@ -91,21 +91,40 @@ impl Protocol<Msg> for Sba {
                 ctx.set_timer((3 * phase + round) * ctx.delta, 3 * phase + round);
             }
         }
-        ctx.set_timer(3 * (self.t as Time + 1) * ctx.delta, 3 * (self.t as u64 + 1));
+        ctx.set_timer(
+            3 * (self.t as Time + 1) * ctx.delta,
+            3 * (self.t as u64 + 1),
+        );
     }
 
-    fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, from: PartyId, _path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        _ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        _path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let Msg::Sba(sm) = msg else { return };
         match sm {
             SbaMsg::Round1 { phase, value } => {
                 if self.round1_seen.insert((phase, from)) {
-                    self.round1.entry(phase).or_default().entry(value).or_default().insert(from);
+                    self.round1
+                        .entry(phase)
+                        .or_default()
+                        .entry(value)
+                        .or_default()
+                        .insert(from);
                 }
             }
             SbaMsg::Round2 { phase, candidate } => {
                 if self.round2_seen.insert((phase, from)) {
                     if let Some(c) = candidate {
-                        self.round2.entry(phase).or_default().entry(c).or_default().insert(from);
+                        self.round2
+                            .entry(phase)
+                            .or_default()
+                            .entry(c)
+                            .or_default()
+                            .insert(from);
                     }
                 }
             }
@@ -134,23 +153,25 @@ impl Protocol<Msg> for Sba {
                 if phase > 0 {
                     self.finish_phase(phase - 1);
                 }
-                ctx.send_all(Msg::Sba(SbaMsg::Round1 { phase, value: self.value.clone() }));
+                ctx.send_all(Msg::Sba(SbaMsg::Round1 {
+                    phase,
+                    value: self.value.clone(),
+                }));
             }
             1 => {
                 // candidate: a value seen at least n - t times in round 1
-                let candidate = self
-                    .round1
-                    .get(&phase)
-                    .and_then(|m| {
-                        m.iter().find(|(_, s)| s.len() >= self.n - self.t).map(|(v, _)| v.clone())
-                    });
+                let candidate = self.round1.get(&phase).and_then(|m| {
+                    m.iter()
+                        .find(|(_, s)| s.len() >= self.n - self.t)
+                        .map(|(v, _)| v.clone())
+                });
                 ctx.send_all(Msg::Sba(SbaMsg::Round2 { phase, candidate }));
             }
             _ => {
                 // determine D (most supported candidate with >= t+1 support)
                 let d = self.round2.get(&phase).and_then(|m| {
                     m.iter()
-                        .filter(|(_, s)| s.len() >= self.t + 1)
+                        .filter(|(_, s)| s.len() > self.t)
                         .max_by_key(|(_, s)| s.len())
                         .map(|(v, s)| (v.clone(), s.len()))
                 });
@@ -163,7 +184,10 @@ impl Protocol<Msg> for Sba {
                         .get(&phase)
                         .map(|(v, _)| v.clone())
                         .unwrap_or_else(|| self.value.clone());
-                    ctx.send_all(Msg::Sba(SbaMsg::King { phase, value: proposal }));
+                    ctx.send_all(Msg::Sba(SbaMsg::King {
+                        phase,
+                        value: proposal,
+                    }));
                 }
             }
         }
@@ -188,15 +212,22 @@ mod tests {
         Some(BcValue::Value(vec![Fp::from_u64(x)]))
     }
 
-    fn run(n: usize, t: usize, inputs: Vec<SbaValue>, corrupt: CorruptionSet, seed: u64) -> Vec<SbaValue> {
+    fn run(
+        n: usize,
+        t: usize,
+        inputs: Vec<SbaValue>,
+        corrupt: CorruptionSet,
+        seed: u64,
+    ) -> Vec<SbaValue> {
         let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
             .into_iter()
             .map(|v| Box::new(Sba::new(n, t, v)) as Box<dyn Protocol<Msg>>)
             .collect();
         let cfg = NetConfig::synchronous(n).with_seed(seed);
         let mut sim = Simulation::new(cfg, corrupt.clone(), parties);
-        let done =
-            sim.run_until(100_000, |s| (0..n).all(|i| s.party_as::<Sba>(i).unwrap().output.is_some()));
+        let done = sim.run_until(100_000, |s| {
+            (0..n).all(|i| s.party_as::<Sba>(i).unwrap().output.is_some())
+        });
         assert!(done, "SBA must have guaranteed liveness");
         (0..n)
             .filter(|&i| corrupt.is_honest(i))
@@ -227,7 +258,10 @@ mod tests {
         let mut inputs = vec![value(1); 4];
         inputs.extend(vec![value(2); 3]);
         let outs = run(n, t, inputs, CorruptionSet::none(), 3);
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "all honest outputs must agree");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "all honest outputs must agree"
+        );
     }
 
     #[test]
@@ -251,8 +285,9 @@ mod tests {
     fn output_arrives_exactly_at_t_bgp() {
         let n = 4;
         let t = 1;
-        let parties: Vec<Box<dyn Protocol<Msg>>> =
-            (0..n).map(|_| Box::new(Sba::new(n, t, value(3))) as Box<dyn Protocol<Msg>>).collect();
+        let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+            .map(|_| Box::new(Sba::new(n, t, value(3))) as Box<dyn Protocol<Msg>>)
+            .collect();
         let cfg = NetConfig::synchronous(n);
         let delta = cfg.delta;
         let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);

@@ -19,7 +19,10 @@ pub struct ConsistencyGraph {
 impl ConsistencyGraph {
     /// An edgeless graph over `n` parties.
     pub fn new(n: usize) -> Self {
-        ConsistencyGraph { n, adj: vec![false; n * n] }
+        ConsistencyGraph {
+            n,
+            adj: vec![false; n * n],
+        }
     }
 
     /// Number of parties.
@@ -52,12 +55,16 @@ impl ConsistencyGraph {
 
     /// Degree of `i` (number of distinct neighbours, excluding itself).
     pub fn degree(&self, i: usize) -> usize {
-        (0..self.n).filter(|&j| j != i && self.has_edge(i, j)).count()
+        (0..self.n)
+            .filter(|&j| j != i && self.has_edge(i, j))
+            .count()
     }
 
     /// Degree of `i` counting only neighbours inside `set`.
     pub fn degree_within(&self, i: usize, set: &[usize]) -> usize {
-        set.iter().filter(|&&j| j != i && self.has_edge(i, j)).count()
+        set.iter()
+            .filter(|&&j| j != i && self.has_edge(i, j))
+            .count()
     }
 
     /// Checks whether `(e, f)` forms an `(n, t)`-star in this graph restricted
@@ -92,7 +99,11 @@ impl ConsistencyGraph {
     /// the construction is attempted from every rotation of the vertex order
     /// and the first success is returned (a particular maximal matching can
     /// be unlucky even when a clique of size `n − t` exists).
-    pub fn find_star(&self, t: usize, within: Option<&[usize]>) -> Option<(Vec<usize>, Vec<usize>)> {
+    pub fn find_star(
+        &self,
+        t: usize,
+        within: Option<&[usize]>,
+    ) -> Option<(Vec<usize>, Vec<usize>)> {
         let verts: Vec<usize> = match within {
             Some(w) => {
                 let mut v: Vec<usize> = w.to_vec();
@@ -148,8 +159,9 @@ impl ConsistencyGraph {
             if is_matched(v) {
                 continue;
             }
-            let triangle_head =
-                matched_pairs.iter().any(|&(a, b)| comp_edge(v, a) && comp_edge(v, b));
+            let triangle_head = matched_pairs
+                .iter()
+                .any(|&(a, b)| comp_edge(v, a) && comp_edge(v, b));
             if !triangle_head {
                 e_set.push(v);
             }
@@ -201,7 +213,9 @@ mod tests {
         let n = 7;
         let t = 2;
         let g = clique_graph(n, &[0, 1, 2, 3, 4]);
-        let (e, f) = g.find_star(t, None).expect("clique of size n-t must give a star");
+        let (e, f) = g
+            .find_star(t, None)
+            .expect("clique of size n-t must give a star");
         assert!(g.is_star(t, &e, &f, None));
         assert!(e.len() >= n - 2 * t);
         assert!(f.len() >= n - t);

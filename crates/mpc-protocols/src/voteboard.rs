@@ -92,8 +92,11 @@ impl VoteBoard {
         for j in 0..self.params.n {
             let seg = self.base + j as u32;
             let mut bc = if j == me {
-                let votes: Vec<(u32, Vote)> =
-                    self.my_votes.iter().map(|(&k, v)| (k as u32, v.clone())).collect();
+                let votes: Vec<(u32, Vote)> = self
+                    .my_votes
+                    .iter()
+                    .map(|(&k, v)| (k as u32, v.clone()))
+                    .collect();
                 Bc::new_sender(j, self.t, self.params, BcValue::Votes(votes))
             } else {
                 Bc::new(j, self.t, self.params)
@@ -112,7 +115,13 @@ impl VoteBoard {
     }
 
     /// Routes a message addressed to one of this board's children.
-    pub fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    pub fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let Some(&seg) = path.first() else { return };
         let idx = (seg - self.base) as usize;
         if idx < self.params.n {
@@ -126,7 +135,10 @@ impl VoteBoard {
             let sender = self.update_sender(seg);
             let n = self.params.n;
             let t = self.t;
-            let acast = self.updates.entry(seg).or_insert_with(|| Acast::new(sender, n, t));
+            let acast = self
+                .updates
+                .entry(seg)
+                .or_insert_with(|| Acast::new(sender, n, t));
             ctx.scoped(seg, |ctx| acast.on_message(ctx, from, &path[1..], msg));
         }
     }
@@ -146,9 +158,10 @@ impl VoteBoard {
 
     fn votes_in(value: Option<&BcValue>) -> Vec<(PartyId, Vote)> {
         match value {
-            Some(BcValue::Votes(v)) => {
-                v.iter().map(|(k, vote)| (*k as PartyId, vote.clone())).collect()
-            }
+            Some(BcValue::Votes(v)) => v
+                .iter()
+                .map(|(k, vote)| (*k as PartyId, vote.clone()))
+                .collect(),
             _ => Vec::new(),
         }
     }
@@ -194,9 +207,9 @@ impl VoteBoard {
             }
         }
         let mut g = ConsistencyGraph::new(n);
-        for j in 0..n {
-            for k in j + 1..n {
-                if ok[j][k] && ok[k][j] {
+        for (j, row_j) in ok.iter().enumerate() {
+            for (k, &j_trusts_k) in row_j.iter().enumerate().skip(j + 1) {
+                if j_trusts_k && ok[k][j] {
                     g.add_edge(j, k);
                 }
             }

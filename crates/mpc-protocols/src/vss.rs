@@ -126,17 +126,24 @@ impl Vss {
         if !self.wps_started {
             return;
         }
-        let Some(rows) = self.my_rows.clone() else { return };
+        let Some(rows) = self.my_rows.clone() else {
+            return;
+        };
         for j in 0..self.params.n {
             if self.voted.contains_key(&j) {
                 continue;
             }
-            let Some(shares) = self.wps_share_of(j).cloned() else { continue };
+            let Some(shares) = self.wps_share_of(j).cloned() else {
+                continue;
+            };
             let mut vote = Vote::Ok;
             for (ell, row) in rows.iter().enumerate() {
                 let mine = row.evaluate(alpha(j));
                 if shares.get(ell) != Some(&mine) {
-                    vote = Vote::Nok { ell: ell as u32, value: mine };
+                    vote = Vote::Nok {
+                        ell: ell as u32,
+                        value: mine,
+                    };
                     break;
                 }
             }
@@ -159,7 +166,7 @@ impl Vss {
             |i, j, ell, v| {
                 bivariates
                     .get(ell as usize)
-                    .map_or(true, |b| v != b.evaluate(alpha(j), alpha(i)))
+                    .is_none_or(|b| v != b.evaluate(alpha(j), alpha(i)))
             },
         );
         if let Some((w, e, f)) = wef {
@@ -169,7 +176,9 @@ impl Vss {
                 f: f.iter().map(|&x| x as u32).collect(),
             };
             if let Some(bc) = self.wef_bc.as_mut() {
-                ctx.scoped(Self::seg_wef(self.params.n), |ctx| bc.provide_input(ctx, value));
+                ctx.scoped(Self::seg_wef(self.params.n), |ctx| {
+                    bc.provide_input(ctx, value)
+                });
             }
         }
     }
@@ -185,8 +194,7 @@ impl Vss {
                 e: e.iter().map(|&x| x as u32).collect(),
                 f: f.iter().map(|&x| x as u32).collect(),
             };
-            let mut acast =
-                Acast::new_sender(self.dealer, self.params.n, self.params.ts, value);
+            let mut acast = Acast::new_sender(self.dealer, self.params.n, self.params.ts, value);
             ctx.scoped(Self::seg_star(self.params.n), |ctx| acast.init(ctx));
             self.star_acast = Some(acast);
         }
@@ -199,14 +207,20 @@ impl Vss {
         match self.ba_output {
             Some(false) => {
                 let wef = self.accepted_wef.clone().or_else(|| {
-                    self.wef_bc.as_ref().and_then(|bc| bc.value()).and_then(decode_wef)
+                    self.wef_bc
+                        .as_ref()
+                        .and_then(|bc| bc.value())
+                        .and_then(decode_wef)
                 });
                 let Some((w, _e, f)) = wef else { return };
                 self.output_via(ctx, &w, &f);
             }
             Some(true) => {
-                let Some((e, f)) =
-                    self.star_acast.as_ref().and_then(|a| a.output.as_ref()).and_then(decode_star)
+                let Some((e, f)) = self
+                    .star_acast
+                    .as_ref()
+                    .and_then(|a| a.output.as_ref())
+                    .and_then(decode_star)
                 else {
                     return;
                 };
@@ -222,7 +236,12 @@ impl Vss {
     /// Outputs directly if a member of `direct_set` holding its rows,
     /// otherwise by interpolating the WPS-shares obtained in the instances of
     /// at least `t_s + 1` parties of `support_set`.
-    fn output_via(&mut self, ctx: &mut Context<'_, Msg>, direct_set: &[PartyId], support_set: &[PartyId]) {
+    fn output_via(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        direct_set: &[PartyId],
+        support_set: &[PartyId],
+    ) {
         let me = ctx.me;
         if direct_set.contains(&me) {
             if let Some(rows) = &self.my_rows {
@@ -290,10 +309,19 @@ impl Protocol<Msg> for Vss {
         ctx.set_timer(delta, TIMER_START_WPS);
         ctx.set_timer(delta + self.params.t_wps(), TIMER_VOTES);
         ctx.set_timer(delta + self.params.t_wps() + self.params.t_bc(), TIMER_WEF);
-        ctx.set_timer(delta + self.params.t_wps() + 2 * self.params.t_bc(), TIMER_BA);
+        ctx.set_timer(
+            delta + self.params.t_wps() + 2 * self.params.t_bc(),
+            TIMER_BA,
+        );
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         let n = self.params.n;
         match path.first() {
             None => {
@@ -306,7 +334,9 @@ impl Protocol<Msg> for Vss {
                         if self.wps_started {
                             let me = ctx.me;
                             let wps = &mut self.wps[me];
-                            ctx.scoped(Self::seg_wps(me), |ctx| wps.provide_dealer_input(ctx, rows));
+                            ctx.scoped(Self::seg_wps(me), |ctx| {
+                                wps.provide_dealer_input(ctx, rows)
+                            });
                         }
                         self.check_progress(ctx);
                     }
@@ -474,7 +504,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn make_parties(params: Params, dealer: PartyId, polys: Vec<Polynomial>) -> Vec<Box<dyn Protocol<Msg>>> {
+    fn make_parties(
+        params: Params,
+        dealer: PartyId,
+        polys: Vec<Polynomial>,
+    ) -> Vec<Box<dyn Protocol<Msg>>> {
         (0..params.n)
             .map(|i| {
                 let v = if i == dealer {
@@ -491,8 +525,11 @@ mod tests {
     fn honest_dealer_sync_correctness() {
         let params = Params::new(4, 1, 0, 10);
         let mut rng = StdRng::seed_from_u64(7);
-        let polys =
-            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(31))];
+        let polys = vec![Polynomial::random_with_constant_term(
+            &mut rng,
+            params.ts,
+            Fp::from_u64(31),
+        )];
         let mut sim = Simulation::new(
             NetConfig::synchronous(params.n),
             CorruptionSet::none(),
@@ -501,7 +538,10 @@ mod tests {
         let done = sim.run_until(params.t_vss() + params.delta, |s| {
             (0..params.n).all(|i| s.party_as::<Vss>(i).unwrap().shares.is_some())
         });
-        assert!(done, "VSS must complete within T_VSS for an honest dealer in sync network");
+        assert!(
+            done,
+            "VSS must complete within T_VSS for an honest dealer in sync network"
+        );
         for i in 0..params.n {
             let p = sim.party_as::<Vss>(i).unwrap();
             assert_eq!(p.shares.as_ref().unwrap()[0], polys[0].evaluate(alpha(i)));
@@ -513,8 +553,11 @@ mod tests {
     fn honest_dealer_async_eventual_correctness() {
         let params = Params::new(5, 1, 1, 10);
         let mut rng = StdRng::seed_from_u64(8);
-        let polys =
-            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(64))];
+        let polys = vec![Polynomial::random_with_constant_term(
+            &mut rng,
+            params.ts,
+            Fp::from_u64(64),
+        )];
         let corrupt = CorruptionSet::new(vec![3]);
         let mut sim = Simulation::new(
             NetConfig::asynchronous(params.n).with_seed(2),
@@ -526,7 +569,10 @@ mod tests {
                 .filter(|&i| corrupt.is_honest(i))
                 .all(|i| s.party_as::<Vss>(i).unwrap().shares.is_some())
         });
-        assert!(done, "honest parties must eventually receive VSS shares in async network");
+        assert!(
+            done,
+            "honest parties must eventually receive VSS shares in async network"
+        );
         for i in 0..params.n {
             if corrupt.is_honest(i) {
                 let p = sim.party_as::<Vss>(i).unwrap();

@@ -209,7 +209,11 @@ impl Wps {
     /// Supplies the dealer's polynomials after creation (used by `Π_VSS`,
     /// where a party becomes a WPS dealer only once it has received its row
     /// polynomials from the VSS dealer).
-    pub fn provide_dealer_input(&mut self, ctx: &mut Context<'_, Msg>, polynomials: Vec<Polynomial>) {
+    pub fn provide_dealer_input(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        polynomials: Vec<Polynomial>,
+    ) {
         if ctx.me == self.dealer && !self.distributed {
             self.l_count = polynomials.len();
             self.distribute(ctx, polynomials);
@@ -258,12 +262,18 @@ impl Wps {
         let rows = self.my_rows.as_ref()?;
         let pts = self.points_from.get(&j)?;
         if pts.len() != rows.len() {
-            return Some(Vote::Nok { ell: 0, value: rows[0].evaluate(alpha(j)) });
+            return Some(Vote::Nok {
+                ell: 0,
+                value: rows[0].evaluate(alpha(j)),
+            });
         }
         for (ell, (row, &p)) in rows.iter().zip(pts).enumerate() {
             let mine = row.evaluate(alpha(j));
             if mine != p {
-                return Some(Vote::Nok { ell: ell as u32, value: mine });
+                return Some(Vote::Nok {
+                    ell: ell as u32,
+                    value: mine,
+                });
             }
         }
         Some(Vote::Ok)
@@ -292,7 +302,7 @@ impl Wps {
             |i, j, ell, v| {
                 bivariates
                     .get(ell as usize)
-                    .map_or(true, |b| v != b.evaluate(alpha(j), alpha(i)))
+                    .is_none_or(|b| v != b.evaluate(alpha(j), alpha(i)))
             },
         );
         if let Some((w, e, f)) = wef {
@@ -334,15 +344,21 @@ impl Wps {
             Some(false) => {
                 // (W, E, F) path
                 let wef = self.accepted_wef.clone().or_else(|| {
-                    self.wef_bc.as_ref().and_then(|bc| bc.value()).and_then(decode_wef)
+                    self.wef_bc
+                        .as_ref()
+                        .and_then(|bc| bc.value())
+                        .and_then(decode_wef)
                 });
                 let Some((w, _e, f)) = wef else { return };
                 self.output_via(ctx, &w, &f);
             }
             Some(true) => {
                 // (n, t_a)-star path
-                let Some(star) =
-                    self.star_acast.as_ref().and_then(|a| a.output.as_ref()).and_then(decode_star)
+                let Some(star) = self
+                    .star_acast
+                    .as_ref()
+                    .and_then(|a| a.output.as_ref())
+                    .and_then(decode_star)
                 else {
                     return;
                 };
@@ -359,7 +375,12 @@ impl Wps {
     /// Outputs directly if this party belongs to `direct_set` and holds its
     /// rows, otherwise via OEC on the points received from the parties of
     /// `support_set`.
-    fn output_via(&mut self, ctx: &mut Context<'_, Msg>, direct_set: &[PartyId], support_set: &[PartyId]) {
+    fn output_via(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        direct_set: &[PartyId],
+        support_set: &[PartyId],
+    ) {
         let me = ctx.me;
         if direct_set.contains(&me) {
             if let Some(rows) = &self.my_rows {
@@ -375,7 +396,10 @@ impl Wps {
             let pts: Vec<(Fp, Fp)> = support_set
                 .iter()
                 .filter_map(|&j| {
-                    self.points_from.get(&j).and_then(|v| v.get(ell)).map(|&p| (alpha(j), p))
+                    self.points_from
+                        .get(&j)
+                        .and_then(|v| v.get(ell))
+                        .map(|&p| (alpha(j), p))
                 })
                 .collect();
             match rs::oec_decode(ts, ts, &pts) {
@@ -411,12 +435,17 @@ impl Protocol<Msg> for Wps {
         ctx.set_timer(2 * ctx.delta + 2 * self.params.t_bc(), TIMER_BA);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, path: PathSlice<'_>, msg: Msg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: PartyId,
+        path: PathSlice<'_>,
+        msg: Msg,
+    ) {
         match path.first() {
             None => match msg {
                 Msg::RowPolys(rows) if from == self.dealer && self.my_rows.is_none() => {
-                    self.my_rows =
-                        Some(rows.into_iter().map(Polynomial::from_coeffs).collect());
+                    self.my_rows = Some(rows.into_iter().map(Polynomial::from_coeffs).collect());
                     self.schedule_point_sending(ctx);
                     self.refresh_votes(ctx);
                     self.check_progress(ctx);
@@ -549,7 +578,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn make_parties(params: Params, dealer: PartyId, polys: Vec<Polynomial>) -> Vec<Box<dyn Protocol<Msg>>> {
+    fn make_parties(
+        params: Params,
+        dealer: PartyId,
+        polys: Vec<Polynomial>,
+    ) -> Vec<Box<dyn Protocol<Msg>>> {
         (0..params.n)
             .map(|i| {
                 let w = if i == dealer {
@@ -562,7 +595,12 @@ mod tests {
             .collect()
     }
 
-    fn check_shares(sim: &Simulation<Msg>, params: Params, polys: &[Polynomial], corrupt: &CorruptionSet) {
+    fn check_shares(
+        sim: &Simulation<Msg>,
+        params: Params,
+        polys: &[Polynomial],
+        corrupt: &CorruptionSet,
+    ) {
         for i in 0..params.n {
             if corrupt.is_corrupt(i) {
                 continue;
@@ -591,11 +629,18 @@ mod tests {
         let done = sim.run_until(params.t_wps() + params.delta, |s| {
             (0..params.n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
         });
-        assert!(done, "WPS must complete within T_WPS in a synchronous network");
+        assert!(
+            done,
+            "WPS must complete within T_WPS in a synchronous network"
+        );
         check_shares(&sim, params, &polys, &CorruptionSet::none());
         for i in 0..params.n {
             let at = sim.party_as::<Wps>(i).unwrap().output_at.unwrap();
-            assert!(at <= params.t_wps(), "output at {at} > T_WPS {}", params.t_wps());
+            assert!(
+                at <= params.t_wps(),
+                "output at {at} > T_WPS {}",
+                params.t_wps()
+            );
         }
     }
 
@@ -603,8 +648,11 @@ mod tests {
     fn honest_dealer_async_eventual_correctness() {
         let params = Params::new(5, 1, 1, 10);
         let mut rng = StdRng::seed_from_u64(43);
-        let polys =
-            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(123))];
+        let polys = vec![Polynomial::random_with_constant_term(
+            &mut rng,
+            params.ts,
+            Fp::from_u64(123),
+        )];
         let corrupt = CorruptionSet::new(vec![4]);
         let mut sim = Simulation::new(
             NetConfig::asynchronous(params.n).with_seed(9),
@@ -616,7 +664,10 @@ mod tests {
                 .filter(|&i| corrupt.is_honest(i))
                 .all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
         });
-        assert!(done, "honest parties must eventually output in an asynchronous network");
+        assert!(
+            done,
+            "honest parties must eventually output in an asynchronous network"
+        );
         check_shares(&sim, params, &polys, &corrupt);
     }
 
@@ -645,8 +696,11 @@ mod tests {
         // secret by Lemma 2.2).
         let params = Params::new(4, 1, 0, 10);
         let mut rng = StdRng::seed_from_u64(44);
-        let polys =
-            vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(5))];
+        let polys = vec![Polynomial::random_with_constant_term(
+            &mut rng,
+            params.ts,
+            Fp::from_u64(5),
+        )];
         let mut sim = Simulation::new(
             NetConfig::synchronous(params.n),
             CorruptionSet::none(),
@@ -658,7 +712,12 @@ mod tests {
         assert!(done);
         // any t_s shares alone do not determine the degree-t_s polynomial
         let adversary_view: Vec<(usize, Fp)> = (0..params.ts)
-            .map(|i| (i, sim.party_as::<Wps>(i).unwrap().shares.as_ref().unwrap()[0]))
+            .map(|i| {
+                (
+                    i,
+                    sim.party_as::<Wps>(i).unwrap().shares.as_ref().unwrap()[0],
+                )
+            })
             .collect();
         assert!(mpc_algebra::shamir::reconstruct(params.ts, &adversary_view).is_none());
     }
@@ -669,13 +728,20 @@ mod tests {
         for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
             let params = Params::new(4, 1, 0, 10);
             let mut rng = StdRng::seed_from_u64(45);
-            let polys =
-                vec![Polynomial::random_with_constant_term(&mut rng, params.ts, Fp::from_u64(8))];
+            let polys = vec![Polynomial::random_with_constant_term(
+                &mut rng,
+                params.ts,
+                Fp::from_u64(8),
+            )];
             let cfg = match kind {
                 NetworkKind::Synchronous => NetConfig::synchronous(params.n),
                 NetworkKind::Asynchronous => NetConfig::asynchronous(params.n),
             };
-            let mut sim = Simulation::new(cfg.with_seed(3), CorruptionSet::none(), make_parties(params, 1, polys.clone()));
+            let mut sim = Simulation::new(
+                cfg.with_seed(3),
+                CorruptionSet::none(),
+                make_parties(params, 1, polys.clone()),
+            );
             let done = sim.run_until(50_000_000, |s| {
                 (0..params.n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
             });

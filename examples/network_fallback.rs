@@ -20,7 +20,10 @@ use bobw_mpc::protocols::Params;
 fn main() {
     let n = 5;
     let params = Params::max_thresholds(n, 10);
-    println!("n = {n}: best-of-both-worlds thresholds t_s = {}, t_a = {}", params.ts, params.ta);
+    println!(
+        "n = {n}: best-of-both-worlds thresholds t_s = {}, t_a = {}",
+        params.ts, params.ta
+    );
 
     let mut circuit = Circuit::new(n);
     let p = circuit.mul(circuit.input(0), circuit.input(1));
@@ -61,7 +64,13 @@ fn main() {
     // may be excluded from the common subset; the output is f over the
     // included inputs with the rest zeroed (Theorem 7.1).
     let zeroed: Vec<u64> = (0..n)
-        .map(|i| if asynch.input_subset.contains(&i) { inputs[i] } else { 0 })
+        .map(|i| {
+            if asynch.input_subset.contains(&i) {
+                inputs[i]
+            } else {
+                0
+            }
+        })
         .collect();
     let expected_async = zeroed[0] * zeroed[1] + zeroed[2] * zeroed[3] + zeroed[4];
     println!(

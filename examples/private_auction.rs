@@ -38,7 +38,9 @@ fn main() {
         .run(&lottery)
         .expect("lottery run completes despite the crashed bidder");
     println!("lottery value           : {}", r_lottery.output.as_u64());
-    println!("bidders included in CS  : {:?} (bidder 4 crashed, its input defaulted to 0)",
-             r_lottery.input_subset);
+    println!(
+        "bidders included in CS  : {:?} (bidder 4 crashed, its input defaulted to 0)",
+        r_lottery.input_subset
+    );
     println!("simulated finish time   : {} ticks", r_lottery.finished_at);
 }

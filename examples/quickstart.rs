@@ -18,8 +18,11 @@ fn main() {
 
     let inputs = [3u64, 5, 7, 11];
     println!("private inputs          : {inputs:?} (never revealed to other parties)");
-    println!("circuit                 : x1*x2 + x3 + x4  (c_M = {}, D_M = {})",
-             circuit.mult_count(), circuit.mult_depth());
+    println!(
+        "circuit                 : x1*x2 + x3 + x4  (c_M = {}, D_M = {})",
+        circuit.mult_count(),
+        circuit.mult_depth()
+    );
 
     let result = MpcBuilder::new(4, 1, 0)
         .network(NetworkKind::Synchronous)
@@ -31,6 +34,8 @@ fn main() {
     println!("expected (cleartext)    : {}", 3 * 5 + 7 + 11);
     println!("inputs included (CS)    : {:?}", result.input_subset);
     println!("simulated finish time   : {} ticks", result.finished_at);
-    println!("honest communication    : {} bits in {} messages",
-             result.metrics.honest_bits, result.metrics.honest_messages);
+    println!(
+        "honest communication    : {} bits in {} messages",
+        result.metrics.honest_bits, result.metrics.honest_messages
+    );
 }

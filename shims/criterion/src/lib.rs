@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset this workspace uses — [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a simple warm-up + timed-batches measurement
+//! loop. Reports mean ns/iteration on stdout; no statistics, plots or
+//! baseline comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black-box optimisation barrier.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The shim honours the
+/// general intent (smaller batches for larger inputs) but not exact batch
+/// size semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to hold; large batches.
+    SmallInput,
+    /// Input is expensive to hold; small batches.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// The benchmark driver handed to every registered benchmark function.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Far shorter than real criterion's 3s/5s: good enough for a
+            // smoke-level perf signal without slowing `--benches` runs.
+            warm_up_time: Duration::from_millis(50),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        match b.result {
+            Some(ns_per_iter) => println!("{id:<40} {ns_per_iter:>12.1} ns/iter"),
+            None => println!("{id:<40} (no measurement recorded)"),
+        }
+        self
+    }
+}
+
+/// Times a routine inside [`Criterion::bench_function`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a tight loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates how many iterations fit in a batch.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up_time.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total_iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+        }
+        let elapsed = start.elapsed();
+        self.result = Some(elapsed.as_secs_f64() * 1e9 / total_iters.max(1) as f64);
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per call; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine(setup()));
+        }
+
+        let mut measured = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        let loop_start = Instant::now();
+        while loop_start.elapsed() < self.measurement_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            total_iters += 1;
+        }
+        self.result = Some(measured.as_secs_f64() * 1e9 / total_iters.max(1) as f64);
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

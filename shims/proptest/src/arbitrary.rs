@@ -1,0 +1,41 @@
+//! The [`Arbitrary`] trait and the [`any`] strategy constructor.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::distributions::{Distribution, Standard};
+
+/// Types with a canonical "generate any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T> Arbitrary for T
+where
+    Standard: Distribution<T>,
+{
+    fn arbitrary(rng: &mut TestRng) -> T {
+        Standard.sample(rng)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<A> {
+    _marker: core::marker::PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// A strategy generating any value of type `A`: `any::<u64>()`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}

@@ -1,0 +1,60 @@
+//! Test execution support: configuration, the deterministic test RNG and
+//! failure-context reporting.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite fast
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Deterministically seeded from the test name,
+/// so every run (and every CI machine) sees the same cases.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runs one generated case, printing the generated inputs if it panics so
+/// failures are reproducible despite the absence of shrinking.
+pub fn with_case_context<F: FnOnce()>(inputs: &str, f: F) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        eprintln!("proptest case failed: {inputs}");
+        std::panic::resume_unwind(payload);
+    }
+}

@@ -1,0 +1,142 @@
+//! Distributions: the [`Distribution`] trait, the [`Standard`] distribution
+//! and uniform range sampling.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value from the distribution.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniform range sampling (`rand::distributions::uniform`).
+pub mod uniform {
+    use crate::Rng;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Samples uniformly from `[low, high]` (both ends inclusive).
+        ///
+        /// # Panics
+        /// Panics if `low > high`.
+        fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    /// Range types (`a..b`, `a..=b`) usable with [`Rng::gen_range`].
+    ///
+    /// [`Rng::gen_range`]: crate::Rng::gen_range
+    pub trait SampleRange<T> {
+        /// Samples a single value uniformly from `self`.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Draws a `u64` uniformly from `[0, span]` (inclusive) without modulo
+    /// bias, by masked rejection sampling.
+    fn uniform_u64_inclusive<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let width = span + 1;
+        // Smallest all-ones mask covering `span`.
+        let mask = u64::MAX >> (width | 1).leading_zeros();
+        loop {
+            let v = rng.next_u64() & mask;
+            if v <= span {
+                return v;
+            }
+        }
+    }
+
+    macro_rules! impl_sample_uniform_uint {
+        ($($t:ty),*) => {
+            $(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        let span = (high as u64).wrapping_sub(low as u64);
+                        low.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_sample_uniform_int {
+        ($($t:ty => $u:ty),*) => {
+            $(
+                impl SampleUniform for $t {
+                    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        let span = (high as $u).wrapping_sub(low as $u) as u64;
+                        low.wrapping_add(uniform_u64_inclusive(rng, span) as $t)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl<T: SampleUniform + PartialOrd + Copy + Step> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_inclusive(rng, self.start, T::prev(self.end))
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+
+    /// Internal helper: predecessor of an integer (for half-open ranges).
+    pub trait Step {
+        /// Returns `self - 1`.
+        fn prev(self) -> Self;
+    }
+
+    macro_rules! impl_step {
+        ($($t:ty),*) => {
+            $(impl Step for $t { fn prev(self) -> Self { self - 1 } })*
+        };
+    }
+
+    impl_step!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}

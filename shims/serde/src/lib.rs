@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate (see `shims/README.md`).
+//!
+//! [`Serialize`] and [`Deserialize`] are **marker traits only** — no actual
+//! serialization happens. The derive macros (re-exported from the local
+//! `serde_derive` shim) emit empty trait impls, which keeps the in-tree
+//! `#[derive(Serialize, Deserialize)]` annotations and any `T: Serialize`
+//! bounds compiling so the real serde can be dropped in later unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de> {}

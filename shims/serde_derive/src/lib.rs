@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit an *empty* impl of
+//! the corresponding marker trait from the local `serde` shim. Generic types
+//! get no impl (the marker traits are never used as bounds in-tree, so this
+//! only matters once real serde is restored).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the deriving type: the identifier following the
+/// `struct`/`enum`/`union` keyword, provided it is not generic.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(kw) = &tt {
+            let kw = kw.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    let generic = matches!(
+                        tokens.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    if !generic {
+                        return Some(name.to_string());
+                    }
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("valid impl block"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("valid impl block"),
+        None => TokenStream::new(),
+    }
+}

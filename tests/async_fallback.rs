@@ -28,9 +28,14 @@ fn adversarially_delayed_honest_party_does_not_break_safety() {
     // common subset (that is allowed in an asynchronous network), but the
     // output must be the correct product over the included inputs.
     let included = &result.input_subset;
-    let expected: u64 = (0..n).map(|i| if included.contains(&i) { inputs[i] } else { 0 }).product();
+    let expected: u64 = (0..n)
+        .map(|i| if included.contains(&i) { inputs[i] } else { 0 })
+        .product();
     assert_eq!(result.output.as_u64(), expected);
-    assert!(included.len() >= n - 1, "at least n - t_s inputs are included");
+    assert!(
+        included.len() >= n - 1,
+        "at least n - t_s inputs are included"
+    );
 }
 
 #[test]

@@ -1,0 +1,130 @@
+//! Simulation determinism: a run is a pure function of
+//! `(NetConfig, CorruptionSet, parties, scheduler)`. Same seed and same
+//! scheduler must reproduce the exact event transcript and metrics, in both
+//! network kinds; different seeds must actually produce different executions.
+
+use bobw_mpc::algebra::Fp;
+use bobw_mpc::core::{Circuit, MpcBuilder};
+use bobw_mpc::net::{
+    CorruptionSet, Metrics, NetConfig, NetworkKind, Protocol, Simulation, Time, TranscriptEntry,
+    UniformDelay,
+};
+use bobw_mpc::protocols::bc::Bc;
+use bobw_mpc::protocols::{BcValue, Msg, Params};
+
+fn bc_parties(n: usize, params: Params) -> Vec<Box<dyn Protocol<Msg>>> {
+    let payload = BcValue::Value(vec![Fp::from_u64(42), Fp::from_u64(7)]);
+    (0..n)
+        .map(|i| {
+            let bc = if i == 0 {
+                Bc::new_sender(0, params.ts, params, payload.clone())
+            } else {
+                Bc::new(0, params.ts, params)
+            };
+            Box::new(bc) as Box<dyn Protocol<Msg>>
+        })
+        .collect()
+}
+
+/// Runs one `Π_BC` broadcast with transcript recording and returns the full
+/// execution fingerprint.
+fn run_bc(
+    kind: NetworkKind,
+    seed: u64,
+    explicit_scheduler: bool,
+) -> (Vec<TranscriptEntry>, Metrics, Time) {
+    let n = 4;
+    let params = Params::max_thresholds(n, 10);
+    let cfg = match kind {
+        NetworkKind::Synchronous => NetConfig::synchronous(n),
+        NetworkKind::Asynchronous => NetConfig::asynchronous(n),
+    }
+    .with_seed(seed);
+    let mut sim = if explicit_scheduler {
+        Simulation::with_scheduler(
+            cfg,
+            CorruptionSet::none(),
+            Box::new(UniformDelay { min: 1, max: 35 }),
+            bc_parties(n, params),
+        )
+    } else {
+        Simulation::new(cfg, CorruptionSet::none(), bc_parties(n, params))
+    };
+    sim.record_transcript();
+    let done = sim.run_until(params.t_bc() * 20, |s| {
+        (0..n).all(|i| s.party_as::<Bc>(i).unwrap().value().is_some())
+    });
+    assert!(done, "broadcast must complete within the horizon");
+    (sim.transcript().to_vec(), sim.metrics().clone(), sim.now())
+}
+
+#[test]
+fn same_seed_same_scheduler_identical_transcript_sync() {
+    let a = run_bc(NetworkKind::Synchronous, 11, false);
+    let b = run_bc(NetworkKind::Synchronous, 11, false);
+    assert_eq!(a.0, b.0, "transcripts must be identical");
+    assert_eq!(a.1, b.1, "metrics must be identical");
+    assert_eq!(a.2, b.2, "completion times must be identical");
+    assert!(!a.0.is_empty(), "transcript recording must capture events");
+}
+
+#[test]
+fn same_seed_same_scheduler_identical_transcript_async() {
+    let a = run_bc(NetworkKind::Asynchronous, 11, false);
+    let b = run_bc(NetworkKind::Asynchronous, 11, false);
+    assert_eq!(a.0, b.0, "transcripts must be identical");
+    assert_eq!(a.1, b.1, "metrics must be identical");
+    assert_eq!(a.2, b.2, "completion times must be identical");
+}
+
+#[test]
+fn same_seed_explicit_scheduler_identical_transcript() {
+    // With an explicit scheduler the network kind is fully determined by the
+    // scheduler itself (`NetConfig::kind` only selects the *default* one), so
+    // a single run covers this path; the two default-scheduler tests above
+    // cover both kinds.
+    let a = run_bc(NetworkKind::Asynchronous, 23, true);
+    let b = run_bc(NetworkKind::Asynchronous, 23, true);
+    assert_eq!(a.0, b.0, "transcripts must be identical");
+    assert_eq!(a.1, b.1, "metrics must be identical");
+}
+
+#[test]
+fn different_seeds_diverge_async() {
+    // Sanity check that the transcript fingerprint actually discriminates:
+    // under the randomized asynchronous scheduler, a different seed must
+    // yield a different delivery schedule.
+    let a = run_bc(NetworkKind::Asynchronous, 1, false);
+    let b = run_bc(NetworkKind::Asynchronous, 2, false);
+    assert_ne!(
+        a.0, b.0,
+        "different seeds should produce different transcripts"
+    );
+}
+
+#[test]
+fn full_mpc_run_is_deterministic_both_kinds() {
+    let mut c = Circuit::new(4);
+    let prod = c.mul(c.input(0), c.input(1));
+    let s = c.add(c.input(2), c.input(3));
+    let out = c.add(prod, s);
+    c.set_output(out);
+
+    for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+        let run = || {
+            MpcBuilder::new(4, 1, 0)
+                .network(kind)
+                .seed(77)
+                .inputs(&[3, 5, 7, 11])
+                .run(&c)
+                .expect("run completes")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.output, b.output, "{kind:?}");
+        assert_eq!(a.outputs, b.outputs, "{kind:?}");
+        assert_eq!(a.input_subset, b.input_subset, "{kind:?}");
+        assert_eq!(a.finished_at, b.finished_at, "{kind:?}");
+        assert_eq!(a.metrics, b.metrics, "{kind:?}");
+    }
+}

@@ -8,8 +8,8 @@ use bobw_mpc::net::NetworkKind;
 fn inner_product(n: usize, weights: &[u64]) -> Circuit {
     let mut c = Circuit::new(n);
     let mut acc = c.constant(Fp::ZERO);
-    for i in 0..n {
-        let scaled = c.mul_const(c.input(i), Fp::from_u64(weights[i]));
+    for (i, &w) in weights.iter().enumerate().take(n) {
+        let scaled = c.mul_const(c.input(i), Fp::from_u64(w));
         acc = c.add(acc, scaled);
     }
     c.set_output(acc);
@@ -77,8 +77,14 @@ fn outputs_are_deterministic_per_seed_and_differ_across_networks_in_timing_only(
     };
     let a = run(NetworkKind::Synchronous, 5);
     let b = run(NetworkKind::Synchronous, 5);
-    assert_eq!(a.finished_at, b.finished_at, "same seed → identical execution");
+    assert_eq!(
+        a.finished_at, b.finished_at,
+        "same seed → identical execution"
+    );
     assert_eq!(a.metrics.honest_bits, b.metrics.honest_bits);
     let c = run(NetworkKind::Asynchronous, 5);
-    assert_eq!(a.output, c.output, "network kind affects timing, never the output");
+    assert_eq!(
+        a.output, c.output,
+        "network kind affects timing, never the output"
+    );
 }

@@ -19,7 +19,11 @@ fn wps_bits(n: usize, l: usize) -> u64 {
         .collect();
     let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
         .map(|i| {
-            let w = if i == 0 { Wps::new_dealer(0, params, polys.clone()) } else { Wps::new(0, params, l) };
+            let w = if i == 0 {
+                Wps::new_dealer(0, params, polys.clone())
+            } else {
+                Wps::new(0, params, l)
+            };
             Box::new(w) as Box<dyn Protocol<Msg>>
         })
         .collect();
@@ -39,7 +43,11 @@ fn vss_bits(n: usize, l: usize) -> u64 {
         .collect();
     let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
         .map(|i| {
-            let v = if i == 0 { Vss::new_dealer(0, params, polys.clone()) } else { Vss::new(0, params, l) };
+            let v = if i == 0 {
+                Vss::new_dealer(0, params, polys.clone())
+            } else {
+                Vss::new(0, params, l)
+            };
             Box::new(v) as Box<dyn Protocol<Msg>>
         })
         .collect();
@@ -68,7 +76,10 @@ fn wps_cost_is_affine_in_l() {
         (marginal_low - marginal_high).abs() / marginal_high < 0.5,
         "per-polynomial marginal cost should be roughly constant: {marginal_low} vs {marginal_high}"
     );
-    assert!(b16 < b1 * 16, "cost must be far from linear in L (fixed n⁴ term dominates)");
+    assert!(
+        b16 < b1 * 16,
+        "cost must be far from linear in L (fixed n⁴ term dominates)"
+    );
 }
 
 #[test]
