@@ -9,7 +9,7 @@
 use bench::run_cireval;
 use mpc_core::thresholds::resilience_table;
 use mpc_core::Circuit;
-use mpc_net::NetworkKind;
+use mpc_net::{CorruptionSet, NetworkKind};
 
 fn main() {
     println!("# E1 — resilience landscape (paper Section 1)");
@@ -35,6 +35,27 @@ fn main() {
         println!(
             "n={n}: all-honest finished at simulated time {}, with t_s corruption at {}, output with corruption = {}",
             m_honest.completed_at, m_corrupt.completed_at, out.as_u64()
+        );
+    }
+    println!();
+    println!("# corruption-placement sweep: the threshold holds wherever the t_s corruptions sit");
+    let n = 4;
+    let ts = 1;
+    let circuit = Circuit::product_of_inputs(n);
+    for seed in 0..3u64 {
+        let placement = CorruptionSet::random(n, ts, seed);
+        let (m, out) = run_cireval(
+            n,
+            &circuit,
+            NetworkKind::Synchronous,
+            placement.corrupt_parties(),
+            seed + 10,
+        );
+        println!(
+            "n={n} corrupt={:?}: finished at {}, output = {}",
+            placement.corrupt_parties(),
+            m.completed_at,
+            out.as_u64()
         );
     }
 }

@@ -4,14 +4,20 @@
 use bench::run_acast;
 
 fn main() {
+    // BENCH_SMOKE=1 runs one tiny configuration — used by CI to catch
+    // bit-accounting regressions without paying for the full sweep.
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ns: &[usize] = if smoke { &[4] } else { &[4, 7, 10, 13] };
+    let ells: &[usize] = if smoke { &[1] } else { &[1, 16, 64] };
     println!("# E2 — Bracha A-cast: bits vs n and payload ℓ (claim: O(n^2 ℓ))");
     println!(
         "{:>4} {:>6} {:>12} {:>10} {:>12} {:>12}",
         "n", "ell", "bits", "msgs", "sim-time", "bits/(n²ℓ)"
     );
-    for n in [4usize, 7, 10, 13] {
-        for ell in [1usize, 16, 64] {
+    for &n in ns {
+        for &ell in ells {
             let m = run_acast(n, ell);
+            assert!(m.honest_bits > 0, "exact bit accounting must be nonzero");
             let norm = m.honest_bits as f64 / (n * n * ell) as f64;
             println!(
                 "{:>4} {:>6} {:>12} {:>10} {:>12} {:>12.1}",

@@ -7,15 +7,20 @@ use mpc_net::NetworkKind;
 use mpc_protocols::Params;
 
 fn main() {
+    // BENCH_SMOKE=1 runs one tiny configuration — used by CI to catch
+    // bit-accounting regressions without paying for the full sweep.
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let ns: &[usize] = if smoke { &[4] } else { &[4, 7, 10] };
     println!("# E3 — Π_BC: bits and output time vs n (sync and async)");
     println!(
         "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
         "n", "net", "bits", "msgs", "sim-time", "T_BC"
     );
-    for n in [4usize, 7, 10] {
+    for &n in ns {
         let params = Params::max_thresholds(n, 10);
         for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
             let m = run_bc(n, 8, kind);
+            assert!(m.honest_bits > 0, "exact bit accounting must be nonzero");
             let tag = match kind {
                 NetworkKind::Synchronous => "sync",
                 NetworkKind::Asynchronous => "async",

@@ -93,10 +93,7 @@ pub fn run_bc(n: usize, ell: usize, kind: NetworkKind) -> Measurement {
                 Box::new(bc) as Box<dyn Protocol<Msg>>
             })
             .collect();
-        let cfg = match kind {
-            NetworkKind::Synchronous => NetConfig::synchronous(n),
-            NetworkKind::Asynchronous => NetConfig::asynchronous(n),
-        };
+        let cfg = NetConfig::for_kind(n, kind);
         let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
         sim.run_until(params.t_bc() * 20, |s| {
             (0..n).all(|i| s.party_as::<Bc>(i).unwrap().value().is_some())
@@ -120,10 +117,7 @@ pub fn run_ba(n: usize, unanimous: bool, kind: NetworkKind) -> Measurement {
                 Box::new(Ba::new(params.ts, params, Some(input))) as Box<dyn Protocol<Msg>>
             })
             .collect();
-        let cfg = match kind {
-            NetworkKind::Synchronous => NetConfig::synchronous(n),
-            NetworkKind::Asynchronous => NetConfig::asynchronous(n),
-        };
+        let cfg = NetConfig::for_kind(n, kind);
         let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
         sim.run_until(params.t_ba() * 50, |s| {
             (0..n).all(|i| s.party_as::<Ba>(i).unwrap().output.is_some())

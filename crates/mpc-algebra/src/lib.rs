@@ -27,7 +27,7 @@ pub mod rs;
 pub mod shamir;
 
 pub use bivariate::SymmetricBivariate;
-pub use field::Fp;
+pub use field::{Fp, MODULUS};
 pub use poly::Polynomial;
 
 /// Publicly known, distinct, non-zero evaluation points used throughout the

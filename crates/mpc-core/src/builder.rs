@@ -10,7 +10,8 @@ use std::fmt;
 
 use mpc_algebra::Fp;
 use mpc_net::{
-    CorruptionSet, Metrics, NetConfig, NetworkKind, PartyId, Protocol, Scheduler, Simulation, Time,
+    ByzantineStrategy, CorruptionSet, Metrics, NetConfig, NetworkKind, PartyId, Protocol,
+    Scheduler, Simulation, Time,
 };
 use mpc_protocols::byzantine::SilentParty;
 use mpc_protocols::{Msg, Params};
@@ -56,6 +57,7 @@ pub struct MpcBuilder {
     delta: Time,
     inputs: Vec<Fp>,
     corrupt: CorruptionSet,
+    strategy: Option<Box<dyn ByzantineStrategy>>,
     scheduler: Option<Box<dyn Scheduler>>,
     horizon_factor: u64,
 }
@@ -81,14 +83,15 @@ impl MpcBuilder {
     /// Panics if `t_a > t_s` or `3·t_s + t_a ≥ n` (the protocol is not
     /// defined there).
     pub fn new(n: usize, ts: usize, ta: usize) -> Self {
-        let delta = 10;
+        let delta = NetConfig::DEFAULT_DELTA;
         MpcBuilder {
             params: Params::new(n, ts, ta, delta),
             network: NetworkKind::Synchronous,
-            seed: 0xB0B5,
+            seed: NetConfig::DEFAULT_SEED,
             delta,
             inputs: vec![Fp::ZERO; n],
             corrupt: CorruptionSet::none(),
+            strategy: None,
             scheduler: None,
             horizon_factor: 8,
         }
@@ -128,11 +131,22 @@ impl MpcBuilder {
         self
     }
 
-    /// Marks the listed parties as corrupt; they run a crashed (silent) party
-    /// instead of the protocol. Other misbehaviours can be exercised through
-    /// the lower-level `Simulation` API directly.
+    /// Marks the listed parties as corrupt. Without a
+    /// [`MpcBuilder::byzantine_strategy`] they run a crashed (silent) party
+    /// instead of the protocol; richer behavioural misbehaviours can be
+    /// exercised through the lower-level `Simulation` API directly.
     pub fn corrupt(mut self, parties: &[PartyId]) -> Self {
         self.corrupt = CorruptionSet::new(parties.to_vec());
+        self
+    }
+
+    /// Applies a wire-level [`ByzantineStrategy`] to every message the
+    /// corrupt parties send. The corrupt parties then run the *honest*
+    /// protocol code — the misbehaviour happens on the wire (bytes replaced,
+    /// garbled or dropped), which exercises the decode boundary of every
+    /// honest receiver.
+    pub fn byzantine_strategy(mut self, strategy: Box<dyn ByzantineStrategy>) -> Self {
+        self.strategy = Some(strategy);
         self
     }
 
@@ -167,9 +181,10 @@ impl MpcBuilder {
         let params = self.params;
         let n = params.n;
         let corrupt = self.corrupt.clone();
+        let wire_level = self.strategy.is_some();
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
             .map(|i| {
-                if corrupt.is_corrupt(i) {
+                if corrupt.is_corrupt(i) && !wire_level {
                     Box::new(SilentParty) as Box<dyn Protocol<Msg>>
                 } else {
                     Box::new(CirEval::new(params, circuit.clone(), self.inputs[i]))
@@ -177,16 +192,16 @@ impl MpcBuilder {
                 }
             })
             .collect();
-        let cfg = NetConfig {
-            n,
-            delta: self.delta,
-            kind: self.network,
-            seed: self.seed,
-        };
+        let cfg = NetConfig::for_kind(n, self.network)
+            .with_delta(self.delta)
+            .with_seed(self.seed);
         let mut sim = match self.scheduler {
             Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
             None => Simulation::new(cfg, corrupt.clone(), parties),
         };
+        if let Some(strategy) = self.strategy {
+            sim.set_strategy(strategy);
+        }
         let horizon = params.horizon_for_depth(circuit.mult_depth()) * self.horizon_factor;
         let done = sim.run_until(horizon, |s| {
             (0..n)
@@ -245,6 +260,25 @@ mod tests {
         assert_eq!(result.output.as_u64(), 3 * 5 + 7 + 11);
         assert_eq!(result.input_subset, vec![0, 1, 2, 3]);
         assert!(result.metrics.honest_bits > 0);
+    }
+
+    #[test]
+    fn garbling_corrupt_party_does_not_stop_honest_termination() {
+        // The corrupt party runs the honest protocol, but every byte it puts
+        // on the wire is garbled; honest receivers must treat the undecodable
+        // bytes as Byzantine input (drop, never panic) and still terminate
+        // with a common output.
+        let c = Circuit::product_of_inputs(4);
+        let result = MpcBuilder::new(4, 1, 0)
+            .inputs(&[2, 3, 4, 5])
+            .corrupt(&[3])
+            .byzantine_strategy(Box::new(mpc_net::GarbleBytes))
+            .run(&c)
+            .expect("honest parties must terminate despite garbled bytes");
+        assert!(result.metrics.adversary_tampered > 0);
+        assert!(result.metrics.decode_failures > 0);
+        // the honest parties' agreement on the output is asserted inside run()
+        assert!((0..3).all(|i| result.outputs[i].is_some()));
     }
 
     #[test]

@@ -596,7 +596,7 @@ impl CirEval {
         self.phase = Phase::Ready;
         if !self.sent_ready {
             self.sent_ready = true;
-            ctx.send_all(Msg::Ready(vec![y[0]]));
+            ctx.broadcast(Msg::Ready(vec![y[0]]));
         }
         self.drive_ready(ctx);
     }
@@ -606,7 +606,7 @@ impl CirEval {
         for (y, senders) in self.ready_counts.clone() {
             if senders.len() > ts && !self.sent_ready {
                 self.sent_ready = true;
-                ctx.send_all(Msg::Ready(vec![y]));
+                ctx.broadcast(Msg::Ready(vec![y]));
             }
             if senders.len() > 2 * ts && self.output.is_none() {
                 self.output = Some(y);

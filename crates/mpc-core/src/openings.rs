@@ -34,7 +34,7 @@ impl OpeningManager {
             return;
         }
         self.my_batches.insert(tag, my_shares.len());
-        ctx.send_all(Msg::Open {
+        ctx.broadcast(Msg::Open {
             tag,
             values: my_shares,
         });

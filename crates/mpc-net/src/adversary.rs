@@ -1,9 +1,24 @@
-//! The static-corruption model of the paper.
+//! The static-corruption model of the paper, plus pluggable wire-level
+//! Byzantine behaviours.
 //!
 //! A computationally unbounded Byzantine adversary picks a set of parties to
 //! corrupt *before* the execution starts (static corruption). In a
 //! synchronous network it may corrupt up to `t_s` parties; in an asynchronous
 //! network up to `t_a`, where `t_a < t_s` and `3·t_s + t_a < n`.
+//!
+//! Corruption acts at two layers:
+//!
+//! * **behavioural** — a corrupt party runs a different root protocol
+//!   (`mpc_protocols::byzantine`);
+//! * **wire-level** — a [`ByzantineStrategy`] intercepts every byte string a
+//!   corrupt party puts on a channel and may pass it through, replace it, or
+//!   drop it. Byte tampering is meaningful because messages really are bytes
+//!   ([`crate::wire`]): a garbled payload that no longer decodes is treated
+//!   by the receiving boundary as Byzantine input and dropped, never a panic.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
 
 use crate::simulation::PartyId;
 
@@ -42,6 +57,25 @@ impl CorruptionSet {
         }
     }
 
+    /// Corrupts `t` of `n` parties chosen uniformly (deterministically from
+    /// `seed`), so tests and benchmarks can sweep corruption *placements*
+    /// instead of always corrupting the first or last `t` parties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > n`.
+    pub fn random(n: usize, t: usize, seed: u64) -> Self {
+        assert!(t <= n, "cannot corrupt {t} of {n} parties");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0_44_u64.rotate_left(17));
+        let mut ids: Vec<PartyId> = (0..n).collect();
+        // Partial Fisher–Yates: the first t slots end up uniformly chosen.
+        for i in 0..t {
+            let j = rng.gen_range(i..n);
+            ids.swap(i, j);
+        }
+        Self::new(ids[..t].to_vec())
+    }
+
     /// Is `p` corrupt?
     pub fn is_corrupt(&self, p: PartyId) -> bool {
         self.corrupt.binary_search(&p).is_ok()
@@ -65,6 +99,119 @@ impl CorruptionSet {
     /// The honest party ids among `0..n`, sorted.
     pub fn honest_parties(&self, n: usize) -> Vec<PartyId> {
         (0..n).filter(|&p| self.is_honest(p)).collect()
+    }
+}
+
+/// One outgoing wire message from a corrupt sender, as seen by a
+/// [`ByzantineStrategy`]. For a broadcast the strategy is consulted once per
+/// recipient (`broadcast == true`), which is what makes equivocation
+/// expressible: different recipients may receive different bytes.
+#[derive(Debug)]
+pub struct WireSend<'a> {
+    /// The corrupt sending party.
+    pub from: PartyId,
+    /// The receiving party.
+    pub to: PartyId,
+    /// Total number of parties `n`.
+    pub n: usize,
+    /// Instance path the message is addressed to.
+    pub path: &'a [u32],
+    /// The canonical encoding of the payload.
+    pub bytes: &'a [u8],
+    /// Whether this copy is part of a broadcast effect.
+    pub broadcast: bool,
+}
+
+/// What a [`ByzantineStrategy`] decided to do with one wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireAction {
+    /// Deliver the bytes unchanged (the payload stays shared).
+    Deliver,
+    /// Deliver these bytes instead (equivocation, garbling, …). The
+    /// replacement need not decode — undecodable bytes are dropped at the
+    /// receiving boundary and counted in [`crate::Metrics::decode_failures`].
+    Replace(Vec<u8>),
+    /// Suppress the message entirely (crash/omission behaviour).
+    Drop,
+}
+
+/// A wire-level Byzantine behaviour, applied by the simulator to every
+/// message sent by a *corrupt* party (honest parties' channels are private
+/// and authentic, so the adversary cannot touch them).
+///
+/// Strategies are consulted at the send boundary with the already-encoded
+/// canonical bytes and draw any randomness they need from the simulation's
+/// dedicated adversary RNG, keeping runs reproducible.
+pub trait ByzantineStrategy {
+    /// Decides the fate of one outgoing message of a corrupt sender.
+    fn on_send(&mut self, send: &WireSend<'_>, rng: &mut StdRng) -> WireAction;
+}
+
+/// The default strategy: corrupt parties' messages pass through untouched
+/// (their misbehaviour, if any, is purely behavioural).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Passive;
+
+impl ByzantineStrategy for Passive {
+    fn on_send(&mut self, _send: &WireSend<'_>, _rng: &mut StdRng) -> WireAction {
+        WireAction::Deliver
+    }
+}
+
+/// Crash-style corruption: every message of a corrupt sender is suppressed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Crash;
+
+impl ByzantineStrategy for Crash {
+    fn on_send(&mut self, _send: &WireSend<'_>, _rng: &mut StdRng) -> WireAction {
+        WireAction::Drop
+    }
+}
+
+/// Equivocate on broadcasts: recipients in the upper half of the id space
+/// receive `alt` (an alternative canonical encoding chosen by the test)
+/// instead of the real payload; unicasts pass through unchanged.
+#[derive(Clone, Debug)]
+pub struct EquivocateBroadcast {
+    /// The alternative byte string delivered to recipients with
+    /// `to ≥ n / 2`.
+    pub alt: Vec<u8>,
+}
+
+impl ByzantineStrategy for EquivocateBroadcast {
+    fn on_send(&mut self, send: &WireSend<'_>, _rng: &mut StdRng) -> WireAction {
+        if send.broadcast && send.to >= send.n / 2 {
+            WireAction::Replace(self.alt.clone())
+        } else {
+            WireAction::Deliver
+        }
+    }
+}
+
+/// Garble the payload bytes of every corrupt-sender message: each byte is
+/// XORed with a random mask with probability ≈ 1/4, and at least one byte is
+/// always flipped. Most garbled payloads fail to decode and are dropped at
+/// the receiving boundary, so this strategy stress-tests that decode
+/// failures are handled as Byzantine input rather than panics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GarbleBytes;
+
+impl ByzantineStrategy for GarbleBytes {
+    fn on_send(&mut self, send: &WireSend<'_>, rng: &mut StdRng) -> WireAction {
+        let mut bytes = send.bytes.to_vec();
+        let mut flipped = false;
+        for b in bytes.iter_mut() {
+            if rng.gen_range(0..4u8) == 0 {
+                *b ^= rng.gen_range(1..=u8::MAX);
+                flipped = true;
+            }
+        }
+        if !flipped {
+            if let Some(b) = bytes.first_mut() {
+                *b ^= 0xFF;
+            }
+        }
+        WireAction::Replace(bytes)
     }
 }
 
@@ -108,6 +255,49 @@ mod tests {
     fn first_and_last_helpers() {
         assert_eq!(CorruptionSet::first(2).corrupt_parties(), &[0, 1]);
         assert_eq!(CorruptionSet::last(7, 2).corrupt_parties(), &[5, 6]);
+    }
+
+    #[test]
+    fn random_corruption_is_deterministic_and_well_formed() {
+        for n in [4usize, 7, 13] {
+            for t in 0..=(n - 1) / 3 {
+                for seed in 0..20u64 {
+                    let a = CorruptionSet::random(n, t, seed);
+                    assert_eq!(a, CorruptionSet::random(n, t, seed), "same seed, same set");
+                    assert_eq!(a.count(), t);
+                    assert!(a.corrupt_parties().iter().all(|&p| p < n));
+                }
+            }
+        }
+        // different seeds must actually move the placement around
+        let placements: std::collections::HashSet<Vec<PartyId>> = (0..32)
+            .map(|s| CorruptionSet::random(10, 3, s).corrupt_parties().to_vec())
+            .collect();
+        assert!(placements.len() > 1, "seed must influence the placement");
+    }
+
+    #[test]
+    fn strategy_actions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let send = WireSend {
+            from: 0,
+            to: 3,
+            n: 4,
+            path: &[],
+            bytes: &[1, 2, 3],
+            broadcast: true,
+        };
+        assert_eq!(Passive.on_send(&send, &mut rng), WireAction::Deliver);
+        assert_eq!(Crash.on_send(&send, &mut rng), WireAction::Drop);
+        let mut eq = EquivocateBroadcast { alt: vec![9] };
+        assert_eq!(eq.on_send(&send, &mut rng), WireAction::Replace(vec![9]));
+        let lower = WireSend { to: 1, ..send };
+        assert_eq!(eq.on_send(&lower, &mut rng), WireAction::Deliver);
+        let WireAction::Replace(garbled) = GarbleBytes.on_send(&send, &mut rng) else {
+            panic!("garble must replace the payload");
+        };
+        assert_eq!(garbled.len(), 3);
+        assert_ne!(garbled, vec![1, 2, 3], "at least one byte must change");
     }
 
     #[test]

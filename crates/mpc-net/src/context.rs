@@ -55,6 +55,10 @@ pub trait Protocol<M>: Any {
 pub struct Effects<M> {
     /// `(destination, instance path, payload)` unicasts.
     pub sends: Vec<(PartyId, Path, M)>,
+    /// `(instance path, payload)` broadcasts: one effect per *broadcast*,
+    /// not per recipient. The simulator encodes the payload once and shares
+    /// the bytes across all `n` deliveries (including the sender's own).
+    pub broadcasts: Vec<(Path, M)>,
     /// `(delay, instance path, timer id)` timer requests.
     pub timers: Vec<(Time, Path, u64)>,
 }
@@ -64,6 +68,7 @@ impl<M> Effects<M> {
     pub fn new() -> Self {
         Effects {
             sends: Vec::new(),
+            broadcasts: Vec::new(),
             timers: Vec::new(),
         }
     }
@@ -124,15 +129,24 @@ impl<'a, M> Context<'a, M> {
         self.effects.sends.push((to, self.path.clone(), msg));
     }
 
-    /// Sends a copy of `msg` to every party (including the sender itself, as
-    /// the paper's protocols have parties process their own broadcasts).
-    pub fn send_all(&mut self, msg: M)
-    where
-        M: Clone,
-    {
-        for p in 0..self.n {
-            self.send(p, msg.clone());
-        }
+    /// Sends `msg` to every party (including the sender itself, as the
+    /// paper's protocols have parties process their own broadcasts).
+    ///
+    /// Unlike `n` individual [`Context::send`] calls this emits a *single*
+    /// broadcast effect: the simulator encodes the payload once and shares
+    /// the encoded bytes across all `n` deliveries, so no per-recipient
+    /// clone of the payload is ever made.
+    pub fn broadcast(&mut self, msg: M) {
+        self.effects.broadcasts.push((self.path.clone(), msg));
+    }
+
+    /// Sends `msg` to every party.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Context::broadcast`, which shares the payload"
+    )]
+    pub fn send_all(&mut self, msg: M) {
+        self.broadcast(msg);
     }
 
     /// Requests a timer that fires after `delay` local time units, delivered
@@ -229,14 +243,25 @@ mod tests {
     }
 
     #[test]
-    fn send_all_reaches_every_party() {
+    fn broadcast_emits_one_shared_effect() {
         let mut effects: Effects<u32> = Effects::new();
         let mut rng = StdRng::seed_from_u64(1);
         let mut ctx = Context::new(2, 5, 0, 10, &mut effects, &mut rng, 42);
+        ctx.scoped(3, |ctx| ctx.broadcast(1));
+        assert!(effects.sends.is_empty());
+        assert_eq!(effects.broadcasts.len(), 1);
+        assert_eq!(effects.broadcasts[0], (vec![3], 1));
+    }
+
+    #[test]
+    fn send_all_is_an_alias_for_broadcast() {
+        let mut effects: Effects<u32> = Effects::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Context::new(2, 5, 0, 10, &mut effects, &mut rng, 42);
+        #[allow(deprecated)]
         ctx.send_all(1);
-        assert_eq!(effects.sends.len(), 5);
-        let dests: Vec<PartyId> = effects.sends.iter().map(|s| s.0).collect();
-        assert_eq!(dests, vec![0, 1, 2, 3, 4]);
+        assert!(effects.sends.is_empty());
+        assert_eq!(effects.broadcasts.len(), 1);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`Protocol`] / [`Context`] — the state-machine interface protocol
 //!   implementations are written against, with hierarchical instance-path
 //!   routing so that sub-protocols compose exactly as in the paper;
-//! * [`adversary`] — the static-corruption model;
+//! * [`wire`] — the canonical byte codec every simulated message travels
+//!   through, the source of the *exact* bit accounting;
+//! * [`adversary`] — the static-corruption model and the pluggable
+//!   wire-level [`adversary::ByzantineStrategy`] behaviours (crash,
+//!   equivocation, byte garbling);
 //! * [`metrics::Metrics`] — honest-party communication accounting used by the
 //!   experiment suite;
 //! * an ideal common-coin oracle used by the asynchronous Byzantine agreement
@@ -30,12 +34,18 @@ pub mod context;
 pub mod metrics;
 pub mod scheduler;
 pub mod simulation;
+pub mod wire;
 
-pub use adversary::CorruptionSet;
+pub use adversary::{
+    ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, GarbleBytes, Passive, WireAction,
+    WireSend,
+};
 pub use context::{Context, Effects, Path, PathSlice, Protocol};
 pub use metrics::Metrics;
 pub use scheduler::{AsyncScheduler, FixedDelay, Scheduler, SkewedAsyncScheduler, UniformDelay};
+#[allow(deprecated)]
+pub use simulation::MessageSize;
 pub use simulation::{
-    MessageSize, NetConfig, NetworkKind, PartyId, Simulation, Time, TranscriptEntry,
-    TranscriptEvent,
+    NetConfig, NetworkKind, PartyId, Simulation, Time, TranscriptEntry, TranscriptEvent,
 };
+pub use wire::{WireDecode, WireEncode, WireError, WireReader};

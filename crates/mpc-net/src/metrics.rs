@@ -10,10 +10,24 @@ use std::collections::BTreeMap;
 pub struct Metrics {
     /// Messages sent by honest parties.
     pub honest_messages: u64,
-    /// Bits sent by honest parties (per the payload's [`crate::MessageSize`]).
+    /// Bits sent by honest parties: the *exact* length of the canonical wire
+    /// encoding ([`crate::wire::WireEncode`]) of every message they put on a
+    /// channel, ×8. A broadcast counts once per recipient (the network is a
+    /// complete graph of pairwise channels), even though the simulator
+    /// encodes its payload only once.
     pub honest_bits: u64,
-    /// Messages sent by corrupt parties (informational only).
+    /// Messages sent by corrupt parties that reached the wire
+    /// (informational only; messages their [`crate::adversary::ByzantineStrategy`]
+    /// dropped are in [`Metrics::adversary_drops`] instead).
     pub corrupt_messages: u64,
+    /// Corrupt-sender messages suppressed by the Byzantine strategy.
+    pub adversary_drops: u64,
+    /// Corrupt-sender messages whose bytes the Byzantine strategy replaced
+    /// (equivocation, garbling).
+    pub adversary_tampered: u64,
+    /// Deliveries whose bytes failed to decode as a protocol message; they
+    /// are treated as Byzantine input and dropped at the boundary.
+    pub decode_failures: u64,
     /// Number of events processed.
     pub events_processed: u64,
     /// Honest bits broken down by the *top-level path segment* of the sending

@@ -2,14 +2,16 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::adversary::CorruptionSet;
+use crate::adversary::{ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend};
 use crate::context::{Context, Effects, Path, Protocol};
 use crate::metrics::Metrics;
 use crate::scheduler::{FixedDelay, Scheduler, UniformDelay};
+use crate::wire::{WireDecode, WireEncode};
 
 /// A party identifier in `0..n` (the paper's `P_{i+1}`).
 pub type PartyId = usize;
@@ -18,11 +20,26 @@ pub type PartyId = usize;
 /// is expressed in the same unit.
 pub type Time = u64;
 
-/// Size accounting for message payloads, in bits. Used to reproduce the
-/// paper's communication-complexity claims.
+/// Size accounting for message payloads, in bits.
+///
+/// Historically implemented by hand-written estimates; the simulator now
+/// derives all bit counts from the exact length of the canonical encoding,
+/// and this trait survives only as a thin adapter over
+/// [`WireEncode::encoded_bits`].
+#[deprecated(
+    since = "0.1.0",
+    note = "bit accounting is exact now — use `WireEncode::encoded_bits`"
+)]
 pub trait MessageSize {
     /// The number of bits this payload occupies on the wire.
     fn size_bits(&self) -> u64;
+}
+
+#[allow(deprecated)]
+impl<T: WireEncode> MessageSize for T {
+    fn size_bits(&self) -> u64 {
+        self.encoded_bits()
+    }
 }
 
 /// Which of the paper's two network models the execution runs in.
@@ -49,25 +66,31 @@ pub struct NetConfig {
 }
 
 impl NetConfig {
-    /// A synchronous network of `n` parties with `Δ = 10` ticks.
-    pub fn synchronous(n: usize) -> Self {
+    /// The default synchronous delivery bound `Δ`, in ticks.
+    pub const DEFAULT_DELTA: Time = 10;
+    /// The default master seed of a run.
+    pub const DEFAULT_SEED: u64 = 0xB0B5;
+
+    /// A network of `n` parties of the given kind with the default `Δ` and
+    /// seed (override via [`NetConfig::with_delta`] / [`NetConfig::with_seed`]).
+    pub fn for_kind(n: usize, kind: NetworkKind) -> Self {
         NetConfig {
             n,
-            delta: 10,
-            kind: NetworkKind::Synchronous,
-            seed: 0xB0B5,
+            delta: Self::DEFAULT_DELTA,
+            kind,
+            seed: Self::DEFAULT_SEED,
         }
+    }
+
+    /// A synchronous network of `n` parties with `Δ = 10` ticks.
+    pub fn synchronous(n: usize) -> Self {
+        Self::for_kind(n, NetworkKind::Synchronous)
     }
 
     /// An asynchronous network of `n` parties (the protocol still believes
     /// `Δ = 10` when computing its time-outs — that belief is simply wrong).
     pub fn asynchronous(n: usize) -> Self {
-        NetConfig {
-            n,
-            delta: 10,
-            kind: NetworkKind::Asynchronous,
-            seed: 0xB0B5,
-        }
+        Self::for_kind(n, NetworkKind::Asynchronous)
     }
 
     /// Replaces the master seed.
@@ -84,12 +107,14 @@ impl NetConfig {
 }
 
 #[derive(Debug)]
-enum EventKind<M> {
+enum EventKind {
     Deliver {
         to: PartyId,
         from: PartyId,
         path: Path,
-        msg: M,
+        /// The canonical encoding of the payload. A broadcast is encoded
+        /// once and this `Arc` is shared across all `n` delivery events.
+        payload: Arc<Vec<u8>>,
     },
     Timer {
         party: PartyId,
@@ -122,7 +147,18 @@ pub enum TranscriptEvent {
         from: PartyId,
         /// Instance path the message was routed to.
         path: Path,
-        /// Wire size of the payload ([`MessageSize::size_bits`]).
+        /// Exact wire size of the payload: encoded byte length ×8.
+        bits: u64,
+    },
+    /// A delivery whose bytes failed to decode as a protocol message and
+    /// were dropped at the boundary as Byzantine input (see
+    /// [`crate::Metrics::decode_failures`]).
+    DroppedDeliver {
+        /// Sending party.
+        from: PartyId,
+        /// Instance path the undecodable message was addressed to.
+        path: Path,
+        /// Exact wire size of the dropped payload: encoded byte length ×8.
         bits: u64,
     },
     /// A timer expiry.
@@ -135,7 +171,7 @@ pub enum TranscriptEvent {
 }
 
 #[derive(Debug)]
-struct Event<M> {
+struct Event {
     at: Time,
     rank: u8,
     /// Instance-path depth; deeper timers fire first at equal times so that a
@@ -143,21 +179,21 @@ struct Event<M> {
     /// same instant (e.g. `Π_BC` reading the SBA output at `T_BC`).
     depth: usize,
     seq: u64,
-    kind: EventKind<M>,
+    kind: EventKind,
 }
 
-impl<M> PartialEq for Event<M> {
+impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
         (self.at, self.rank, self.seq) == (other.at, other.rank, other.seq)
     }
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
+impl Eq for Event {}
+impl PartialOrd for Event {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Event<M> {
+impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.rank, std::cmp::Reverse(self.depth), self.seq).cmp(&(
             other.at,
@@ -171,6 +207,15 @@ impl<M> Ord for Event<M> {
 /// A deterministic discrete-event simulation of `n` parties running one root
 /// [`Protocol`] instance each over the configured network.
 ///
+/// Messages travel as their canonical byte encoding ([`crate::wire`]): the
+/// simulator encodes each payload once at the send boundary (a broadcast is
+/// encoded *once* and the bytes shared across all `n` deliveries), derives
+/// the exact bit accounting from the encoded length, passes corrupt senders'
+/// bytes through the configured
+/// [`ByzantineStrategy`], and decodes at
+/// the delivery boundary — bytes that fail to decode are dropped as
+/// Byzantine input and counted in [`Metrics::decode_failures`].
+///
 /// Messages are delivered and timers fired in `(time, kind, sequence)` order;
 /// at equal times, message deliveries precede timer expiries so that a party
 /// whose timer is set to the network bound `Δ` observes every message that
@@ -181,9 +226,11 @@ pub struct Simulation<M> {
     parties: Vec<Box<dyn Protocol<M>>>,
     rngs: Vec<StdRng>,
     corruption: CorruptionSet,
+    strategy: Box<dyn ByzantineStrategy>,
     scheduler: Box<dyn Scheduler>,
     sched_rng: StdRng,
-    queue: BinaryHeap<Reverse<Event<M>>>,
+    adv_rng: StdRng,
+    queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
     now: Time,
     metrics: Metrics,
@@ -192,7 +239,7 @@ pub struct Simulation<M> {
     transcript: Option<Vec<TranscriptEntry>>,
 }
 
-impl<M: Clone + MessageSize + 'static> Simulation<M> {
+impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
     /// Creates a simulation with the default scheduler for the configured
     /// network kind: worst-case `Δ` delays when synchronous, uniform
     /// `[1, 20·Δ]` delays when asynchronous.
@@ -231,14 +278,17 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
             .map(|i| StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
             .collect();
         let sched_rng = StdRng::seed_from_u64(config.seed ^ 0xDEAD_BEEF);
+        let adv_rng = StdRng::seed_from_u64(config.seed ^ 0xBADA_D0E5);
         let coin_seed = config.seed ^ 0x5EED_C011;
         Simulation {
             config,
             parties,
             rngs,
             corruption,
+            strategy: Box::new(Passive),
             scheduler,
             sched_rng,
+            adv_rng,
             queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
@@ -247,6 +297,13 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
             initialized: false,
             transcript: None,
         }
+    }
+
+    /// Installs the wire-level Byzantine behaviour applied to every message
+    /// sent by a corrupt party (default: [`Passive`], i.e. pass-through).
+    /// Call before running.
+    pub fn set_strategy(&mut self, strategy: Box<dyn ByzantineStrategy>) {
+        self.strategy = strategy;
     }
 
     /// Starts recording every processed event; call before running. Off by
@@ -326,39 +383,42 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
         debug_assert!(ev.at >= self.now, "time must be monotone");
         self.now = ev.at;
         self.metrics.events_processed += 1;
-        if let Some(transcript) = &mut self.transcript {
-            transcript.push(match &ev.kind {
-                EventKind::Deliver {
-                    to,
-                    from,
-                    path,
-                    msg,
-                } => TranscriptEntry {
-                    at: ev.at,
-                    party: *to,
-                    event: TranscriptEvent::Deliver {
-                        from: *from,
-                        path: path.clone(),
-                        bits: msg.size_bits(),
-                    },
-                },
-                EventKind::Timer { party, path, id } => TranscriptEntry {
-                    at: ev.at,
-                    party: *party,
-                    event: TranscriptEvent::Timer {
-                        path: path.clone(),
-                        id: *id,
-                    },
-                },
-            });
-        }
         let (party, effects) = match ev.kind {
             EventKind::Deliver {
                 to,
                 from,
                 path,
-                msg,
+                payload,
             } => {
+                // The delivery boundary: bytes that do not decode as a
+                // protocol message are Byzantine input — drop and count,
+                // never panic, never reach the protocol.
+                let Ok(msg) = M::decode(&payload) else {
+                    self.metrics.decode_failures += 1;
+                    if let Some(transcript) = &mut self.transcript {
+                        transcript.push(TranscriptEntry {
+                            at: ev.at,
+                            party: to,
+                            event: TranscriptEvent::DroppedDeliver {
+                                from,
+                                path,
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                    return true;
+                };
+                if let Some(transcript) = &mut self.transcript {
+                    transcript.push(TranscriptEntry {
+                        at: ev.at,
+                        party: to,
+                        event: TranscriptEvent::Deliver {
+                            from,
+                            path: path.clone(),
+                            bits: payload.len() as u64 * 8,
+                        },
+                    });
+                }
                 let mut effects = Effects::new();
                 {
                     let mut ctx = Context::new(
@@ -375,6 +435,16 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
                 (to, effects)
             }
             EventKind::Timer { party, path, id } => {
+                if let Some(transcript) = &mut self.transcript {
+                    transcript.push(TranscriptEntry {
+                        at: ev.at,
+                        party,
+                        event: TranscriptEvent::Timer {
+                            path: path.clone(),
+                            id,
+                        },
+                    });
+                }
                 let mut effects = Effects::new();
                 {
                     let mut ctx = Context::new(
@@ -426,28 +496,16 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
     fn apply_effects(&mut self, sender: PartyId, effects: Effects<M>) {
         let honest = self.corruption.is_honest(sender);
         for (to, path, msg) in effects.sends {
-            let bits = msg.size_bits();
-            self.metrics
-                .record_send(honest, bits, path.first().copied());
-            let delay = if to == sender {
-                0
-            } else {
-                self.scheduler
-                    .delay(sender, to, self.now, &mut self.sched_rng)
-            };
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
-                at: self.now + delay,
-                rank: 0,
-                depth: path.len(),
-                seq: self.seq,
-                kind: EventKind::Deliver {
-                    to,
-                    from: sender,
-                    path,
-                    msg,
-                },
-            }));
+            let payload = Arc::new(msg.encode());
+            self.dispatch(sender, honest, to, path, payload, false);
+        }
+        for (path, msg) in effects.broadcasts {
+            // One encoding for the whole broadcast; every delivery event
+            // shares the same bytes through the `Arc`.
+            let payload = Arc::new(msg.encode());
+            for to in 0..self.config.n {
+                self.dispatch(sender, honest, to, path.clone(), Arc::clone(&payload), true);
+            }
         }
         for (delay, path, id) in effects.timers {
             self.seq += 1;
@@ -463,6 +521,65 @@ impl<M: Clone + MessageSize + 'static> Simulation<M> {
                 },
             }));
         }
+    }
+
+    /// Puts one already-encoded message on the wire: consults the Byzantine
+    /// strategy for corrupt senders, records the exact bit accounting, and
+    /// schedules the delivery event.
+    fn dispatch(
+        &mut self,
+        from: PartyId,
+        honest: bool,
+        to: PartyId,
+        path: Path,
+        payload: Arc<Vec<u8>>,
+        broadcast: bool,
+    ) {
+        let payload = if honest {
+            payload
+        } else {
+            let send = WireSend {
+                from,
+                to,
+                n: self.config.n,
+                path: &path,
+                bytes: &payload,
+                broadcast,
+            };
+            match self.strategy.on_send(&send, &mut self.adv_rng) {
+                WireAction::Deliver => payload,
+                WireAction::Replace(bytes) => {
+                    self.metrics.adversary_tampered += 1;
+                    Arc::new(bytes)
+                }
+                WireAction::Drop => {
+                    self.metrics.adversary_drops += 1;
+                    return;
+                }
+            }
+        };
+        let bits = payload.len() as u64 * 8;
+        self.metrics
+            .record_send(honest, bits, path.first().copied());
+        let delay = if to == from {
+            0
+        } else {
+            self.scheduler
+                .delay(from, to, self.now, &mut self.sched_rng)
+        };
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            at: self.now + delay,
+            rank: 0,
+            depth: path.len(),
+            seq: self.seq,
+            kind: EventKind::Deliver {
+                to,
+                from,
+                path,
+                payload,
+            },
+        }));
     }
 }
 
@@ -485,16 +602,34 @@ mod tests {
         Pong,
     }
 
-    impl MessageSize for Msg {
-        fn size_bits(&self) -> u64 {
-            8
+    impl WireEncode for Msg {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                Msg::Ping => 0,
+                Msg::Pong => 1,
+            });
+        }
+    }
+
+    impl WireDecode for Msg {
+        fn decode_from(
+            r: &mut crate::wire::WireReader<'_>,
+        ) -> Result<Self, crate::wire::WireError> {
+            match r.u8()? {
+                0 => Ok(Msg::Ping),
+                1 => Ok(Msg::Pong),
+                tag => Err(crate::wire::WireError::InvalidTag {
+                    tag,
+                    context: "test Msg",
+                }),
+            }
         }
     }
 
     impl Protocol<Msg> for PingPong {
         fn init(&mut self, ctx: &mut Context<'_, Msg>) {
             if ctx.me == 0 {
-                ctx.send_all(Msg::Ping);
+                ctx.broadcast(Msg::Ping);
             }
         }
         fn on_message(
@@ -586,6 +721,42 @@ mod tests {
         // party 0 sends n pings plus the pong answering its own ping
         assert_eq!(sim.metrics().corrupt_messages, (n + 1) as u64);
         assert_eq!(sim.metrics().honest_messages, (n - 1) as u64); // the other pongs
+    }
+
+    #[test]
+    fn crash_strategy_suppresses_all_corrupt_sends() {
+        let n = 4;
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::new(vec![0]),
+            parties(n),
+        );
+        sim.set_strategy(Box::new(crate::adversary::Crash));
+        sim.run_to_quiescence(10_000);
+        // party 0's n-recipient ping broadcast is dropped on the wire, so no
+        // pings arrive and nobody ever replies
+        assert_eq!(sim.metrics().adversary_drops, n as u64);
+        assert_eq!(sim.metrics().honest_messages, 0);
+        assert_eq!(sim.metrics().corrupt_messages, 0);
+    }
+
+    #[test]
+    fn garbling_corrupt_sender_never_panics() {
+        let n = 4;
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(n),
+            CorruptionSet::new(vec![0]),
+            parties(n),
+        );
+        sim.set_strategy(Box::new(crate::adversary::GarbleBytes));
+        sim.run_to_quiescence(10_000);
+        // every wire copy of party 0's broadcast was tampered with, and each
+        // delivery either decoded to *some* message or was dropped cleanly
+        assert!(sim.metrics().adversary_tampered >= n as u64);
+        let answered: u64 = (0..n)
+            .map(|i| sim.party_as::<PingPong>(i).unwrap().got_ping_at.is_some() as u64)
+            .sum();
+        assert!(answered + sim.metrics().decode_failures >= 1);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! The canonical byte codec every simulated message travels through.
+//!
+//! The paper states all its communication-complexity bounds as *bits
+//! communicated by the honest parties*. To make those measurements exact
+//! (rather than hand-estimated), every payload handed to the simulator is
+//! serialised through this codec: the simulator encodes once per send (once
+//! per *broadcast*, shared across all `n` deliveries), counts the encoded
+//! length, and decodes at the delivery boundary. Byte-level adversaries
+//! ([`crate::adversary::ByzantineStrategy`]) tamper with exactly these bytes.
+//!
+//! # Encoding rules
+//!
+//! The format is canonical: every value has exactly one valid encoding, and
+//! [`WireDecode::decode`] rejects anything else (non-canonical booleans,
+//! unknown enum tags, trailing bytes). Concretely:
+//!
+//! * `u8` — one byte; `u32`/`u64` — fixed-width little-endian;
+//! * `bool` — one byte, `0` or `1` (any other value is a decode error);
+//! * sequences — a `u32` little-endian length prefix followed by the
+//!   elements;
+//! * `Option<T>` — a presence byte (`0`/`1`) followed by the payload;
+//! * enums — a one-byte variant tag followed by the variant's fields.
+//!
+//! Decoding is infallible-in, fallible-out: `decode(encode(m)) == m` for
+//! every message (see `tests/codec_roundtrip.rs`), while arbitrary bytes
+//! decode to a [`WireError`] that the simulator treats as Byzantine input
+//! (the message is dropped and counted, never a panic).
+
+use core::fmt;
+
+/// Why a byte string failed to decode as a message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag (or presence byte) had no corresponding variant.
+    InvalidTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// The type being decoded, for diagnostics.
+        context: &'static str,
+    },
+    /// A value was syntactically valid but not in canonical form (e.g. a
+    /// boolean byte other than 0/1, or a field element `≥ p`).
+    NonCanonical {
+        /// The type being decoded, for diagnostics.
+        context: &'static str,
+    },
+    /// A length prefix would require more bytes than the input holds
+    /// (rejected early so corrupt prefixes cannot trigger huge allocations).
+    LengthOverflow {
+        /// The claimed element count.
+        claimed: u64,
+    },
+    /// Decoding succeeded but bytes were left over; canonical encodings
+    /// consume their input exactly.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            WireError::InvalidTag { tag, context } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            WireError::NonCanonical { context } => {
+                write!(f, "non-canonical encoding of {context}")
+            }
+            WireError::LengthOverflow { claimed } => {
+                write!(f, "length prefix {claimed} exceeds the remaining input")
+            }
+            WireError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over a received byte string, used by [`WireDecode`]
+/// implementations.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a canonical boolean (`0` or `1`; anything else is an error).
+    pub fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::NonCanonical { context: "bool" }),
+        }
+    }
+
+    /// Reads a sequence length prefix, rejecting prefixes that claim more
+    /// elements than the remaining input could possibly hold (each element
+    /// occupies at least `min_elem_bytes` bytes).
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, WireError> {
+        let claimed = self.u32()? as u64;
+        if claimed * min_elem_bytes.max(1) as u64 > self.remaining() as u64 {
+            return Err(WireError::LengthOverflow { claimed });
+        }
+        Ok(claimed as usize)
+    }
+
+    /// Asserts that the input was consumed exactly.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Serialisation into the canonical wire format.
+///
+/// Implementations append bytes to a caller-provided buffer so composite
+/// messages encode without intermediate allocations.
+pub trait WireEncode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// The canonical encoding as a fresh byte vector.
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Exact size of the canonical encoding, in bits. This is what the
+    /// simulator's [`crate::Metrics::honest_bits`] accounting measures.
+    fn encoded_bits(&self) -> u64 {
+        self.encode().len() as u64 * 8
+    }
+}
+
+/// Deserialisation from the canonical wire format.
+pub trait WireDecode: Sized {
+    /// Reads one value from the cursor (may leave trailing input for the
+    /// caller — used when this value is a field of a larger message).
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Decodes a complete message: the whole input must be consumed.
+    fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode_from(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl WireEncode for bool {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+}
+
+impl WireDecode for bool {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.bool()
+    }
+}
+
+impl WireEncode for u8 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl WireDecode for u8 {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u8()
+    }
+}
+
+impl WireEncode for u32 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u32 {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl WireDecode for u64 {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u32).to_le_bytes());
+        for item in self {
+            item.encode_into(out);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        // Every element encoding is at least one byte, which bounds a corrupt
+        // length prefix before any allocation happens.
+        let len = r.seq_len(1)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            tag => Err(WireError::InvalidTag {
+                tag,
+                context: "Option",
+            }),
+        }
+    }
+}
+
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.encode_into(out);
+        self.1.encode_into(out);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.encode();
+        assert_eq!(T::decode(&bytes).unwrap(), v);
+        assert_eq!(v.encoded_bits(), bytes.len() as u64 * 8);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0xABu8);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u32>::None);
+        roundtrip((3u32, vec![true, false]));
+    }
+
+    #[test]
+    fn non_canonical_bool_rejected() {
+        assert_eq!(
+            bool::decode(&[2]),
+            Err(WireError::NonCanonical { context: "bool" })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        assert_eq!(
+            u8::decode(&[1, 2]),
+            Err(WireError::TrailingBytes { count: 1 })
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert!(matches!(
+            u64::decode(&[1, 2, 3]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        // Claims u32::MAX elements with a 5-byte body.
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            Vec::<u64>::decode(&bytes),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn option_tag_must_be_zero_or_one() {
+        assert!(matches!(
+            Option::<bool>::decode(&[9]),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+}

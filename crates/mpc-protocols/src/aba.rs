@@ -101,14 +101,14 @@ impl Aba {
 
     fn send_est(&mut self, ctx: &mut Context<'_, Msg>, round: u32, value: bool) {
         if self.sent_est.insert((round, value)) {
-            ctx.send_all(Msg::Aba(AbaMsg::Est { round, value }));
+            ctx.broadcast(Msg::Aba(AbaMsg::Est { round, value }));
         }
     }
 
     fn send_finish(&mut self, ctx: &mut Context<'_, Msg>, value: bool) {
         if !self.sent_finish {
             self.sent_finish = true;
-            ctx.send_all(Msg::Aba(AbaMsg::Finish { value }));
+            ctx.broadcast(Msg::Aba(AbaMsg::Finish { value }));
         }
     }
 
@@ -149,7 +149,7 @@ impl Aba {
             if (bin[0] || bin[1]) && !self.sent_aux.contains(&r) {
                 self.sent_aux.insert(r);
                 let value = bin[1];
-                ctx.send_all(Msg::Aba(AbaMsg::Aux { round: r, value }));
+                ctx.broadcast(Msg::Aba(AbaMsg::Aux { round: r, value }));
             }
             // try to close the round
             let valid_aux: Vec<bool> = self

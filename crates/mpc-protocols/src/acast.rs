@@ -78,14 +78,14 @@ impl Acast {
     fn start(&mut self, ctx: &mut Context<'_, Msg>) {
         if let Some(v) = self.input.clone() {
             self.sent_send = true;
-            ctx.send_all(Msg::Acast(AcastMsg::Send(v)));
+            ctx.broadcast(Msg::Acast(AcastMsg::Send(v)));
         }
     }
 
     fn maybe_send_ready(&mut self, ctx: &mut Context<'_, Msg>, value: &BcValue) {
         if !self.sent_ready {
             self.sent_ready = true;
-            ctx.send_all(Msg::Acast(AcastMsg::Ready(value.clone())));
+            ctx.broadcast(Msg::Acast(AcastMsg::Ready(value.clone())));
         }
     }
 
@@ -126,7 +126,7 @@ impl Protocol<Msg> for Acast {
                     self.accepted_send = Some(v.clone());
                     if !self.sent_echo {
                         self.sent_echo = true;
-                        ctx.send_all(Msg::Acast(AcastMsg::Echo(v)));
+                        ctx.broadcast(Msg::Acast(AcastMsg::Echo(v)));
                     }
                 }
             }

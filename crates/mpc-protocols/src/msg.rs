@@ -1,12 +1,15 @@
 //! The wire-format message enum shared by every protocol in the stack.
 //!
 //! Keeping a single payload enum lets the whole composition tree run inside
-//! one [`mpc_net::Simulation`] and lets the communication metrics attribute a
-//! bit size to every message (the paper counts "bits communicated by the
-//! honest parties").
+//! one [`mpc_net::Simulation`] and gives every message a canonical byte
+//! encoding ([`mpc_net::wire`]), from which the simulator derives the *exact*
+//! bit accounting (the paper counts "bits communicated by the honest
+//! parties"). The codec implementations live at the bottom of this file; the
+//! round-trip property `decode(encode(m)) == m` is enforced for every variant
+//! by `tests/codec_roundtrip.rs`.
 
-use mpc_algebra::Fp;
-use mpc_net::MessageSize;
+use mpc_algebra::{Fp, MODULUS};
+use mpc_net::wire::{WireDecode, WireEncode, WireError, WireReader};
 use serde::{Deserialize, Serialize};
 
 /// One pairwise-consistency verdict cast by a party about a counterpart
@@ -54,18 +57,6 @@ pub enum BcValue {
     },
     /// An opaque vector of field elements (generic payload, used by tests).
     Value(Vec<Fp>),
-}
-
-impl BcValue {
-    fn elements(&self) -> u64 {
-        match self {
-            BcValue::Bit(_) => 1,
-            BcValue::Votes(v) => v.len() as u64,
-            BcValue::Wef { w, e, f } => (w.len() + e.len() + f.len()) as u64,
-            BcValue::Star { e, f } => (e.len() + f.len()) as u64,
-            BcValue::Value(v) => v.len() as u64,
-        }
-    }
 }
 
 /// Bracha A-cast messages.
@@ -162,27 +153,282 @@ pub enum Msg {
     Ready(Vec<Fp>),
 }
 
-const HEADER_BITS: u64 = 16;
-const FIELD_BITS: u64 = 64;
+// ---------------------------------------------------------------------------
+// Canonical wire codec
+//
+// Field elements are encoded as their canonical representative in `[0, p)`
+// as a little-endian u64; representatives `≥ p` are rejected at decode so
+// that every field element has exactly one valid encoding. All other rules
+// (tags, length prefixes, booleans) follow `mpc_net::wire`.
+// ---------------------------------------------------------------------------
 
-impl MessageSize for Msg {
-    fn size_bits(&self) -> u64 {
-        let elements = match self {
-            Msg::Acast(AcastMsg::Send(v) | AcastMsg::Echo(v) | AcastMsg::Ready(v)) => v.elements(),
-            Msg::Sba(SbaMsg::Round1 { value, .. } | SbaMsg::King { value, .. }) => {
-                value.as_ref().map_or(0, BcValue::elements)
+fn put_fp(out: &mut Vec<u8>, fp: Fp) {
+    fp.as_u64().encode_into(out);
+}
+
+fn get_fp(r: &mut WireReader<'_>) -> Result<Fp, WireError> {
+    let v = r.u64()?;
+    if v >= MODULUS {
+        return Err(WireError::NonCanonical {
+            context: "field element",
+        });
+    }
+    Ok(Fp::from_u64(v))
+}
+
+fn put_fp_vec(out: &mut Vec<u8>, v: &[Fp]) {
+    (v.len() as u32).encode_into(out);
+    for &fp in v {
+        put_fp(out, fp);
+    }
+}
+
+fn get_fp_vec(r: &mut WireReader<'_>) -> Result<Vec<Fp>, WireError> {
+    let len = r.seq_len(8)?;
+    (0..len).map(|_| get_fp(r)).collect()
+}
+
+fn invalid_tag<T>(tag: u8, context: &'static str) -> Result<T, WireError> {
+    Err(WireError::InvalidTag { tag, context })
+}
+
+impl WireEncode for Vote {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Vote::Ok => out.push(0),
+            Vote::Nok { ell, value } => {
+                out.push(1);
+                ell.encode_into(out);
+                put_fp(out, *value);
             }
-            Msg::Sba(SbaMsg::Round2 { candidate, .. }) => candidate
-                .as_ref()
-                .and_then(|c| c.as_ref())
-                .map_or(0, BcValue::elements),
-            Msg::Aba(_) => 1,
-            Msg::RowPolys(polys) => polys.iter().map(|p| p.len() as u64).sum(),
-            Msg::Points(v) => v.len() as u64,
-            Msg::Open { values, .. } => values.len() as u64,
-            Msg::Ready(v) => v.len() as u64,
+        }
+    }
+}
+
+impl WireDecode for Vote {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Vote::Ok),
+            1 => Ok(Vote::Nok {
+                ell: r.u32()?,
+                value: get_fp(r)?,
+            }),
+            tag => invalid_tag(tag, "Vote"),
+        }
+    }
+}
+
+impl WireEncode for BcValue {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            BcValue::Bit(b) => {
+                out.push(0);
+                b.encode_into(out);
+            }
+            BcValue::Votes(v) => {
+                out.push(1);
+                v.encode_into(out);
+            }
+            BcValue::Wef { w, e, f } => {
+                out.push(2);
+                w.encode_into(out);
+                e.encode_into(out);
+                f.encode_into(out);
+            }
+            BcValue::Star { e, f } => {
+                out.push(3);
+                e.encode_into(out);
+                f.encode_into(out);
+            }
+            BcValue::Value(v) => {
+                out.push(4);
+                put_fp_vec(out, v);
+            }
+        }
+    }
+}
+
+impl WireDecode for BcValue {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(BcValue::Bit(r.bool()?)),
+            1 => Ok(BcValue::Votes(Vec::decode_from(r)?)),
+            2 => Ok(BcValue::Wef {
+                w: Vec::decode_from(r)?,
+                e: Vec::decode_from(r)?,
+                f: Vec::decode_from(r)?,
+            }),
+            3 => Ok(BcValue::Star {
+                e: Vec::decode_from(r)?,
+                f: Vec::decode_from(r)?,
+            }),
+            4 => Ok(BcValue::Value(get_fp_vec(r)?)),
+            tag => invalid_tag(tag, "BcValue"),
+        }
+    }
+}
+
+impl WireEncode for AcastMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let (tag, v) = match self {
+            AcastMsg::Send(v) => (0, v),
+            AcastMsg::Echo(v) => (1, v),
+            AcastMsg::Ready(v) => (2, v),
         };
-        HEADER_BITS + elements * FIELD_BITS
+        out.push(tag);
+        v.encode_into(out);
+    }
+}
+
+impl WireDecode for AcastMsg {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(AcastMsg::Send(BcValue::decode_from(r)?)),
+            1 => Ok(AcastMsg::Echo(BcValue::decode_from(r)?)),
+            2 => Ok(AcastMsg::Ready(BcValue::decode_from(r)?)),
+            tag => invalid_tag(tag, "AcastMsg"),
+        }
+    }
+}
+
+impl WireEncode for SbaMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            SbaMsg::Round1 { phase, value } => {
+                out.push(0);
+                phase.encode_into(out);
+                value.encode_into(out);
+            }
+            SbaMsg::Round2 { phase, candidate } => {
+                out.push(1);
+                phase.encode_into(out);
+                candidate.encode_into(out);
+            }
+            SbaMsg::King { phase, value } => {
+                out.push(2);
+                phase.encode_into(out);
+                value.encode_into(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for SbaMsg {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(SbaMsg::Round1 {
+                phase: r.u32()?,
+                value: Option::decode_from(r)?,
+            }),
+            1 => Ok(SbaMsg::Round2 {
+                phase: r.u32()?,
+                candidate: Option::decode_from(r)?,
+            }),
+            2 => Ok(SbaMsg::King {
+                phase: r.u32()?,
+                value: Option::decode_from(r)?,
+            }),
+            tag => invalid_tag(tag, "SbaMsg"),
+        }
+    }
+}
+
+impl WireEncode for AbaMsg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            AbaMsg::Est { round, value } => {
+                out.push(0);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+            AbaMsg::Aux { round, value } => {
+                out.push(1);
+                round.encode_into(out);
+                value.encode_into(out);
+            }
+            AbaMsg::Finish { value } => {
+                out.push(2);
+                value.encode_into(out);
+            }
+        }
+    }
+}
+
+impl WireDecode for AbaMsg {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(AbaMsg::Est {
+                round: r.u32()?,
+                value: r.bool()?,
+            }),
+            1 => Ok(AbaMsg::Aux {
+                round: r.u32()?,
+                value: r.bool()?,
+            }),
+            2 => Ok(AbaMsg::Finish { value: r.bool()? }),
+            tag => invalid_tag(tag, "AbaMsg"),
+        }
+    }
+}
+
+impl WireEncode for Msg {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Acast(m) => {
+                out.push(0);
+                m.encode_into(out);
+            }
+            Msg::Sba(m) => {
+                out.push(1);
+                m.encode_into(out);
+            }
+            Msg::Aba(m) => {
+                out.push(2);
+                m.encode_into(out);
+            }
+            Msg::RowPolys(polys) => {
+                out.push(3);
+                (polys.len() as u32).encode_into(out);
+                for p in polys {
+                    put_fp_vec(out, p);
+                }
+            }
+            Msg::Points(v) => {
+                out.push(4);
+                put_fp_vec(out, v);
+            }
+            Msg::Open { tag, values } => {
+                out.push(5);
+                tag.encode_into(out);
+                put_fp_vec(out, values);
+            }
+            Msg::Ready(v) => {
+                out.push(6);
+                put_fp_vec(out, v);
+            }
+        }
+    }
+}
+
+impl WireDecode for Msg {
+    fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Msg::Acast(AcastMsg::decode_from(r)?)),
+            1 => Ok(Msg::Sba(SbaMsg::decode_from(r)?)),
+            2 => Ok(Msg::Aba(AbaMsg::decode_from(r)?)),
+            3 => {
+                let len = r.seq_len(4)?;
+                let polys = (0..len).map(|_| get_fp_vec(r)).collect::<Result<_, _>>()?;
+                Ok(Msg::RowPolys(polys))
+            }
+            4 => Ok(Msg::Points(get_fp_vec(r)?)),
+            5 => Ok(Msg::Open {
+                tag: r.u32()?,
+                values: get_fp_vec(r)?,
+            }),
+            6 => Ok(Msg::Ready(get_fp_vec(r)?)),
+            tag => invalid_tag(tag, "Msg"),
+        }
     }
 }
 
@@ -190,34 +436,120 @@ impl MessageSize for Msg {
 mod tests {
     use super::*;
 
+    fn roundtrip(m: Msg) {
+        let bytes = m.encode();
+        assert_eq!(Msg::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        roundtrip(Msg::Acast(AcastMsg::Send(BcValue::Bit(true))));
+        roundtrip(Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![
+            (1, Vote::Ok),
+            (
+                2,
+                Vote::Nok {
+                    ell: 4,
+                    value: Fp::from_u64(77),
+                },
+            ),
+        ]))));
+        roundtrip(Msg::Acast(AcastMsg::Ready(BcValue::Wef {
+            w: vec![0, 1, 2],
+            e: vec![1],
+            f: vec![0, 2],
+        })));
+        roundtrip(Msg::Acast(AcastMsg::Send(BcValue::Star {
+            e: vec![3],
+            f: vec![],
+        })));
+        roundtrip(Msg::Sba(SbaMsg::Round1 {
+            phase: 0,
+            value: None,
+        }));
+        roundtrip(Msg::Sba(SbaMsg::Round2 {
+            phase: 3,
+            candidate: Some(Some(BcValue::Bit(false))),
+        }));
+        roundtrip(Msg::Sba(SbaMsg::Round2 {
+            phase: 3,
+            candidate: Some(None),
+        }));
+        roundtrip(Msg::Sba(SbaMsg::King {
+            phase: 1,
+            value: Some(BcValue::Value(vec![Fp::from_u64(5)])),
+        }));
+        roundtrip(Msg::Aba(AbaMsg::Est {
+            round: 9,
+            value: true,
+        }));
+        roundtrip(Msg::Aba(AbaMsg::Aux {
+            round: 2,
+            value: false,
+        }));
+        roundtrip(Msg::Aba(AbaMsg::Finish { value: true }));
+        roundtrip(Msg::RowPolys(vec![
+            vec![Fp::from_u64(1), Fp::from_u64(2)],
+            vec![],
+        ]));
+        roundtrip(Msg::Points(vec![Fp::from_u64(3); 4]));
+        roundtrip(Msg::Open {
+            tag: 12,
+            values: vec![Fp::from_u64(8)],
+        });
+        roundtrip(Msg::Ready(vec![Fp::from_u64(1)]));
+    }
+
     #[test]
     fn message_sizes_scale_with_payload() {
         let small = Msg::Acast(AcastMsg::Send(BcValue::Bit(true)));
         let big = Msg::Acast(AcastMsg::Send(BcValue::Value(vec![Fp::from_u64(1); 100])));
-        assert!(big.size_bits() > small.size_bits());
-        assert_eq!(big.size_bits(), 16 + 100 * 64);
+        assert!(big.encoded_bits() > small.encoded_bits());
+        // Msg tag + AcastMsg tag + BcValue tag + u32 length + 100 elements.
+        assert_eq!(big.encoded_bits(), (1 + 1 + 1 + 4 + 100 * 8) * 8);
+    }
+
+    /// Regression test for the old `size_bits()` under-count: a `Nok` vote
+    /// carries an extra polynomial index and disputed field element, which
+    /// the hand-written estimate ignored. The codec makes the asymmetry
+    /// exact: `Nok` costs `u32 + u64` more bytes than `Ok`.
+    #[test]
+    fn nok_votes_cost_more_bits_than_ok_votes() {
+        let ok = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![(1, Vote::Ok)])));
+        let nok = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![(
+            1,
+            Vote::Nok {
+                ell: 0,
+                value: Fp::from_u64(9),
+            },
+        )])));
+        assert!(nok.encoded_bits() > ok.encoded_bits());
+        assert_eq!(nok.encoded_bits() - ok.encoded_bits(), (4 + 8) * 8);
     }
 
     #[test]
-    fn votes_and_stars_have_nonzero_size() {
-        let v = Msg::Acast(AcastMsg::Echo(BcValue::Votes(vec![
-            (1, Vote::Ok),
-            (2, Vote::Ok),
-        ])));
-        assert_eq!(v.size_bits(), 16 + 2 * 64);
-        let s = Msg::Acast(AcastMsg::Ready(BcValue::Star {
-            e: vec![1, 2],
-            f: vec![1, 2, 3],
-        }));
-        assert_eq!(s.size_bits(), 16 + 5 * 64);
+    fn non_canonical_field_element_rejected() {
+        let mut bytes = Msg::Points(vec![Fp::ZERO]).encode();
+        // Overwrite the element with a representative ≥ p.
+        let len = bytes.len();
+        bytes[len - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            Msg::decode(&bytes),
+            Err(WireError::NonCanonical {
+                context: "field element"
+            })
+        );
     }
 
     #[test]
-    fn sba_bottom_has_header_only() {
-        let m = Msg::Sba(SbaMsg::Round1 {
-            phase: 0,
-            value: None,
-        });
-        assert_eq!(m.size_bits(), 16);
+    fn unknown_tags_rejected() {
+        assert!(matches!(
+            Msg::decode(&[200]),
+            Err(WireError::InvalidTag { tag: 200, .. })
+        ));
+        assert!(matches!(
+            Msg::decode(&[0, 9]),
+            Err(WireError::InvalidTag { tag: 9, .. })
+        ));
     }
 }

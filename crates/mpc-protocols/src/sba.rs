@@ -153,7 +153,7 @@ impl Protocol<Msg> for Sba {
                 if phase > 0 {
                     self.finish_phase(phase - 1);
                 }
-                ctx.send_all(Msg::Sba(SbaMsg::Round1 {
+                ctx.broadcast(Msg::Sba(SbaMsg::Round1 {
                     phase,
                     value: self.value.clone(),
                 }));
@@ -165,7 +165,7 @@ impl Protocol<Msg> for Sba {
                         .find(|(_, s)| s.len() >= self.n - self.t)
                         .map(|(v, _)| v.clone())
                 });
-                ctx.send_all(Msg::Sba(SbaMsg::Round2 { phase, candidate }));
+                ctx.broadcast(Msg::Sba(SbaMsg::Round2 { phase, candidate }));
             }
             _ => {
                 // determine D (most supported candidate with >= t+1 support)
@@ -184,7 +184,7 @@ impl Protocol<Msg> for Sba {
                         .get(&phase)
                         .map(|(v, _)| v.clone())
                         .unwrap_or_else(|| self.value.clone());
-                    ctx.send_all(Msg::Sba(SbaMsg::King {
+                    ctx.broadcast(Msg::Sba(SbaMsg::King {
                         phase,
                         value: proposal,
                     }));

@@ -4,7 +4,9 @@
 //! Appan–Chandramouli–Choudhury) under a single dependency.
 //!
 //! * [`algebra`] — finite field, polynomials, Shamir sharing, Reed–Solomon.
-//! * [`net`] — deterministic network simulator (synchronous / asynchronous).
+//! * [`net`] — deterministic network simulator (synchronous / asynchronous)
+//!   with a canonical wire codec (exact bit accounting) and pluggable
+//!   wire-level Byzantine strategies.
 //! * [`protocols`] — A-cast, broadcast, Byzantine agreement, WPS, VSS, ACS.
 //! * [`core`] — Beaver triples, preprocessing and circuit evaluation.
 //!

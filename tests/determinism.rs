@@ -35,11 +35,7 @@ fn run_bc(
 ) -> (Vec<TranscriptEntry>, Metrics, Time) {
     let n = 4;
     let params = Params::max_thresholds(n, 10);
-    let cfg = match kind {
-        NetworkKind::Synchronous => NetConfig::synchronous(n),
-        NetworkKind::Asynchronous => NetConfig::asynchronous(n),
-    }
-    .with_seed(seed);
+    let cfg = NetConfig::for_kind(n, kind).with_seed(seed);
     let mut sim = if explicit_scheduler {
         Simulation::with_scheduler(
             cfg,
