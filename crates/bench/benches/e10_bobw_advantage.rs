@@ -8,7 +8,7 @@
 //!   is much smaller than the pessimistic bound `Δ`, the asynchronous
 //!   execution path finishes in time proportional to `δ`, not `Δ`.
 
-use bench::{run_cireval, run_cireval_fast_async};
+use bench::{run_cireval, run_cireval_fast_async, JsonReport};
 use mpc_core::thresholds::resilience_table;
 use mpc_core::Circuit;
 use mpc_net::NetworkKind;
@@ -34,6 +34,10 @@ fn main() {
     let circuit = Circuit::product_of_inputs(n);
     let (m_sync, out_sync) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 11);
     let (m_fast, out_fast) = run_cireval_fast_async(n, &circuit, 2, 11);
+    let mut report = JsonReport::new("e10_bobw_advantage");
+    report.push_labeled("sync", n, 1, &m_sync);
+    report.push_labeled("fast_async", n, 1, &m_fast);
+    report.finish();
     println!(
         "synchronous  (delay = Δ = 10): simulated completion time {}",
         m_sync.completed_at

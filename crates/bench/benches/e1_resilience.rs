@@ -6,12 +6,13 @@
 //! the best-of-both-worlds operating point (`3·t_s + t_a < n`), and validates
 //! the boundary by actually running the protocol at the maximal thresholds.
 
-use bench::run_cireval;
+use bench::{run_cireval, JsonReport};
 use mpc_core::thresholds::resilience_table;
 use mpc_core::Circuit;
 use mpc_net::{CorruptionSet, NetworkKind};
 
 fn main() {
+    let mut report = JsonReport::new("e1_resilience");
     println!("# E1 — resilience landscape (paper Section 1)");
     println!(
         "{:>4} {:>10} {:>10} {:>16}",
@@ -32,6 +33,8 @@ fn main() {
         let circuit = Circuit::product_of_inputs(n);
         let (m_honest, _) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 1);
         let (m_corrupt, out) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[n - 1], 2);
+        report.push_labeled("honest", n, 1, &m_honest);
+        report.push_labeled("corrupt", n, 1, &m_corrupt);
         println!(
             "n={n}: all-honest finished at simulated time {}, with t_s corruption at {}, output with corruption = {}",
             m_honest.completed_at, m_corrupt.completed_at, out.as_u64()
@@ -57,5 +60,7 @@ fn main() {
             m.completed_at,
             out.as_u64()
         );
+        report.push_labeled(&format!("placement_seed{seed}"), n, 1, &m);
     }
+    report.finish();
 }

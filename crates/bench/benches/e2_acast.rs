@@ -1,9 +1,10 @@
 //! Experiment E2 — `Π_ACast` cost (Lemma 2.4): `O(n²·ℓ)` bits, output within
 //! `3Δ` for an honest sender in a synchronous network.
 
-use bench::run_acast;
+use bench::{run_acast, JsonReport};
 
 fn main() {
+    let mut report = JsonReport::new("e2_acast");
     // BENCH_SMOKE=1 runs one tiny configuration — used by CI to catch
     // bit-accounting regressions without paying for the full sweep.
     let smoke = std::env::var_os("BENCH_SMOKE").is_some();
@@ -17,6 +18,7 @@ fn main() {
     for &n in ns {
         for &ell in ells {
             let m = run_acast(n, ell);
+            report.push(n, ell, &m);
             assert!(m.honest_bits > 0, "exact bit accounting must be nonzero");
             let norm = m.honest_bits as f64 / (n * n * ell) as f64;
             println!(
@@ -26,4 +28,5 @@ fn main() {
         }
     }
     println!("(a roughly constant last column for large ℓ confirms the O(n^2 ℓ) scaling; sim-time ≤ 3Δ = 30)");
+    report.finish();
 }

@@ -2,11 +2,12 @@
 //! `T_BC = 3Δ + T_BGP`, `O(n²ℓ + n³)` bits with the substituted phase-king
 //! SBA (DESIGN.md S2).
 
-use bench::run_bc;
+use bench::{run_bc, JsonReport};
 use mpc_net::NetworkKind;
 use mpc_protocols::Params;
 
 fn main() {
+    let mut report = JsonReport::new("e3_bc");
     // BENCH_SMOKE=1 runs one tiny configuration — used by CI to catch
     // bit-accounting regressions without paying for the full sweep.
     let smoke = std::env::var_os("BENCH_SMOKE").is_some();
@@ -25,6 +26,7 @@ fn main() {
                 NetworkKind::Synchronous => "sync",
                 NetworkKind::Asynchronous => "async",
             };
+            report.push_labeled(tag, n, 8, &m);
             println!(
                 "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
                 n,
@@ -37,4 +39,5 @@ fn main() {
         }
     }
     println!("(in the synchronous rows every party outputs through regular mode exactly at T_BC)");
+    report.finish();
 }

@@ -1,10 +1,11 @@
 //! Experiment E7 — `Π_ACS` (Lemma 5.1): `O(n⁴L + n⁶)·log|F|` bits, `O(n²)` BA
 //! instances, every honest party in `CS` in a synchronous network.
 
-use bench::run_acs;
+use bench::{run_acs, JsonReport};
 use mpc_protocols::Params;
 
 fn main() {
+    let mut report = JsonReport::new("e7_acs");
     println!("# E7 — Π_ACS: bits vs n and L");
     println!(
         "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
@@ -13,6 +14,7 @@ fn main() {
     for (n, l) in [(4usize, 1usize), (4, 4), (5, 1), (7, 1)] {
         let params = Params::max_thresholds(n, 10);
         let m = run_acs(n, l);
+        report.push(n, l, &m);
         println!(
             "{:>4} {:>6} {:>12} {:>10} {:>12} {:>10}",
             n,
@@ -24,4 +26,5 @@ fn main() {
         );
     }
     println!("(one ACS costs ≈ n× one VSS — compare with the E6 rows)");
+    report.finish();
 }

@@ -4,11 +4,12 @@
 //! and the generated triples are correct (the evaluation below would produce
 //! a wrong product otherwise).
 
-use bench::{expected_clear, run_cireval};
+use bench::{expected_clear, run_cireval, JsonReport};
 use mpc_core::Circuit;
 use mpc_net::NetworkKind;
 
 fn main() {
+    let mut report = JsonReport::new("e8_preprocessing");
     println!("# E8 — preprocessing: total bits vs number of multiplication gates c_M (n = 4)");
     println!(
         "{:>6} {:>12} {:>10} {:>12} {:>10}",
@@ -18,6 +19,7 @@ fn main() {
     for width in [1usize, 2, 4, 8] {
         let circuit = Circuit::layered(n, width, 1);
         let (m, out) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 42);
+        report.push(n, circuit.mult_count(), &m);
         let ok = out == expected_clear(n, &circuit);
         println!(
             "{:>6} {:>12} {:>10} {:>12} {:>10}",
@@ -29,4 +31,5 @@ fn main() {
         );
     }
     println!("(the bits column grows affinely in c_M: a fixed poly(n) setup term plus a per-triple term)");
+    report.finish();
 }

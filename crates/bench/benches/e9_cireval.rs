@@ -4,11 +4,12 @@
 //! asynchronous network the honest parties still terminate with the correct
 //! output on the inputs of at least `n − t_s` parties.
 
-use bench::{expected_clear, run_cireval};
+use bench::{expected_clear, run_cireval, JsonReport};
 use mpc_core::Circuit;
 use mpc_net::NetworkKind;
 
 fn main() {
+    let mut report = JsonReport::new("e9_cireval");
     let n = 4;
     println!("# E9a — completion time vs multiplicative depth D_M (n = 4, synchronous)");
     println!(
@@ -18,6 +19,7 @@ fn main() {
     for depth in [1usize, 2, 4, 6] {
         let circuit = Circuit::layered(n, 2, depth);
         let (m, out) = run_cireval(n, &circuit, NetworkKind::Synchronous, &[], 7);
+        report.push_labeled(&format!("depth{depth}"), n, circuit.mult_count(), &m);
         println!(
             "{:>6} {:>6} {:>12} {:>12} {:>10}",
             circuit.mult_depth(),
@@ -37,6 +39,16 @@ fn main() {
         let circuit = Circuit::product_of_inputs(n);
         for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
             let (m, out) = run_cireval(n, &circuit, kind, &[], 8);
+            report.push_labeled(
+                if kind == NetworkKind::Synchronous {
+                    "sync"
+                } else {
+                    "async"
+                },
+                n,
+                circuit.mult_count(),
+                &m,
+            );
             println!(
                 "{:>4} {:>6} {:>12} {:>12} {:>10}",
                 n,
@@ -55,4 +67,5 @@ fn main() {
     println!(
         " on top of a circuit-independent preprocessing term that dominates — the paper's shape)"
     );
+    report.finish();
 }

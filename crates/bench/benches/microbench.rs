@@ -2,8 +2,18 @@
 //! multiplication, polynomial interpolation, bivariate row extraction and
 //! online error correction. These back the constant factors behind every
 //! communication/computation figure of E2–E10.
+//!
+//! Besides the criterion smoke numbers, the binary times the algebra fast
+//! paths against their retained reference implementations
+//! (`Polynomial::interpolate_reference`, per-element inversion,
+//! `rs::oec_decode_reference`) at `n = 64` and emits the series through the
+//! `BENCH_JSON` gate — the machine-readable record of the measured speedup.
+//! `BENCH_SMOKE=1` shrinks the repetition counts for CI.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+use bench::{JsonReport, Measurement};
+use criterion::{criterion_group, BatchSize, Criterion};
 use mpc_algebra::evaluation_points::alpha;
 use mpc_algebra::{rs, Fp, Polynomial, SymmetricBivariate};
 use rand::rngs::StdRng;
@@ -52,4 +62,105 @@ fn bench_bivariate_and_oec(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_field, bench_poly, bench_bivariate_and_oec);
-criterion_main!(benches);
+
+/// Wall-clock of `reps` invocations of `f`, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn record(wall_ms: f64) -> Measurement {
+    Measurement {
+        wall_ms,
+        ..Measurement::default()
+    }
+}
+
+/// Times the fast paths against the retained reference implementations at
+/// `n = 64` and emits the `BENCH_microbench.json` series.
+fn algebra_fastpath_series() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let reps = if smoke { 20 } else { 200 };
+    let n = 64usize;
+    let mut report = JsonReport::new("microbench");
+    let mut rng = StdRng::seed_from_u64(64);
+
+    // Interpolation through all n = 64 points (the protocols' largest case:
+    // a degree-(n−1) polynomial through every party point).
+    let f = Polynomial::random(&mut rng, n - 1);
+    let points: Vec<(Fp, Fp)> = (0..n).map(|i| (alpha(i), f.evaluate(alpha(i)))).collect();
+    assert_eq!(Polynomial::interpolate(&points), f);
+    let slow = time_ms(reps, || {
+        std::hint::black_box(Polynomial::interpolate_reference(std::hint::black_box(
+            &points,
+        )));
+    });
+    let fast = time_ms(reps, || {
+        std::hint::black_box(Polynomial::interpolate(std::hint::black_box(&points)));
+    });
+    report.push_labeled("interpolate_n64_reference", n, reps, &record(slow));
+    report.push_labeled("interpolate_n64_fast", n, reps, &record(fast));
+    // Speedup factor as a record of its own (carried in `wall_ms`).
+    report.push_labeled("interpolate_n64_speedup", n, reps, &record(slow / fast));
+    println!(
+        "micro/interpolate_n64: reference {:.3} ms, fast {:.3} ms — {:.1}x",
+        slow,
+        fast,
+        slow / fast
+    );
+
+    // Batch inversion vs per-element Fermat inversion, 64 elements.
+    let values: Vec<Fp> = (0..n as u64).map(|v| Fp::from_u64(v * 7 + 3)).collect();
+    let slow = time_ms(reps * 10, || {
+        for v in &values {
+            std::hint::black_box(v.inverse());
+        }
+    });
+    let fast = time_ms(reps * 10, || {
+        let mut vs = values.clone();
+        Fp::batch_inverse(&mut vs);
+        std::hint::black_box(vs);
+    });
+    report.push_labeled("inverse_n64_per_element", n, reps * 10, &record(slow));
+    report.push_labeled("inverse_n64_batch", n, reps * 10, &record(fast));
+    println!(
+        "micro/inverse_n64: per-element {:.3} ms, batch {:.3} ms — {:.1}x",
+        slow,
+        fast,
+        slow / fast
+    );
+
+    // Incremental OEC vs the reference retry loop: n = 64 points of a
+    // degree-21 sharing with t = 21 and two corrupted points.
+    let d = (n - 1) / 3;
+    let g = Polynomial::random(&mut rng, d);
+    let mut pts: Vec<(Fp, Fp)> = (0..n).map(|i| (alpha(i), g.evaluate(alpha(i)))).collect();
+    pts[5].1 += Fp::from_u64(99);
+    pts[40].1 += Fp::ONE;
+    let oec_reps = (reps / 10).max(2);
+    assert_eq!(rs::oec_decode(d, d, &pts).as_ref(), Some(&g));
+    let slow = time_ms(oec_reps, || {
+        std::hint::black_box(rs::oec_decode_reference(d, d, std::hint::black_box(&pts)));
+    });
+    let fast = time_ms(oec_reps, || {
+        std::hint::black_box(rs::oec_decode(d, d, std::hint::black_box(&pts)));
+    });
+    report.push_labeled("oec_n64_2err_reference", n, oec_reps, &record(slow));
+    report.push_labeled("oec_n64_2err_incremental", n, oec_reps, &record(fast));
+    println!(
+        "micro/oec_n64_2err: reference {:.3} ms, incremental {:.3} ms — {:.1}x",
+        slow,
+        fast,
+        slow / fast
+    );
+
+    report.finish();
+}
+
+fn main() {
+    benches();
+    algebra_fastpath_series();
+}

@@ -38,6 +38,87 @@ pub struct Measurement {
     pub wall_ms: f64,
 }
 
+impl Measurement {
+    /// Serialises the measurement as one JSON object, keyed by the
+    /// experiment name and the sweep coordinates `(n, ℓ)`.
+    pub fn to_json(&self, experiment: &str, n: usize, ell: usize) -> String {
+        format!(
+            "{{\"experiment\":\"{experiment}\",\"n\":{n},\"ell\":{ell},\
+             \"honest_bits\":{},\"honest_messages\":{},\"completed_at\":{},\
+             \"wall_ms\":{:.3}}}",
+            self.honest_bits, self.honest_messages, self.completed_at, self.wall_ms
+        )
+    }
+}
+
+/// Env-gated machine-readable series writer: when `BENCH_JSON=<dir>` is set,
+/// every experiment binary dumps its measurement series as
+/// `<dir>/BENCH_<experiment>.json` (a JSON array of [`Measurement::to_json`]
+/// records). Unset, it is a no-op — the human-readable tables on stdout are
+/// unaffected either way.
+///
+/// This is the machine-readable perf trajectory later PRs are judged
+/// against: CI uploads the files as artifacts.
+#[derive(Debug)]
+pub struct JsonReport {
+    experiment: String,
+    records: Vec<String>,
+}
+
+impl JsonReport {
+    /// A report for one experiment id (e.g. `"e3_bc"`).
+    pub fn new(experiment: &str) -> Self {
+        JsonReport {
+            experiment: experiment.to_string(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The output directory, if the `BENCH_JSON` gate is set.
+    pub fn output_dir() -> Option<std::path::PathBuf> {
+        std::env::var_os("BENCH_JSON").map(std::path::PathBuf::from)
+    }
+
+    /// Records one measurement under this report's experiment id.
+    pub fn push(&mut self, n: usize, ell: usize, m: &Measurement) {
+        self.records.push(m.to_json(&self.experiment, n, ell));
+    }
+
+    /// Records one measurement under a sub-series label
+    /// (`<experiment>/<label>`), for binaries that sweep several variants.
+    pub fn push_labeled(&mut self, label: &str, n: usize, ell: usize, m: &Measurement) {
+        self.records
+            .push(m.to_json(&format!("{}/{label}", self.experiment), n, ell));
+    }
+
+    /// Writes `BENCH_<experiment>.json` if `BENCH_JSON` is set (also invoked
+    /// on drop). Errors are reported to stderr, never panicked on — a bench
+    /// run must not fail because an artifact directory is missing.
+    pub fn finish(&mut self) {
+        if self.records.is_empty() {
+            return;
+        }
+        let Some(dir) = Self::output_dir() else {
+            self.records.clear();
+            return;
+        };
+        let body = format!("[\n  {}\n]\n", self.records.join(",\n  "));
+        self.records.clear();
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        let result = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, body));
+        match result {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("BENCH_JSON: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+impl Drop for JsonReport {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
 fn measure<F: FnOnce() -> (u64, u64, Time)>(f: F) -> Measurement {
     let start = Instant::now();
     let (honest_bits, honest_messages, completed_at) = f();

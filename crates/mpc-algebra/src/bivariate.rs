@@ -13,6 +13,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::domain::LagrangeBasis;
 use crate::field::Fp;
 use crate::poly::Polynomial;
 
@@ -143,14 +144,17 @@ impl SymmetricBivariate {
         }
         let use_rows = &rows[..d + 1];
         // For each x-power i, interpolate the polynomial in y through the
-        // points (α_k, coeff_i(f_k)).
+        // points (α_k, coeff_i(f_k)). All d + 1 interpolations run over the
+        // same d + 1 evaluation points, so the Lagrange basis (master
+        // polynomial, barycentric weights) is built exactly once.
+        let basis = LagrangeBasis::new(use_rows.iter().map(|&(alpha, _)| alpha).collect());
         let mut coeffs = vec![vec![Fp::ZERO; d + 1]; d + 1];
         for (i, out_row) in coeffs.iter_mut().enumerate() {
-            let pts: Vec<(Fp, Fp)> = use_rows
+            let ys: Vec<Fp> = use_rows
                 .iter()
-                .map(|(alpha, f)| (*alpha, f.coeffs().get(i).copied().unwrap_or(Fp::ZERO)))
+                .map(|(_, f)| f.coeffs().get(i).copied().unwrap_or(Fp::ZERO))
                 .collect();
-            let gi = Polynomial::interpolate(&pts);
+            let gi = basis.interpolate(&ys);
             if gi.degree() > d && !gi.is_zero() {
                 return None;
             }

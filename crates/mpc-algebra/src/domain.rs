@@ -1,0 +1,427 @@
+//! Shared evaluation-domain cache for the fixed party points `α_0..α_{n-1}`.
+//!
+//! Every protocol layer of the stack interpolates over the same publicly
+//! known evaluation points (Section 2 of the paper fixes `α_1..α_n` once for
+//! the whole execution). This module precomputes — once per `n`, shared
+//! process-wide behind an [`Arc`] — everything those interpolations need:
+//!
+//! * the monic master polynomial `M(x) = ∏_j (x − α_j)`,
+//! * the barycentric weights `w_i = 1 / ∏_{j≠i} (α_i − α_j)` (batch-inverted
+//!   via [`Fp::batch_inverse`]: one inversion for all `n`),
+//! * the Lagrange-at-zero coefficients `λ_i` with `f(0) = Σ_i λ_i · f(α_i)`
+//!   for every `f` of degree `< n` — full-domain secret reconstruction is an
+//!   `O(n)` dot product,
+//! * the inverses `α_i⁻¹`, from which the `λ` vector of any *subset* of the
+//!   domain is derived without a single additional field inversion.
+//!
+//! [`LagrangeBasis`] is the reusable point-set form of the same idea for
+//! ad-hoc `x` coordinates (e.g. a support set fixed for `ℓ` consecutive
+//! interpolations, or the `α ∪ β` points of triple extraction).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::evaluation_points::alpha;
+use crate::field::Fp;
+use crate::poly::{self, Polynomial};
+
+/// Precomputed Lagrange interpolation data for one fixed set of distinct
+/// `x` coordinates.
+///
+/// Building the basis costs `O(k²)` multiplications and **one** field
+/// inversion; afterwards each [`LagrangeBasis::interpolate`] is `O(k²)`
+/// multiplications with *no* inversions and each
+/// [`LagrangeBasis::lambda_at`] is `O(k)` multiplications plus one batched
+/// inversion.
+///
+/// ```
+/// use mpc_algebra::{Fp, LagrangeBasis, Polynomial};
+/// let xs = vec![Fp::from_u64(1), Fp::from_u64(2), Fp::from_u64(5)];
+/// let basis = LagrangeBasis::new(xs.clone());
+/// let f = Polynomial::from_coeffs(vec![Fp::from_u64(4), Fp::from_u64(3), Fp::from_u64(2)]);
+/// let ys: Vec<Fp> = xs.iter().map(|&x| f.evaluate(x)).collect();
+/// assert_eq!(basis.interpolate(&ys), f);
+/// let lambda = basis.lambda_at(Fp::ZERO);
+/// let recon: Fp = lambda.iter().zip(&ys).map(|(&l, &y)| l * y).sum();
+/// assert_eq!(recon, f.evaluate(Fp::ZERO));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LagrangeBasis {
+    xs: Vec<Fp>,
+    /// Coefficients (low to high) of the monic `M(x) = ∏ (x − x_i)`.
+    master: Vec<Fp>,
+    /// Barycentric weights `w_i = 1 / M′(x_i)`.
+    weights: Vec<Fp>,
+    /// Row-major `k×k` matrix: row `i` holds the coefficients of the
+    /// numerator polynomial `q_i(x) = ∏_{j≠i} (x − x_j)`, so interpolation
+    /// is a pure scale-accumulate over precomputed rows. Built lazily on
+    /// the first [`LagrangeBasis::interpolate`] call: the long-lived
+    /// [`EvalDomain`]-cached bases only ever evaluate `λ` vectors and would
+    /// otherwise carry `O(k²)` dead weight for the process lifetime.
+    numerators: OnceLock<Vec<Fp>>,
+}
+
+impl LagrangeBasis {
+    /// Builds the basis for the given distinct `x` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains duplicates.
+    pub fn new(xs: Vec<Fp>) -> Self {
+        assert!(!xs.is_empty(), "need at least one evaluation point");
+        let master = poly::master_polynomial(xs.iter().copied());
+        // The weights are the batch-inverted derivative values
+        // M′(x_i) = ∏_{j≠i}(x_i − x_j).
+        let deriv = poly::derivative_coeffs(&master);
+        let mut weights: Vec<Fp> = xs.iter().map(|&x| poly::horner(&deriv, x)).collect();
+        assert!(
+            weights.iter().all(|w| !w.is_zero()),
+            "duplicate x coordinate"
+        );
+        Fp::batch_inverse(&mut weights);
+        LagrangeBasis {
+            xs,
+            master,
+            weights,
+            numerators: OnceLock::new(),
+        }
+    }
+
+    /// The lazily built numerator-row matrix (see the field docs).
+    fn numerator_matrix(&self) -> &[Fp] {
+        self.numerators
+            .get_or_init(|| poly::numerator_rows(&self.master, &self.xs).0)
+    }
+
+    /// The basis point set.
+    pub fn xs(&self) -> &[Fp] {
+        &self.xs
+    }
+
+    /// Number of basis points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` only for the (unconstructible) empty basis; kept for API
+    /// completeness next to [`LagrangeBasis::len`].
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The barycentric weights `w_i = 1/∏_{j≠i}(x_i − x_j)`.
+    pub fn weights(&self) -> &[Fp] {
+        &self.weights
+    }
+
+    /// Interpolates the unique polynomial of degree `< k` through
+    /// `(x_i, ys[i])` — `O(k²)` multiplications, zero inversions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ys.len() != self.len()`.
+    pub fn interpolate(&self, ys: &[Fp]) -> Polynomial {
+        assert_eq!(ys.len(), self.xs.len(), "value/point count mismatch");
+        let n = self.xs.len();
+        let mut result = vec![Fp::ZERO; n];
+        for ((row, &yi), &wi) in self
+            .numerator_matrix()
+            .chunks_exact(n)
+            .zip(ys)
+            .zip(&self.weights)
+        {
+            let scale = yi * wi;
+            for (r, &q) in result.iter_mut().zip(row) {
+                *r += q * scale;
+            }
+        }
+        Polynomial::from_coeffs(result)
+    }
+
+    /// The Lagrange evaluation vector at `target`: `f(target) = Σ λ_i · ys[i]`
+    /// for every `f` of degree `< k`. Barycentric form: `λ_i = M(target) ·
+    /// w_i / (target − x_i)`, with the divisions batched into one inversion.
+    /// If `target` is itself a basis point the vector is the indicator of
+    /// that point.
+    pub fn lambda_at(&self, target: Fp) -> Vec<Fp> {
+        let n = self.xs.len();
+        let mut diffs: Vec<Fp> = self.xs.iter().map(|&x| target - x).collect();
+        if let Some(hit) = diffs.iter().position(|d| d.is_zero()) {
+            let mut lambda = vec![Fp::ZERO; n];
+            lambda[hit] = Fp::ONE;
+            return lambda;
+        }
+        let m_at_target = poly::horner(&self.master, target);
+        Fp::batch_inverse(&mut diffs);
+        self.weights
+            .iter()
+            .zip(&diffs)
+            .map(|(&w, &dinv)| m_at_target * w * dinv)
+            .collect()
+    }
+
+    /// Evaluates the degree `< k` polynomial through `(x_i, ys[i])` at
+    /// `target` without materialising its coefficients.
+    pub fn eval_at(&self, ys: &[Fp], target: Fp) -> Fp {
+        assert_eq!(ys.len(), self.xs.len(), "value/point count mismatch");
+        self.lambda_at(target)
+            .iter()
+            .zip(ys)
+            .map(|(&l, &y)| l * y)
+            .sum()
+    }
+}
+
+/// The process-wide cached evaluation domain over the party points
+/// `α_0..α_{n-1}` for one network size `n`.
+///
+/// Obtain shared handles through [`EvalDomain::get`]; construction cost is
+/// paid once per `n` per process.
+///
+/// ```
+/// use mpc_algebra::{EvalDomain, Fp, Polynomial};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let domain = EvalDomain::get(7);
+/// let mut rng = StdRng::seed_from_u64(5);
+/// let f = Polynomial::random_with_constant_term(&mut rng, 6, Fp::from_u64(99));
+/// let shares: Vec<Fp> = domain.alphas().iter().map(|&a| f.evaluate(a)).collect();
+/// assert_eq!(domain.reconstruct_at_zero(&shares), Fp::from_u64(99));
+/// ```
+#[derive(Debug)]
+pub struct EvalDomain {
+    n: usize,
+    basis: LagrangeBasis,
+    lambda_zero: Vec<Fp>,
+    inv_alphas: Vec<Fp>,
+    /// Lazily built bases over the prefixes `α_0..α_{k-1}` — the point sets
+    /// of the triple transformation/extraction interpolations.
+    prefix_bases: Mutex<HashMap<usize, Arc<LagrangeBasis>>>,
+}
+
+impl EvalDomain {
+    /// Builds the domain for `n` parties. Prefer [`EvalDomain::get`], which
+    /// shares one instance per `n` across the whole process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        let basis = LagrangeBasis::new((0..n).map(alpha).collect());
+        let lambda_zero = basis.lambda_at(Fp::ZERO);
+        let mut inv_alphas = basis.xs().to_vec();
+        Fp::batch_inverse(&mut inv_alphas);
+        EvalDomain {
+            n,
+            basis,
+            lambda_zero,
+            inv_alphas,
+            prefix_bases: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared basis over the domain prefix `α_0..α_{k-1}`, built on
+    /// first use and cached for the lifetime of the domain. This is the
+    /// point set of every `Π_TripTrans`/`Π_TripExt` interpolation (the first
+    /// `k` raw triples define the transformed polynomials).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds `n`.
+    pub fn prefix_basis(&self, k: usize) -> Arc<LagrangeBasis> {
+        assert!(
+            k >= 1 && k <= self.n,
+            "prefix size {k} not in 1..={}",
+            self.n
+        );
+        let mut map = self.prefix_bases.lock().expect("prefix cache poisoned");
+        map.entry(k)
+            .or_insert_with(|| Arc::new(LagrangeBasis::new(self.basis.xs()[..k].to_vec())))
+            .clone()
+    }
+
+    /// The shared, cached domain for `n` parties.
+    pub fn get(n: usize) -> Arc<EvalDomain> {
+        static CACHE: OnceLock<Mutex<HashMap<usize, Arc<EvalDomain>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(Default::default);
+        let mut map = cache.lock().expect("domain cache poisoned");
+        map.entry(n)
+            .or_insert_with(|| Arc::new(EvalDomain::new(n)))
+            .clone()
+    }
+
+    /// Number of parties `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The cached party points `α_0..α_{n-1}`.
+    pub fn alphas(&self) -> &[Fp] {
+        self.basis.xs()
+    }
+
+    /// `α_i` (0-indexed party id), from the cache.
+    pub fn alpha(&self, i: usize) -> Fp {
+        self.basis.xs()[i]
+    }
+
+    /// The full-domain Lagrange basis over all `n` party points.
+    pub fn basis(&self) -> &LagrangeBasis {
+        &self.basis
+    }
+
+    /// The Lagrange-at-zero coefficients over the full domain:
+    /// `f(0) = Σ_i λ_i · f(α_i)` for every `f` of degree `< n`.
+    pub fn lambda_zero(&self) -> &[Fp] {
+        &self.lambda_zero
+    }
+
+    /// Full-domain secret reconstruction as an `O(n)` dot product. The
+    /// caller must supply exactly one (trusted, error-free) share per party.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares.len() != n`.
+    pub fn reconstruct_at_zero(&self, shares: &[Fp]) -> Fp {
+        assert_eq!(shares.len(), self.n, "need one share per party");
+        self.lambda_zero
+            .iter()
+            .zip(shares)
+            .map(|(&l, &s)| l * s)
+            .sum()
+    }
+
+    /// Lagrange-at-zero coefficients for a *subset* of the domain: for every
+    /// `f` of degree `< indices.len()`,
+    /// `f(0) = Σ_k λ_k · f(α_{indices[k]})`.
+    ///
+    /// Derived entirely from the cached full-domain weights and `α⁻¹`
+    /// values — `O(k·(n−k) + k)` multiplications, **zero** inversions: the
+    /// subset weight is `w_i · ∏_{j∉S}(α_i − α_j)` and the `x = 0` factor is
+    /// `−α_i⁻¹ · ∏_{j∈S}(−α_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty, contains duplicates, or references a
+    /// party `≥ n`.
+    pub fn lagrange_at_zero(&self, indices: &[usize]) -> Vec<Fp> {
+        assert!(!indices.is_empty(), "need at least one share index");
+        let mut in_subset = vec![false; self.n];
+        for &i in indices {
+            assert!(i < self.n, "party index {i} out of domain 0..{}", self.n);
+            assert!(!in_subset[i], "duplicate party index {i}");
+            in_subset[i] = true;
+        }
+        let complement: Vec<Fp> = (0..self.n)
+            .filter(|&j| !in_subset[j])
+            .map(|j| self.basis.xs()[j])
+            .collect();
+        // M_S(0) = ∏_{j∈S} (0 − α_j)
+        let m_s_at_zero: Fp = indices.iter().map(|&j| -self.basis.xs()[j]).product();
+        indices
+            .iter()
+            .map(|&i| {
+                let ai = self.basis.xs()[i];
+                // w_i^S = w_i · ∏_{j∉S} (α_i − α_j)
+                let w_sub: Fp =
+                    complement.iter().map(|&aj| ai - aj).product::<Fp>() * self.basis.weights()[i];
+                // λ_i = M_S(0) · w_i^S / (0 − α_i)
+                m_s_at_zero * w_sub * (-self.inv_alphas[i])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basis_interpolate_matches_generic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for deg in 0..9 {
+            let f = Polynomial::random(&mut rng, deg);
+            let xs: Vec<Fp> = (0..=deg).map(alpha).collect();
+            let ys: Vec<Fp> = xs.iter().map(|&x| f.evaluate(x)).collect();
+            let basis = LagrangeBasis::new(xs.clone());
+            assert_eq!(basis.interpolate(&ys), f, "degree {deg}");
+            let pts: Vec<(Fp, Fp)> = xs.iter().copied().zip(ys.iter().copied()).collect();
+            assert_eq!(basis.interpolate(&ys), Polynomial::interpolate(&pts));
+        }
+    }
+
+    #[test]
+    fn lambda_at_basis_point_is_indicator() {
+        let basis = LagrangeBasis::new((0..5).map(alpha).collect());
+        let lambda = basis.lambda_at(alpha(3));
+        for (i, &l) in lambda.iter().enumerate() {
+            assert_eq!(l, if i == 3 { Fp::ONE } else { Fp::ZERO });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate x coordinate")]
+    fn duplicate_points_rejected() {
+        let _ = LagrangeBasis::new(vec![alpha(1), alpha(1)]);
+    }
+
+    #[test]
+    fn domain_is_cached_and_shared() {
+        let a = EvalDomain::get(9);
+        let b = EvalDomain::get(9);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n(), 9);
+        assert_eq!(a.alphas().len(), 9);
+        assert_eq!(a.alpha(4), alpha(4));
+    }
+
+    #[test]
+    fn prefix_basis_is_cached() {
+        let domain = EvalDomain::get(8);
+        let a = domain.prefix_basis(3);
+        let b = domain.prefix_basis(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.xs(), &domain.alphas()[..3]);
+    }
+
+    #[test]
+    fn full_domain_reconstruction_is_dot_product() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 10;
+        let domain = EvalDomain::get(n);
+        let f = Polynomial::random(&mut rng, n - 1);
+        let shares: Vec<Fp> = domain.alphas().iter().map(|&a| f.evaluate(a)).collect();
+        assert_eq!(domain.reconstruct_at_zero(&shares), f.constant_term());
+    }
+
+    #[test]
+    fn subset_lambda_matches_generic_coefficients() {
+        let n = 11;
+        let domain = EvalDomain::get(n);
+        for subset in [vec![0usize, 3, 7], vec![10, 2, 5, 1], (0..n).collect()] {
+            let xs: Vec<Fp> = subset.iter().map(|&i| alpha(i)).collect();
+            let generic = Polynomial::lagrange_coefficients(&xs, Fp::ZERO);
+            assert_eq!(domain.lagrange_at_zero(&subset), generic, "{subset:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_lambda_at_matches_evaluation(
+            seed in any::<u64>(),
+            k in 1usize..9,
+            target in any::<u64>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let f = Polynomial::random(&mut rng, k - 1);
+            let xs: Vec<Fp> = (0..k).map(alpha).collect();
+            let ys: Vec<Fp> = xs.iter().map(|&x| f.evaluate(x)).collect();
+            let basis = LagrangeBasis::new(xs);
+            let target = Fp::from_u64(target);
+            prop_assert_eq!(basis.eval_at(&ys, target), f.evaluate(target));
+        }
+    }
+}

@@ -16,17 +16,22 @@
 //!   error correction (OEC) procedure of \[13\].
 //! * [`evaluation_points`] — the publicly known distinct non-zero points
 //!   `α_1..α_n, β_1..β_n` the paper fixes for shares and triple extraction.
+//! * [`domain`] — the process-wide evaluation-domain cache (master
+//!   polynomial, barycentric weights, Lagrange-at-zero coefficients) that
+//!   backs the `O(n²)` interpolation and `O(n)` reconstruction fast paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bivariate;
+pub mod domain;
 pub mod field;
 pub mod poly;
 pub mod rs;
 pub mod shamir;
 
 pub use bivariate::SymmetricBivariate;
+pub use domain::{EvalDomain, LagrangeBasis};
 pub use field::{Fp, MODULUS};
 pub use poly::Polynomial;
 

@@ -108,11 +108,49 @@ impl Polynomial {
     /// Lagrange-interpolates the unique polynomial of degree `< points.len()`
     /// passing through the given `(x, y)` pairs.
     ///
+    /// Runs in `O(n²)` field multiplications and **one** inversion: the
+    /// master polynomial `M(x) = ∏(x − x_i)` is built once, each numerator
+    /// `∏_{j≠i}(x − x_j)` is peeled off by synthetic division, and the
+    /// denominators `M′(x_i) = ∏_{j≠i}(x_i − x_j)` are inverted together via
+    /// [`Fp::batch_inverse`]. (The textbook `O(n³)` form is retained as
+    /// [`Polynomial::interpolate_reference`] for equivalence tests.)
+    ///
     /// # Panics
     ///
     /// Panics if two interpolation points share the same `x` coordinate or if
     /// `points` is empty.
     pub fn interpolate(points: &[(Fp, Fp)]) -> Self {
+        assert!(!points.is_empty(), "cannot interpolate zero points");
+        let n = points.len();
+        let xs: Vec<Fp> = points.iter().map(|&(x, _)| x).collect();
+        let master = master_polynomial(xs.iter().copied());
+        let (numerators, mut denoms) = numerator_rows(&master, &xs);
+        assert!(
+            denoms.iter().all(|d| !d.is_zero()),
+            "duplicate x coordinate in interpolation"
+        );
+        Fp::batch_inverse(&mut denoms);
+        let mut result = vec![Fp::ZERO; n];
+        for ((row, &(_, yi)), &dinv) in numerators.chunks_exact(n).zip(points.iter()).zip(&denoms) {
+            let scale = yi * dinv;
+            for (r, &q) in result.iter_mut().zip(row) {
+                *r += q * scale;
+            }
+        }
+        Polynomial::from_coeffs(result)
+    }
+
+    /// The textbook `O(n³)` Lagrange interpolation (one inversion per point,
+    /// numerator polynomial rebuilt from scratch for each point).
+    ///
+    /// Kept as the executable reference semantics for
+    /// [`Polynomial::interpolate`]: the proptest equivalence suite and the
+    /// algebra microbenchmark pin the fast path against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Polynomial::interpolate`].
+    pub fn interpolate_reference(points: &[(Fp, Fp)]) -> Self {
         assert!(!points.is_empty(), "cannot interpolate zero points");
         let n = points.len();
         let mut result = vec![Fp::ZERO; n];
@@ -154,24 +192,37 @@ impl Polynomial {
     /// `Π_TripTrans` / `Π_TripExt` to compute new shared points on a
     /// polynomial by a local linear combination of old shared points.
     ///
+    /// The numerators `∏_{j≠i}(target − x_j)` come from prefix/suffix
+    /// products (`O(n)`), the denominators `∏_{j≠i}(x_i − x_j)` from the
+    /// master-polynomial derivative, and all inversions are batched — one
+    /// field inversion total instead of one per coefficient.
+    ///
     /// # Panics
     ///
     /// Panics if `xs` contains duplicates or is empty.
     pub fn lagrange_coefficients(xs: &[Fp], target: Fp) -> Vec<Fp> {
         assert!(!xs.is_empty(), "need at least one evaluation point");
-        let mut coeffs = Vec::with_capacity(xs.len());
-        for (i, &xi) in xs.iter().enumerate() {
-            let mut num = Fp::ONE;
-            let mut den = Fp::ONE;
-            for (j, &xj) in xs.iter().enumerate() {
-                if i == j {
-                    continue;
-                }
-                assert_ne!(xi, xj, "duplicate x coordinate");
-                num *= target - xj;
-                den *= xi - xj;
-            }
-            coeffs.push(num * den.inverse().expect("distinct points"));
+        let n = xs.len();
+        let master = master_polynomial(xs.iter().copied());
+        let deriv = derivative_coeffs(&master);
+        let mut denoms: Vec<Fp> = xs.iter().map(|&x| horner(&deriv, x)).collect();
+        assert!(
+            denoms.iter().all(|d| !d.is_zero()),
+            "duplicate x coordinate"
+        );
+        Fp::batch_inverse(&mut denoms);
+        // prefix[i] = ∏_{j<i}(target − x_j), suffix = running ∏_{j>i}.
+        let mut prefix = Vec::with_capacity(n);
+        let mut acc = Fp::ONE;
+        for &x in xs {
+            prefix.push(acc);
+            acc *= target - x;
+        }
+        let mut coeffs = vec![Fp::ZERO; n];
+        let mut suffix = Fp::ONE;
+        for i in (0..n).rev() {
+            coeffs[i] = prefix[i] * suffix * denoms[i];
+            suffix *= target - xs[i];
         }
         coeffs
     }
@@ -256,6 +307,72 @@ impl Polynomial {
             self.coeffs.pop();
         }
     }
+}
+
+/// Coefficients (low to high) of the monic master polynomial `∏(x − x_i)`,
+/// built incrementally in `O(n²)` multiplications.
+pub(crate) fn master_polynomial(xs: impl ExactSizeIterator<Item = Fp>) -> Vec<Fp> {
+    let mut master = vec![Fp::ZERO; xs.len() + 1];
+    master[0] = Fp::ONE;
+    let mut deg = 0usize;
+    for xi in xs {
+        deg += 1;
+        for k in (1..=deg).rev() {
+            let lower = master[k - 1];
+            master[k] = master[k] * (-xi) + lower;
+        }
+        master[0] *= -xi;
+    }
+    master
+}
+
+/// The synthetic-division kernel shared by [`Polynomial::interpolate`] and
+/// `domain::LagrangeBasis`: dividing the monic `master` (coefficients of
+/// `∏(x − x_i)`, length `n + 1`) by each `(x − x_i)` yields the numerator
+/// polynomial `q_i(x) = ∏_{j≠i}(x − x_j)`; a Horner pass fused over the
+/// freshly generated coefficients gives the denominator
+/// `d_i = q_i(x_i) = M′(x_i)` without touching the derivative.
+///
+/// Returns `(numerators, denoms)`: a row-major `n×n` matrix whose row `i`
+/// holds the coefficients of `q_i` (low to high), and the `n` denominators
+/// (zero exactly where `x_i` duplicates another point — callers assert).
+pub(crate) fn numerator_rows(master: &[Fp], xs: &[Fp]) -> (Vec<Fp>, Vec<Fp>) {
+    let n = xs.len();
+    debug_assert_eq!(master.len(), n + 1, "master degree must match point count");
+    let mut numerators = vec![Fp::ZERO; n * n];
+    let mut denoms = Vec::with_capacity(n);
+    for (row, &xi) in numerators.chunks_exact_mut(n).zip(xs) {
+        let mut qk = master[n]; // leading coefficient (M is monic)
+        let mut acc = qk;
+        row[n - 1] = qk;
+        for k in (0..n - 1).rev() {
+            qk = master[k + 1] + xi * qk;
+            row[k] = qk;
+            acc = acc * xi + qk;
+        }
+        denoms.push(acc);
+    }
+    (numerators, denoms)
+}
+
+/// Coefficients of the formal derivative of the polynomial with coefficients
+/// `coeffs` (low to high).
+pub(crate) fn derivative_coeffs(coeffs: &[Fp]) -> Vec<Fp> {
+    coeffs
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(k, &c)| Fp::from_u64(k as u64) * c)
+        .collect()
+}
+
+/// Horner evaluation of raw coefficients (low to high) at `x`.
+pub(crate) fn horner(coeffs: &[Fp], x: Fp) -> Fp {
+    let mut acc = Fp::ZERO;
+    for &c in coeffs.iter().rev() {
+        acc = acc * x + c;
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::domain::EvalDomain;
 use crate::evaluation_points::alpha;
 use crate::field::Fp;
 use crate::poly::Polynomial;
@@ -35,7 +36,12 @@ pub struct Sharing {
 /// ```
 pub fn share<R: Rng + ?Sized>(rng: &mut R, secret: Fp, degree: usize, n: usize) -> Sharing {
     let polynomial = Polynomial::random_with_constant_term(rng, degree, secret);
-    let shares = (0..n).map(|i| polynomial.evaluate(alpha(i))).collect();
+    let domain = EvalDomain::get(n);
+    let shares = domain
+        .alphas()
+        .iter()
+        .map(|&a| polynomial.evaluate(a))
+        .collect();
     Sharing { polynomial, shares }
 }
 

@@ -32,16 +32,19 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 use mpc_algebra::evaluation_points::{alpha, beta};
-use mpc_algebra::{Fp, Polynomial};
+use mpc_algebra::{EvalDomain, Fp, Polynomial};
 use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
 use mpc_protocols::acs::Acs;
 use mpc_protocols::{Msg, Params};
 
 use crate::circuit::{Circuit, Gate};
 use crate::openings::OpeningManager;
-use crate::triples::{beaver_masked_shares, beaver_output_share, interpolate_share, TripleShare};
+use crate::triples::{
+    beaver_masked_shares, beaver_output_share, interpolate_share_with, TripleShare,
+};
 
 const SEG_ACS_INPUT: u32 = 0;
 const SEG_ACS_TRIPLES: u32 = 1;
@@ -74,6 +77,10 @@ enum Phase {
 #[derive(Debug)]
 pub struct CirEval {
     params: Params,
+    /// Shared evaluation-domain cache for `n` parties: every triple
+    /// transformation/extraction interpolation runs over one of its cached
+    /// prefix bases.
+    domain: Arc<EvalDomain>,
     circuit: Circuit,
     my_input: Fp,
     acs_input: Option<Acs>,
@@ -121,6 +128,7 @@ impl CirEval {
         let n_gates = circuit.gates().len();
         CirEval {
             params,
+            domain: EvalDomain::get(params.n),
             circuit,
             my_input,
             acs_input: None,
@@ -188,32 +196,31 @@ impl CirEval {
     /// My share of `X(target)` (resp. `Y`) of the per-dealer transformed
     /// triple polynomials, defined by the first `t_s + 1` raw triples.
     fn dealer_xy_share(&self, dpos: usize, batch: usize, target: Fp) -> (Fp, Fp) {
-        let pts_a: Vec<(Fp, Fp)> = (0..=self.ts())
-            .map(|i| (alpha(i), self.raw_triple(dpos, batch, i).a))
-            .collect();
-        let pts_b: Vec<(Fp, Fp)> = (0..=self.ts())
-            .map(|i| (alpha(i), self.raw_triple(dpos, batch, i).b))
-            .collect();
-        (
-            interpolate_share(&pts_a, target),
-            interpolate_share(&pts_b, target),
-        )
+        // One λ vector serves both component dot products.
+        let lambda = self.domain.prefix_basis(self.ts() + 1).lambda_at(target);
+        let (mut a, mut b) = (Fp::ZERO, Fp::ZERO);
+        for (i, &l) in lambda.iter().enumerate() {
+            let triple = self.raw_triple(dpos, batch, i);
+            a += l * triple.a;
+            b += l * triple.b;
+        }
+        (a, b)
     }
 
     /// My share of `Z(target)` of the per-dealer transformed triple
     /// polynomials (degree `2·t_s`, defined by all `2·t_s + 1` points).
     fn dealer_z_share(&self, dpos: usize, batch: usize, target: Fp) -> Fp {
-        let pts: Vec<(Fp, Fp)> = (0..self.raw_per_dealer())
+        let basis = self.domain.prefix_basis(self.raw_per_dealer());
+        let ys: Vec<Fp> = (0..self.raw_per_dealer())
             .map(|i| {
-                let z = if i <= self.ts() {
+                if i <= self.ts() {
                     self.raw_triple(dpos, batch, i).c
                 } else {
                     self.z_high[&(dpos, batch, i)]
-                };
-                (alpha(i), z)
+                }
             })
             .collect();
-        interpolate_share(&pts, target)
+        interpolate_share_with(&basis, &ys, target)
     }
 
     fn verification_triple(
@@ -451,30 +458,29 @@ impl CirEval {
     /// (degree `d`, defined by the verified triples of the first `d + 1`
     /// dealer positions).
     fn ext_xy_share(&self, batch: usize, target: Fp) -> (Fp, Fp) {
-        let pts_a: Vec<(Fp, Fp)> = (0..=self.d_ext)
-            .map(|p| (alpha(p), self.verified[&(p, batch)].a))
-            .collect();
-        let pts_b: Vec<(Fp, Fp)> = (0..=self.d_ext)
-            .map(|p| (alpha(p), self.verified[&(p, batch)].b))
-            .collect();
-        (
-            interpolate_share(&pts_a, target),
-            interpolate_share(&pts_b, target),
-        )
+        // One λ vector serves both component dot products.
+        let lambda = self.domain.prefix_basis(self.d_ext + 1).lambda_at(target);
+        let (mut a, mut b) = (Fp::ZERO, Fp::ZERO);
+        for (p, &l) in lambda.iter().enumerate() {
+            let triple = self.verified[&(p, batch)];
+            a += l * triple.a;
+            b += l * triple.b;
+        }
+        (a, b)
     }
 
     fn ext_z_share(&self, batch: usize, target: Fp) -> Fp {
-        let pts: Vec<(Fp, Fp)> = (0..2 * self.d_ext + 1)
+        let basis = self.domain.prefix_basis(2 * self.d_ext + 1);
+        let ys: Vec<Fp> = (0..2 * self.d_ext + 1)
             .map(|p| {
-                let z = if p <= self.d_ext {
+                if p <= self.d_ext {
                     self.verified[&(p, batch)].c
                 } else {
                     self.ext_z[&(batch, p)]
-                };
-                (alpha(p), z)
+                }
             })
             .collect();
-        interpolate_share(&pts, target)
+        interpolate_share_with(&basis, &ys, target)
     }
 
     fn issue_extract(&mut self, ctx: &mut Context<'_, Msg>) {

@@ -52,6 +52,12 @@ impl OpeningManager {
     /// Attempts to reconstruct the batch under `tag` (containing `count`
     /// values, each shared with degree `degree` and at most `t` corrupt
     /// shares). Results are cached once successful.
+    ///
+    /// When every sender supplied a full batch (the honest-sender common
+    /// case) all `count` values share one evaluation-point vector, so the
+    /// OEC interpolate-and-verify basis is built once for the whole batch
+    /// ([`rs::oec_decode_batch`]); ragged (Byzantine-shortened) batches fall
+    /// back to the per-value loop.
     pub fn try_reconstruct(
         &mut self,
         tag: u32,
@@ -61,15 +67,25 @@ impl OpeningManager {
     ) -> Option<&Vec<Fp>> {
         if !self.opened.contains_key(&tag) {
             let received = self.received.get(&tag)?;
-            let mut out = Vec::with_capacity(count);
-            for idx in 0..count {
-                let pts: Vec<(Fp, Fp)> = received
-                    .iter()
-                    .filter_map(|(&p, v)| v.get(idx).map(|&s| (alpha(p), s)))
+            let out = if count > 0 && received.values().all(|v| v.len() >= count) {
+                let xs: Vec<Fp> = received.keys().map(|&p| alpha(p)).collect();
+                let columns: Vec<Vec<Fp>> = (0..count)
+                    .map(|idx| received.values().map(|v| v[idx]).collect())
                     .collect();
-                let poly = rs::oec_decode(degree, t, &pts)?;
-                out.push(poly.constant_term());
-            }
+                let polys = rs::oec_decode_batch(degree, t, &xs, &columns)?;
+                polys.iter().map(|p| p.constant_term()).collect()
+            } else {
+                let mut out = Vec::with_capacity(count);
+                for idx in 0..count {
+                    let pts: Vec<(Fp, Fp)> = received
+                        .iter()
+                        .filter_map(|(&p, v)| v.get(idx).map(|&s| (alpha(p), s)))
+                        .collect();
+                    let poly = rs::oec_decode(degree, t, &pts)?;
+                    out.push(poly.constant_term());
+                }
+                out
+            };
             self.opened.insert(tag, out);
         }
         self.opened.get(&tag)

@@ -6,7 +6,7 @@
 //! parts (public reconstructions) are driven by
 //! [`crate::cireval::CirEval`] through [`crate::openings::OpeningManager`].
 
-use mpc_algebra::{Fp, Polynomial};
+use mpc_algebra::{Fp, LagrangeBasis, Polynomial};
 
 /// One party's shares of a Beaver triple `(a, b, c)` with `c = a·b`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -53,6 +53,18 @@ pub fn interpolate_share(points: &[(Fp, Fp)], target: Fp) -> Fp {
     let xs: Vec<Fp> = points.iter().map(|&(x, _)| x).collect();
     let lambdas = Polynomial::lagrange_coefficients(&xs, target);
     points.iter().zip(&lambdas).map(|(&(_, s), &l)| s * l).sum()
+}
+
+/// [`interpolate_share`] over a prebuilt [`LagrangeBasis`]: the master
+/// polynomial and barycentric weights of the (fixed, publicly known) point
+/// set are reused across every gate opening, so one call costs `O(k)`
+/// multiplications plus a single batched inversion.
+///
+/// # Panics
+///
+/// Panics if `shares.len() != basis.len()`.
+pub fn interpolate_share_with(basis: &LagrangeBasis, shares: &[Fp], target: Fp) -> Fp {
+    basis.eval_at(shares, target)
 }
 
 #[cfg(test)]
@@ -118,6 +130,19 @@ mod tests {
             })
             .collect();
         assert_eq!(shamir::reconstruct(t, &z_shares).unwrap(), x * y + fp(1));
+    }
+
+    #[test]
+    fn interpolate_share_with_basis_matches_generic() {
+        let basis = LagrangeBasis::new(vec![alpha(0), alpha(1), alpha(2)]);
+        let points = [(alpha(0), fp(6)), (alpha(1), fp(10)), (alpha(2), fp(99))];
+        let shares: Vec<Fp> = points.iter().map(|&(_, s)| s).collect();
+        for target in [fp(0), fp(7), fp(1234), alpha(1)] {
+            assert_eq!(
+                interpolate_share_with(&basis, &shares, target),
+                interpolate_share(&points, target)
+            );
+        }
     }
 
     #[test]

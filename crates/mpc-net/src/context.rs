@@ -9,6 +9,7 @@
 //! transparent to the child code.
 
 use std::any::Any;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -17,7 +18,12 @@ use crate::simulation::{PartyId, Time};
 
 /// Hierarchical instance path identifying one protocol instance within the
 /// composition tree (e.g. `[ACS, vss=3, wps=5, ba, bc=2, acast]`).
-pub type Path = Vec<u32>;
+///
+/// Interned as a cheaply clonable `Arc<[u32]>`: one allocation when an
+/// effect is emitted, shared by reference across every queued delivery event
+/// (all `n` recipients of a broadcast) and transcript entry instead of a
+/// `Vec<u32>` clone per copy.
+pub type Path = Arc<[u32]>;
 
 /// Borrowed view of a [`Path`].
 pub type PathSlice<'a> = &'a [u32];
@@ -89,7 +95,12 @@ pub struct Context<'a, M> {
     pub now: Time,
     /// The publicly known synchronous delay bound `Δ`.
     pub delta: Time,
-    path: Path,
+    path: Vec<u32>,
+    /// Interned `Arc` of the current `path`, built lazily on the first
+    /// effect and reused until [`Context::scoped`] changes the path — a
+    /// handler emitting many sends/timers from one instance allocates the
+    /// path once.
+    path_arc: Option<Path>,
     effects: &'a mut Effects<M>,
     rng: &'a mut StdRng,
     coin_seed: u64,
@@ -113,6 +124,7 @@ impl<'a, M> Context<'a, M> {
             now,
             delta,
             path: Vec::new(),
+            path_arc: None,
             effects,
             rng,
             coin_seed,
@@ -124,9 +136,18 @@ impl<'a, M> Context<'a, M> {
         &self.path
     }
 
+    /// The interned `Arc` form of the current path (allocated at most once
+    /// per scope level per event).
+    fn current_path(&mut self) -> Path {
+        self.path_arc
+            .get_or_insert_with(|| Arc::from(self.path.as_slice()))
+            .clone()
+    }
+
     /// Sends `msg` to party `to`, addressed to the current instance path.
     pub fn send(&mut self, to: PartyId, msg: M) {
-        self.effects.sends.push((to, self.path.clone(), msg));
+        let path = self.current_path();
+        self.effects.sends.push((to, path, msg));
     }
 
     /// Sends `msg` to every party (including the sender itself, as the
@@ -137,7 +158,8 @@ impl<'a, M> Context<'a, M> {
     /// the encoded bytes across all `n` deliveries, so no per-recipient
     /// clone of the payload is ever made.
     pub fn broadcast(&mut self, msg: M) {
-        self.effects.broadcasts.push((self.path.clone(), msg));
+        let path = self.current_path();
+        self.effects.broadcasts.push((path, msg));
     }
 
     /// Sends `msg` to every party.
@@ -152,9 +174,8 @@ impl<'a, M> Context<'a, M> {
     /// Requests a timer that fires after `delay` local time units, delivered
     /// back to the current instance path with the given `timer_id`.
     pub fn set_timer(&mut self, delay: Time, timer_id: u64) {
-        self.effects
-            .timers
-            .push((delay, self.path.clone(), timer_id));
+        let path = self.current_path();
+        self.effects.timers.push((delay, path, timer_id));
     }
 
     /// Requests a timer that fires at the next local time that is an exact
@@ -175,8 +196,10 @@ impl<'a, M> Context<'a, M> {
     /// that the child instance's sends/timers carry the extended path.
     pub fn scoped<R>(&mut self, seg: u32, f: impl FnOnce(&mut Context<'_, M>) -> R) -> R {
         self.path.push(seg);
+        self.path_arc = None;
         let r = f(self);
         self.path.pop();
+        self.path_arc = None;
         r
     }
 
@@ -236,10 +259,24 @@ mod tests {
             ctx.scoped(9, |ctx| ctx.set_timer(3, 1));
         });
         ctx.send(3, 9);
-        assert_eq!(effects.sends[0].1, Vec::<u32>::new());
-        assert_eq!(effects.sends[1].1, vec![5]);
-        assert_eq!(effects.sends[2].1, Vec::<u32>::new());
-        assert_eq!(effects.timers[0].1, vec![5, 9]);
+        assert_eq!(&effects.sends[0].1[..], &[] as &[u32]);
+        assert_eq!(&effects.sends[1].1[..], &[5]);
+        assert_eq!(&effects.sends[2].1[..], &[] as &[u32]);
+        assert_eq!(&effects.timers[0].1[..], &[5, 9]);
+    }
+
+    #[test]
+    fn effects_from_one_scope_share_one_interned_path() {
+        let mut effects: Effects<u32> = Effects::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = Context::new(0, 4, 0, 10, &mut effects, &mut rng, 42);
+        ctx.scoped(5, |ctx| {
+            ctx.send(1, 7);
+            ctx.send(2, 8);
+            ctx.broadcast(9);
+        });
+        assert!(Arc::ptr_eq(&effects.sends[0].1, &effects.sends[1].1));
+        assert!(Arc::ptr_eq(&effects.sends[0].1, &effects.broadcasts[0].0));
     }
 
     #[test]
@@ -250,7 +287,8 @@ mod tests {
         ctx.scoped(3, |ctx| ctx.broadcast(1));
         assert!(effects.sends.is_empty());
         assert_eq!(effects.broadcasts.len(), 1);
-        assert_eq!(effects.broadcasts[0], (vec![3], 1));
+        assert_eq!(&effects.broadcasts[0].0[..], &[3]);
+        assert_eq!(effects.broadcasts[0].1, 1);
     }
 
     #[test]

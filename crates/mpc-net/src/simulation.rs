@@ -237,6 +237,9 @@ pub struct Simulation<M> {
     coin_seed: u64,
     initialized: bool,
     transcript: Option<Vec<TranscriptEntry>>,
+    /// Reusable effects buffer: drained after every event instead of
+    /// allocating a fresh `Effects` per [`Simulation::step`].
+    scratch: Effects<M>,
 }
 
 impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
@@ -296,6 +299,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             coin_seed,
             initialized: false,
             transcript: None,
+            scratch: Effects::new(),
         }
     }
 
@@ -357,7 +361,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         }
         self.initialized = true;
         for p in 0..self.config.n {
-            let mut effects = Effects::new();
+            let mut effects = std::mem::replace(&mut self.scratch, Effects::new());
             {
                 let mut ctx = Context::new(
                     p,
@@ -370,7 +374,8 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                 );
                 self.parties[p].init(&mut ctx);
             }
-            self.apply_effects(p, effects);
+            self.apply_effects(p, &mut effects);
+            self.scratch = effects;
         }
     }
 
@@ -383,7 +388,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         debug_assert!(ev.at >= self.now, "time must be monotone");
         self.now = ev.at;
         self.metrics.events_processed += 1;
-        let (party, effects) = match ev.kind {
+        let (party, mut effects) = match ev.kind {
             EventKind::Deliver {
                 to,
                 from,
@@ -419,7 +424,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                         },
                     });
                 }
-                let mut effects = Effects::new();
+                let mut effects = std::mem::replace(&mut self.scratch, Effects::new());
                 {
                     let mut ctx = Context::new(
                         to,
@@ -445,7 +450,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                         },
                     });
                 }
-                let mut effects = Effects::new();
+                let mut effects = std::mem::replace(&mut self.scratch, Effects::new());
                 {
                     let mut ctx = Context::new(
                         party,
@@ -461,7 +466,8 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                 (party, effects)
             }
         };
-        self.apply_effects(party, effects);
+        self.apply_effects(party, &mut effects);
+        self.scratch = effects;
         true
     }
 
@@ -493,21 +499,24 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         let _ = self.run_until(horizon, |_| false);
     }
 
-    fn apply_effects(&mut self, sender: PartyId, effects: Effects<M>) {
+    /// Drains the effects buffer into the event queue (the buffer's
+    /// allocations are kept alive for reuse by the next event).
+    fn apply_effects(&mut self, sender: PartyId, effects: &mut Effects<M>) {
         let honest = self.corruption.is_honest(sender);
-        for (to, path, msg) in effects.sends {
+        for (to, path, msg) in effects.sends.drain(..) {
             let payload = Arc::new(msg.encode());
             self.dispatch(sender, honest, to, path, payload, false);
         }
-        for (path, msg) in effects.broadcasts {
+        for (path, msg) in effects.broadcasts.drain(..) {
             // One encoding for the whole broadcast; every delivery event
-            // shares the same bytes through the `Arc`.
+            // shares the same bytes (and the same interned path) through
+            // `Arc`s.
             let payload = Arc::new(msg.encode());
             for to in 0..self.config.n {
                 self.dispatch(sender, honest, to, path.clone(), Arc::clone(&payload), true);
             }
         }
-        for (delay, path, id) in effects.timers {
+        for (delay, path, id) in effects.timers.drain(..) {
             self.seq += 1;
             self.queue.push(Reverse(Event {
                 at: self.now + delay,

@@ -182,9 +182,20 @@ pub trait WireEncode {
     /// Appends the canonical encoding of `self` to `out`.
     fn encode_into(&self, out: &mut Vec<u8>);
 
-    /// The canonical encoding as a fresh byte vector.
+    /// Size of the canonical encoding in bytes, used by
+    /// [`WireEncode::encode`] to reserve the output buffer up front so large
+    /// payloads (e.g. `ℓ`-element share batches) are written without
+    /// re-growing it. Implementations should return the exact size when it
+    /// is cheap to compute; any lower bound (including the default `0`) is
+    /// correct.
+    fn encoded_len_hint(&self) -> usize {
+        0
+    }
+
+    /// The canonical encoding as a fresh byte vector, pre-reserved from
+    /// [`WireEncode::encoded_len_hint`].
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len_hint());
         self.encode_into(&mut out);
         out
     }
@@ -215,6 +226,10 @@ impl WireEncode for bool {
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(*self as u8);
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        1
+    }
 }
 
 impl WireDecode for bool {
@@ -226,6 +241,10 @@ impl WireDecode for bool {
 impl WireEncode for u8 {
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(*self);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        1
     }
 }
 
@@ -239,6 +258,10 @@ impl WireEncode for u32 {
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_le_bytes());
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        4
+    }
 }
 
 impl WireDecode for u32 {
@@ -250,6 +273,10 @@ impl WireDecode for u32 {
 impl WireEncode for u64 {
     fn encode_into(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        8
     }
 }
 
@@ -265,6 +292,10 @@ impl<T: WireEncode> WireEncode for Vec<T> {
         for item in self {
             item.encode_into(out);
         }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        4 + self.iter().map(WireEncode::encoded_len_hint).sum::<usize>()
     }
 }
 
@@ -291,6 +322,10 @@ impl<T: WireEncode> WireEncode for Option<T> {
             }
         }
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireEncode::encoded_len_hint)
+    }
 }
 
 impl<T: WireDecode> WireDecode for Option<T> {
@@ -310,6 +345,10 @@ impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
     fn encode_into(&self, out: &mut Vec<u8>) {
         self.0.encode_into(out);
         self.1.encode_into(out);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.0.encoded_len_hint() + self.1.encoded_len_hint()
     }
 }
 

@@ -257,7 +257,10 @@ mod tests {
             })
             .collect();
         if outputs.len() > params.ts + 1 {
-            let pts: Vec<(Fp, Fp)> = outputs.iter().map(|&(i, s)| (alpha(i), s)).collect();
+            // Interpolate through the shared evaluation domain's cached
+            // points, like the protocols themselves do.
+            let domain = mpc_algebra::EvalDomain::get(params.n);
+            let pts: Vec<(Fp, Fp)> = outputs.iter().map(|&(i, s)| (domain.alpha(i), s)).collect();
             let poly = Polynomial::interpolate(&pts[..params.ts + 1]);
             for &(x, y) in &pts {
                 assert_eq!(

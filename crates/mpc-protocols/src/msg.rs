@@ -203,6 +203,19 @@ impl WireEncode for Vote {
             }
         }
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        self.len_hint()
+    }
+}
+
+impl Vote {
+    fn len_hint(&self) -> usize {
+        match self {
+            Vote::Ok => 1,
+            Vote::Nok { .. } => 1 + 4 + 8,
+        }
+    }
 }
 
 impl WireDecode for Vote {
@@ -246,6 +259,16 @@ impl WireEncode for BcValue {
             }
         }
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        1 + match self {
+            BcValue::Bit(_) => 1,
+            BcValue::Votes(v) => 4 + v.iter().map(|(_, vote)| 4 + vote.len_hint()).sum::<usize>(),
+            BcValue::Wef { w, e, f } => 12 + 4 * (w.len() + e.len() + f.len()),
+            BcValue::Star { e, f } => 8 + 4 * (e.len() + f.len()),
+            BcValue::Value(v) => 4 + 8 * v.len(),
+        }
+    }
 }
 
 impl WireDecode for BcValue {
@@ -277,6 +300,11 @@ impl WireEncode for AcastMsg {
         };
         out.push(tag);
         v.encode_into(out);
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        let (AcastMsg::Send(v) | AcastMsg::Echo(v) | AcastMsg::Ready(v)) = self;
+        1 + v.encoded_len_hint()
     }
 }
 
@@ -310,6 +338,16 @@ impl WireEncode for SbaMsg {
                 value.encode_into(out);
             }
         }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        1 + 4
+            + match self {
+                SbaMsg::Round1 { value, .. } | SbaMsg::King { value, .. } => {
+                    value.encoded_len_hint()
+                }
+                SbaMsg::Round2 { candidate, .. } => candidate.encoded_len_hint(),
+            }
     }
 }
 
@@ -350,6 +388,13 @@ impl WireEncode for AbaMsg {
                 out.push(2);
                 value.encode_into(out);
             }
+        }
+    }
+
+    fn encoded_len_hint(&self) -> usize {
+        match self {
+            AbaMsg::Est { .. } | AbaMsg::Aux { .. } => 1 + 4 + 1,
+            AbaMsg::Finish { .. } => 1 + 1,
         }
     }
 }
@@ -408,6 +453,18 @@ impl WireEncode for Msg {
             }
         }
     }
+
+    fn encoded_len_hint(&self) -> usize {
+        1 + match self {
+            Msg::Acast(m) => m.encoded_len_hint(),
+            Msg::Sba(m) => m.encoded_len_hint(),
+            Msg::Aba(m) => m.encoded_len_hint(),
+            Msg::RowPolys(polys) => 4 + polys.iter().map(|p| 4 + 8 * p.len()).sum::<usize>(),
+            Msg::Points(v) => 4 + 8 * v.len(),
+            Msg::Open { values, .. } => 4 + 4 + 8 * values.len(),
+            Msg::Ready(v) => 4 + 8 * v.len(),
+        }
+    }
 }
 
 impl WireDecode for Msg {
@@ -439,6 +496,9 @@ mod tests {
     fn roundtrip(m: Msg) {
         let bytes = m.encode();
         assert_eq!(Msg::decode(&bytes).unwrap(), m);
+        // The size hint is exact for every protocol message, so `encode`
+        // reserves the output buffer in one allocation.
+        assert_eq!(m.encoded_len_hint(), bytes.len(), "{m:?}");
     }
 
     #[test]

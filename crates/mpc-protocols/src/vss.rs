@@ -13,7 +13,7 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use mpc_algebra::evaluation_points::alpha;
-use mpc_algebra::{Fp, Polynomial};
+use mpc_algebra::{EvalDomain, Fp, Polynomial};
 use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
 
 use crate::acast::Acast;
@@ -259,15 +259,20 @@ impl Vss {
         if support.len() < ts + 1 {
             return;
         }
+        // The same ts + 1 support parties back all L reconstructions, and
+        // only the constant term is needed: one cached Lagrange-at-zero
+        // vector from the shared evaluation domain turns each reconstruction
+        // into an O(ts) dot product (no polynomial is materialised).
+        let selected = &support[..ts + 1];
+        let lambda = EvalDomain::get(self.params.n).lagrange_at_zero(selected);
         let mut shares = Vec::with_capacity(self.l_count);
         for ell in 0..self.l_count {
-            let pts: Vec<(Fp, Fp)> = support
+            let secret_share: Fp = selected
                 .iter()
-                .take(ts + 1)
-                .map(|&j| (alpha(j), self.wps_share_of(j).expect("filtered")[ell]))
-                .collect();
-            let poly = Polynomial::interpolate(&pts);
-            shares.push(poly.constant_term());
+                .zip(&lambda)
+                .map(|(&j, &l)| l * self.wps_share_of(j).expect("filtered")[ell])
+                .sum();
+            shares.push(secret_share);
         }
         self.shares = Some(shares);
         self.output_at = Some(ctx.now);

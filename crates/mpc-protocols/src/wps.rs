@@ -391,9 +391,38 @@ impl Wps {
         }
         // OEC(t_s, t_s, ·) on the common points received from `support_set`
         let ts = self.params.ts;
+        let contributors: Vec<PartyId> = support_set
+            .iter()
+            .copied()
+            .filter(|j| self.points_from.contains_key(j))
+            .collect();
+        // Fast path: every contributor sent a full batch, so all L values
+        // share one evaluation-point vector and the OEC fast-path basis is
+        // built once for the whole batch.
+        if self.l_count > 0
+            && contributors
+                .iter()
+                .all(|j| self.points_from[j].len() >= self.l_count)
+        {
+            let xs: Vec<Fp> = contributors.iter().map(|&j| alpha(j)).collect();
+            let columns: Vec<Vec<Fp>> = (0..self.l_count)
+                .map(|ell| {
+                    contributors
+                        .iter()
+                        .map(|&j| self.points_from[&j][ell])
+                        .collect()
+                })
+                .collect();
+            let Some(polys) = rs::oec_decode_batch(ts, ts, &xs, &columns) else {
+                return; // not enough consistent points yet
+            };
+            self.shares = Some(polys.iter().map(|p| p.constant_term()).collect());
+            self.output_at = Some(ctx.now);
+            return;
+        }
         let mut shares = Vec::with_capacity(self.l_count);
         for ell in 0..self.l_count {
-            let pts: Vec<(Fp, Fp)> = support_set
+            let pts: Vec<(Fp, Fp)> = contributors
                 .iter()
                 .filter_map(|&j| {
                     self.points_from

@@ -7,7 +7,7 @@ use bobw_mpc::algebra::Fp;
 use bobw_mpc::core::{Circuit, MpcBuilder};
 use bobw_mpc::net::{
     CorruptionSet, Metrics, NetConfig, NetworkKind, Protocol, Simulation, Time, TranscriptEntry,
-    UniformDelay,
+    TranscriptEvent, UniformDelay,
 };
 use bobw_mpc::protocols::bc::Bc;
 use bobw_mpc::protocols::{BcValue, Msg, Params};
@@ -96,6 +96,134 @@ fn different_seeds_diverge_async() {
         a.0, b.0,
         "different seeds should produce different transcripts"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Golden regression: the algebra fast paths (shared evaluation-domain cache,
+// O(n²) interpolation, batched inversion, incremental OEC) and the
+// allocation-lean simulator dispatch are *pure* performance work — the
+// executions they produce must be bit-identical to the pre-refactor
+// implementation. The constants below were captured from the seed (textbook
+// asymptotics) implementation; any drift in transcripts, Metrics or outputs
+// fails this test.
+// ---------------------------------------------------------------------------
+
+fn fnv(h: &mut u64, v: u64) {
+    *h ^= v;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// Order-sensitive FNV-1a-style fingerprint of a full transcript.
+fn transcript_hash(entries: &[TranscriptEntry]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for e in entries {
+        fnv(&mut h, e.at);
+        fnv(&mut h, e.party as u64);
+        match &e.event {
+            TranscriptEvent::Deliver { from, path, bits } => {
+                fnv(&mut h, 1);
+                fnv(&mut h, *from as u64);
+                for &s in path.iter() {
+                    fnv(&mut h, s as u64);
+                }
+                fnv(&mut h, *bits);
+            }
+            TranscriptEvent::DroppedDeliver { from, path, bits } => {
+                fnv(&mut h, 2);
+                fnv(&mut h, *from as u64);
+                for &s in path.iter() {
+                    fnv(&mut h, s as u64);
+                }
+                fnv(&mut h, *bits);
+            }
+            TranscriptEvent::Timer { path, id } => {
+                fnv(&mut h, 3);
+                for &s in path.iter() {
+                    fnv(&mut h, s as u64);
+                }
+                fnv(&mut h, *id);
+            }
+        }
+    }
+    h
+}
+
+#[test]
+fn bc_transcript_and_metrics_bit_identical_to_pre_refactor_golden() {
+    // (kind, transcript_len, transcript_hash, honest_bits, honest_messages,
+    //  events_processed, completion_time) captured from the pre-optimisation
+    // seed implementation at seed 11, n = 4.
+    let golden = [
+        (
+            NetworkKind::Synchronous,
+            144usize,
+            0x93ae_d9d7_6483_3b43u64,
+            23008u64,
+            108u64,
+            144u64,
+            90u64,
+        ),
+        (
+            NetworkKind::Asynchronous,
+            138,
+            0xa4dd_919e_8c8a_0d18,
+            10656,
+            108,
+            138,
+            316,
+        ),
+    ];
+    for (kind, t_len, t_hash, bits, msgs, events, now) in golden {
+        let (transcript, metrics, finished) = run_bc(kind, 11, false);
+        assert_eq!(transcript.len(), t_len, "{kind:?} transcript length");
+        assert_eq!(transcript_hash(&transcript), t_hash, "{kind:?} transcript");
+        assert_eq!(metrics.honest_bits, bits, "{kind:?} honest_bits");
+        assert_eq!(metrics.honest_messages, msgs, "{kind:?} honest_messages");
+        assert_eq!(metrics.events_processed, events, "{kind:?} events");
+        assert_eq!(finished, now, "{kind:?} completion time");
+    }
+}
+
+#[test]
+fn full_mpc_metrics_bit_identical_to_pre_refactor_golden() {
+    // (kind, output, finished_at, honest_bits, honest_messages, events)
+    // captured from the pre-optimisation seed implementation at seed 77.
+    let golden = [
+        (
+            NetworkKind::Synchronous,
+            33u64,
+            960u64,
+            8_775_040u64,
+            47_856u64,
+            62_805u64,
+        ),
+        (
+            NetworkKind::Asynchronous,
+            33,
+            3001,
+            5_721_504,
+            69_412,
+            84_360,
+        ),
+    ];
+    let mut c = Circuit::new(4);
+    let prod = c.mul(c.input(0), c.input(1));
+    let s = c.add(c.input(2), c.input(3));
+    let out = c.add(prod, s);
+    c.set_output(out);
+    for (kind, output, finished_at, bits, msgs, events) in golden {
+        let r = MpcBuilder::new(4, 1, 0)
+            .network(kind)
+            .seed(77)
+            .inputs(&[3, 5, 7, 11])
+            .run(&c)
+            .expect("run completes");
+        assert_eq!(r.output.as_u64(), output, "{kind:?} output");
+        assert_eq!(r.finished_at, finished_at, "{kind:?} finished_at");
+        assert_eq!(r.metrics.honest_bits, bits, "{kind:?} honest_bits");
+        assert_eq!(r.metrics.honest_messages, msgs, "{kind:?} honest_messages");
+        assert_eq!(r.metrics.events_processed, events, "{kind:?} events");
+    }
 }
 
 #[test]
