@@ -14,7 +14,9 @@ use std::time::Instant;
 
 use mpc_algebra::{Fp, Polynomial};
 use mpc_core::{CirEval, Circuit, MpcBuilder};
-use mpc_net::{CorruptionSet, NetConfig, NetworkKind, Protocol, Simulation, Time, UniformDelay};
+use mpc_net::{
+    CorruptionSet, Metrics, NetConfig, NetworkKind, Protocol, Simulation, Time, UniformDelay,
+};
 use mpc_protocols::acast::Acast;
 use mpc_protocols::acs::Acs;
 use mpc_protocols::ba::Ba;
@@ -36,17 +38,54 @@ pub struct Measurement {
     pub completed_at: Time,
     /// Wall-clock milliseconds spent simulating.
     pub wall_ms: f64,
+    /// Events the simulator processed.
+    pub events_processed: u64,
+    /// Largest pending-event count observed at a time-slice boundary.
+    pub max_queue_depth: u64,
+    /// Simulator worker threads the run was configured with.
+    pub worker_threads: u64,
+    /// Same-time batch-width histogram (`hist[i]` = slices whose width fell
+    /// in `[2^i, 2^(i+1))`).
+    pub batch_width_hist: Vec<u64>,
 }
 
 impl Measurement {
+    /// Builds a measurement from a run's [`Metrics`], its simulated
+    /// completion time and the wall-clock start instant.
+    pub fn capture(metrics: &Metrics, completed_at: Time, start: Instant) -> Self {
+        Measurement {
+            honest_bits: metrics.honest_bits,
+            honest_messages: metrics.honest_messages,
+            completed_at,
+            wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+            events_processed: metrics.events_processed,
+            max_queue_depth: metrics.max_queue_depth,
+            worker_threads: metrics.worker_threads,
+            batch_width_hist: metrics.batch_width_hist.clone(),
+        }
+    }
+
     /// Serialises the measurement as one JSON object, keyed by the
     /// experiment name and the sweep coordinates `(n, ℓ)`.
     pub fn to_json(&self, experiment: &str, n: usize, ell: usize) -> String {
+        let hist = self
+            .batch_width_hist
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"experiment\":\"{experiment}\",\"n\":{n},\"ell\":{ell},\
              \"honest_bits\":{},\"honest_messages\":{},\"completed_at\":{},\
-             \"wall_ms\":{:.3}}}",
-            self.honest_bits, self.honest_messages, self.completed_at, self.wall_ms
+             \"wall_ms\":{:.3},\"events\":{},\"max_queue_depth\":{},\
+             \"threads\":{},\"batch_width_hist\":[{hist}]}}",
+            self.honest_bits,
+            self.honest_messages,
+            self.completed_at,
+            self.wall_ms,
+            self.events_processed,
+            self.max_queue_depth,
+            self.worker_threads,
         )
     }
 }
@@ -119,15 +158,10 @@ impl Drop for JsonReport {
     }
 }
 
-fn measure<F: FnOnce() -> (u64, u64, Time)>(f: F) -> Measurement {
+fn measure<F: FnOnce() -> (Metrics, Time)>(f: F) -> Measurement {
     let start = Instant::now();
-    let (honest_bits, honest_messages, completed_at) = f();
-    Measurement {
-        honest_bits,
-        honest_messages,
-        completed_at,
-        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-    }
+    let (metrics, completed_at) = f();
+    Measurement::capture(&metrics, completed_at, start)
 }
 
 /// Runs one Bracha A-cast of `ell` field elements among `n` parties
@@ -150,11 +184,7 @@ pub fn run_acast(n: usize, ell: usize) -> Measurement {
         sim.run_until(10_000, |s| {
             (0..n).all(|i| s.party_as::<Acast>(i).unwrap().output.is_some())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
@@ -179,17 +209,24 @@ pub fn run_bc(n: usize, ell: usize, kind: NetworkKind) -> Measurement {
         sim.run_until(params.t_bc() * 20, |s| {
             (0..n).all(|i| s.party_as::<Bc>(i).unwrap().value().is_some())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
 /// Runs one `Π_BA` instance among `n` parties with the given inputs
 /// (experiment E4).
 pub fn run_ba(n: usize, unanimous: bool, kind: NetworkKind) -> Measurement {
+    run_ba_threads(n, unanimous, kind, None)
+}
+
+/// [`run_ba`] with an explicit simulator worker-thread count (`None` defers
+/// to `MPC_THREADS`). Used by the E11 scaling sweep.
+pub fn run_ba_threads(
+    n: usize,
+    unanimous: bool,
+    kind: NetworkKind,
+    threads: Option<usize>,
+) -> Measurement {
     let params = Params::max_thresholds(n, 10);
     measure(|| {
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
@@ -198,16 +235,15 @@ pub fn run_ba(n: usize, unanimous: bool, kind: NetworkKind) -> Measurement {
                 Box::new(Ba::new(params.ts, params, Some(input))) as Box<dyn Protocol<Msg>>
             })
             .collect();
-        let cfg = NetConfig::for_kind(n, kind);
+        let mut cfg = NetConfig::for_kind(n, kind);
+        if let Some(t) = threads {
+            cfg = cfg.with_threads(t);
+        }
         let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
         sim.run_until(params.t_ba() * 50, |s| {
             (0..n).all(|i| s.party_as::<Ba>(i).unwrap().output.is_some())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
@@ -236,11 +272,7 @@ pub fn run_wps(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_wps() * 4, |s| {
             (0..n).all(|i| s.party_as::<Wps>(i).unwrap().shares.is_some())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
@@ -269,11 +301,7 @@ pub fn run_vss(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_vss() * 4, |s| {
             (0..n).all(|i| s.party_as::<Vss>(i).unwrap().shares.is_some())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
@@ -301,11 +329,7 @@ pub fn run_acs(n: usize, l: usize) -> Measurement {
         sim.run_until(params.t_acs() * 6, |s| {
             (0..n).all(|i| s.party_as::<Acs>(i).unwrap().ready())
         });
-        (
-            sim.metrics().honest_bits,
-            sim.metrics().honest_messages,
-            sim.now(),
-        )
+        (sim.metrics().clone(), sim.now())
     })
 }
 
@@ -318,22 +342,32 @@ pub fn run_cireval(
     corrupt: &[usize],
     seed: u64,
 ) -> (Measurement, Fp) {
+    run_cireval_threads(n, circuit, kind, corrupt, seed, None)
+}
+
+/// [`run_cireval`] with an explicit simulator worker-thread count (`None`
+/// defers to `MPC_THREADS`). Used by the E11 scaling sweep.
+pub fn run_cireval_threads(
+    n: usize,
+    circuit: &Circuit,
+    kind: NetworkKind,
+    corrupt: &[usize],
+    seed: u64,
+    threads: Option<usize>,
+) -> (Measurement, Fp) {
     let params = Params::max_thresholds(n, 10);
     let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
     let start = Instant::now();
-    let result = MpcBuilder::new(n, params.ts, params.ta)
+    let mut builder = MpcBuilder::new(n, params.ts, params.ta)
         .network(kind)
         .seed(seed)
         .inputs(&inputs)
-        .corrupt(corrupt)
-        .run(circuit)
-        .expect("benchmark run must complete");
-    let m = Measurement {
-        honest_bits: result.metrics.honest_bits,
-        honest_messages: result.metrics.honest_messages,
-        completed_at: result.finished_at,
-        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-    };
+        .corrupt(corrupt);
+    if let Some(t) = threads {
+        builder = builder.threads(t);
+    }
+    let result = builder.run(circuit).expect("benchmark run must complete");
+    let m = Measurement::capture(&result.metrics, result.finished_at, start);
     (m, result.output)
 }
 
@@ -359,12 +393,7 @@ pub fn run_cireval_fast_async(
         .inputs(&inputs)
         .run(circuit)
         .expect("benchmark run must complete");
-    let m = Measurement {
-        honest_bits: result.metrics.honest_bits,
-        honest_messages: result.metrics.honest_messages,
-        completed_at: result.finished_at,
-        wall_ms: start.elapsed().as_secs_f64() * 1000.0,
-    };
+    let m = Measurement::capture(&result.metrics, result.finished_at, start);
     (m, result.output)
 }
 

@@ -60,6 +60,7 @@ pub struct MpcBuilder {
     strategy: Option<Box<dyn ByzantineStrategy>>,
     scheduler: Option<Box<dyn Scheduler>>,
     horizon_factor: u64,
+    threads: Option<usize>,
 }
 
 impl fmt::Debug for MpcBuilder {
@@ -94,6 +95,7 @@ impl MpcBuilder {
             strategy: None,
             scheduler: None,
             horizon_factor: 8,
+            threads: None,
         }
     }
 
@@ -164,6 +166,16 @@ impl MpcBuilder {
         self
     }
 
+    /// Sets the simulator's worker-thread count for same-time-slice
+    /// pre-execution (see [`NetConfig::with_threads`]). Purely a wall-clock
+    /// knob: the run's outputs, metrics and bit accounting are identical
+    /// for every value. Defaults to the `MPC_THREADS` environment variable,
+    /// then 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
     /// The protocol parameters this builder will run with.
     pub fn params(&self) -> Params {
         self.params
@@ -192,9 +204,12 @@ impl MpcBuilder {
                 }
             })
             .collect();
-        let cfg = NetConfig::for_kind(n, self.network)
+        let mut cfg = NetConfig::for_kind(n, self.network)
             .with_delta(self.delta)
             .with_seed(self.seed);
+        if let Some(threads) = self.threads {
+            cfg = cfg.with_threads(threads);
+        }
         let mut sim = match self.scheduler {
             Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
             None => Simulation::new(cfg, corrupt.clone(), parties),

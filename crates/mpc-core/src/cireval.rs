@@ -29,6 +29,12 @@
 //! 6. **Output and termination** — the output wire is publicly
 //!    reconstructed; `(ready, y)` messages à la Bracha ensure every honest
 //!    party terminates with the same output.
+//!
+//! `CirEval` is `Send` (asserted below): under the simulator's deterministic
+//! parallel engine a whole party — this state machine included — is handed
+//! to a worker thread for the duration of one time slice, and its per-event
+//! behaviour depends only on its own state and RNG, which is what keeps
+//! `threads = k` runs bit-identical to sequential ones.
 
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -74,6 +80,10 @@ enum Phase {
 }
 
 /// One instance of the full best-of-both-worlds MPC protocol.
+///
+/// `Send` by construction (its `Arc<EvalDomain>` cache is itself `Sync`),
+/// which lets the simulator's parallel engine move the whole party to a
+/// worker thread per time slice.
 #[derive(Debug)]
 pub struct CirEval {
     params: Params,
@@ -718,6 +728,11 @@ impl Protocol<Msg> for CirEval {
         self
     }
 }
+
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CirEval>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,14 @@ pub type PathSlice<'a> = &'a [u32];
 /// Implementations must be deterministic functions of the events they are
 /// fed plus the randomness drawn from [`Context::rng`]; the simulator then
 /// guarantees reproducible executions.
-pub trait Protocol<M>: Any {
+///
+/// `Send` is a supertrait so that the simulator may pre-execute different
+/// parties' same-time events on worker threads (see the "Deterministic
+/// parallel execution" section of DESIGN.md). A party's state machine is
+/// only ever touched by one thread at a time — the bound merely allows the
+/// *ownership* of that party to move to a worker for the duration of a
+/// time slice.
+pub trait Protocol<M>: Any + Send {
     /// Called exactly once, at the party's local time of instance creation.
     fn init(&mut self, ctx: &mut Context<'_, M>);
 

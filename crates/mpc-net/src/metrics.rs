@@ -2,11 +2,20 @@
 //!
 //! The paper states all its communication-complexity bounds as "bits
 //! communicated by the honest parties"; these counters measure exactly that.
+//! The struct additionally carries *scheduler observability* counters (event
+//! throughput, queue pressure, same-time batch widths, worker threads) used
+//! to understand and tune the simulator itself.
 
 use std::collections::BTreeMap;
 
 /// Aggregated communication metrics of one simulation run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality (`PartialEq`) compares every *execution* field — everything that
+/// must be bit-identical across reruns and across worker-thread counts — and
+/// deliberately ignores [`Metrics::worker_threads`], which describes the
+/// harness configuration rather than the execution (a `threads = 4` run must
+/// compare equal to the `threads = 1` run it reproduces).
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Messages sent by honest parties.
     pub honest_messages: u64,
@@ -30,10 +39,57 @@ pub struct Metrics {
     pub decode_failures: u64,
     /// Number of events processed.
     pub events_processed: u64,
+    /// Largest number of pending events observed at a time-slice boundary
+    /// (sampled once per slice, including the slice's own events).
+    pub max_queue_depth: u64,
+    /// Histogram of same-time batch widths: `batch_width_hist[i]` counts the
+    /// time slices that processed a number of events in `[2^i, 2^(i+1))`
+    /// (slice width includes same-tick cascades such as broadcast
+    /// self-deliveries). Empty slices are never recorded.
+    pub batch_width_hist: Vec<u64>,
+    /// The worker-thread count the simulation was configured with
+    /// (`NetConfig::with_threads` / the `MPC_THREADS` environment knob).
+    /// Harness observability only — excluded from `PartialEq`, because the
+    /// whole point of the deterministic parallel engine is that this knob
+    /// does not change the execution.
+    pub worker_threads: u64,
     /// Honest bits broken down by the *top-level path segment* of the sending
     /// instance — lets composite experiments attribute cost to sub-protocols.
     pub honest_bits_by_root_segment: BTreeMap<u32, u64>,
 }
+
+impl PartialEq for Metrics {
+    fn eq(&self, other: &Self) -> bool {
+        // Exhaustive destructuring (no `..`): adding a field to `Metrics`
+        // must fail to compile here, forcing an explicit decision on whether
+        // it joins the execution fingerprint or the harness-only set.
+        let Metrics {
+            honest_messages,
+            honest_bits,
+            corrupt_messages,
+            adversary_drops,
+            adversary_tampered,
+            decode_failures,
+            events_processed,
+            max_queue_depth,
+            batch_width_hist,
+            worker_threads: _, // harness observability: see the struct docs
+            honest_bits_by_root_segment,
+        } = self;
+        *honest_messages == other.honest_messages
+            && *honest_bits == other.honest_bits
+            && *corrupt_messages == other.corrupt_messages
+            && *adversary_drops == other.adversary_drops
+            && *adversary_tampered == other.adversary_tampered
+            && *decode_failures == other.decode_failures
+            && *events_processed == other.events_processed
+            && *max_queue_depth == other.max_queue_depth
+            && *batch_width_hist == other.batch_width_hist
+            && *honest_bits_by_root_segment == other.honest_bits_by_root_segment
+    }
+}
+
+impl Eq for Metrics {}
 
 impl Metrics {
     /// A zeroed metrics record.
@@ -53,6 +109,26 @@ impl Metrics {
             self.corrupt_messages += 1;
         }
     }
+
+    /// Records one processed time slice of `width` events (0 is ignored) and
+    /// the pending-event count `depth` observed at its boundary.
+    pub fn record_slice(&mut self, width: u64, depth: u64) {
+        self.max_queue_depth = self.max_queue_depth.max(depth);
+        if width == 0 {
+            return;
+        }
+        let bucket = width.ilog2() as usize;
+        if self.batch_width_hist.len() <= bucket {
+            self.batch_width_hist.resize(bucket + 1, 0);
+        }
+        self.batch_width_hist[bucket] += 1;
+    }
+
+    /// Total number of (non-empty) time slices recorded in the batch-width
+    /// histogram.
+    pub fn slices_processed(&self) -> u64 {
+        self.batch_width_hist.iter().sum()
+    }
 }
 
 #[cfg(test)]
@@ -71,5 +147,29 @@ mod tests {
         assert_eq!(m.corrupt_messages, 1);
         assert_eq!(m.honest_bits_by_root_segment.get(&2), Some(&150));
         assert_eq!(m.honest_bits_by_root_segment.get(&1), None);
+    }
+
+    #[test]
+    fn slice_histogram_buckets_by_power_of_two() {
+        let mut m = Metrics::new();
+        m.record_slice(1, 3); // bucket 0
+        m.record_slice(3, 10); // bucket 1
+        m.record_slice(4, 2); // bucket 2
+        m.record_slice(7, 0); // bucket 2
+        m.record_slice(0, 99); // ignored width, still samples depth
+        assert_eq!(m.batch_width_hist, vec![1, 1, 2]);
+        assert_eq!(m.max_queue_depth, 99);
+        assert_eq!(m.slices_processed(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_worker_threads_only() {
+        let mut a = Metrics::new();
+        a.record_send(true, 8, None);
+        let mut b = a.clone();
+        b.worker_threads = 4;
+        assert_eq!(a, b, "worker_threads is harness observability");
+        b.record_slice(2, 2);
+        assert_ne!(a, b, "execution fields must still discriminate");
     }
 }

@@ -19,6 +19,18 @@ pub trait Scheduler {
 
     /// Upper bound used by the simulator for sanity horizons; must be finite.
     fn max_delay(&self) -> Time;
+
+    /// Lower bound on [`Scheduler::delay`] for *cross-party* messages
+    /// (`from != to`). The simulator only enables parallel same-time-slice
+    /// pre-execution when this is ≥ 1: it guarantees that every event a
+    /// party handles at time `T` can only spawn further time-`T` events for
+    /// that *same* party (self-sends and zero-delay timers), which is what
+    /// makes per-party pre-execution order-independent. The conservative
+    /// default of 0 keeps custom schedulers correct (they simply run on the
+    /// sequential path).
+    fn min_delay(&self) -> Time {
+        0
+    }
 }
 
 /// Synchronous worst case: every message takes exactly `Δ`.
@@ -30,6 +42,9 @@ impl Scheduler for FixedDelay {
         self.0
     }
     fn max_delay(&self) -> Time {
+        self.0
+    }
+    fn min_delay(&self) -> Time {
         self.0
     }
 }
@@ -56,6 +71,9 @@ impl Scheduler for UniformDelay {
     }
     fn max_delay(&self) -> Time {
         self.max
+    }
+    fn min_delay(&self) -> Time {
+        self.min.min(self.max)
     }
 }
 
@@ -85,6 +103,9 @@ impl Scheduler for AsyncScheduler {
     fn max_delay(&self) -> Time {
         self.slow
     }
+    fn min_delay(&self) -> Time {
+        1
+    }
 }
 
 /// A targeted asynchronous adversary: every message **from** a party in
@@ -111,6 +132,13 @@ impl Scheduler for SkewedAsyncScheduler {
     }
     fn max_delay(&self) -> Time {
         self.lag.max(self.fast)
+    }
+    fn min_delay(&self) -> Time {
+        if self.slowed_senders.is_empty() {
+            1
+        } else {
+            self.lag.min(1)
+        }
     }
 }
 

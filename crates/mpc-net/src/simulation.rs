@@ -1,8 +1,17 @@
 //! The discrete-event simulator driving all protocol executions.
+//!
+//! Since PR 4 the simulator executes in deterministic *time slices*: all
+//! events scheduled at the same simulated tick form one batch, the batch is
+//! (optionally) pre-executed on worker threads grouped by destination party,
+//! and the results are merged back in the exact canonical event order the
+//! purely sequential engine would have produced — transcripts, [`Metrics`]
+//! and bit accounting are bit-identical for every worker-thread count. See
+//! the "Deterministic parallel execution" section of DESIGN.md for the
+//! correctness argument.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,6 +60,19 @@ pub enum NetworkKind {
     Asynchronous,
 }
 
+/// The process-wide default worker-thread count, read once from the
+/// `MPC_THREADS` environment variable (unset, empty or unparsable → 1).
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("MPC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1)
+    })
+}
+
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -63,6 +85,11 @@ pub struct NetConfig {
     /// Master seed: party RNGs, the scheduler RNG and the common-coin oracle
     /// are all derived from it, making runs fully reproducible.
     pub seed: u64,
+    /// Worker threads for same-time-slice pre-execution: `None` defers to
+    /// the `MPC_THREADS` environment variable (default 1 = sequential).
+    /// The thread count never changes the execution — only its wall-clock
+    /// time — so this is purely a performance knob.
+    pub threads: Option<usize>,
 }
 
 impl NetConfig {
@@ -79,6 +106,7 @@ impl NetConfig {
             delta: Self::DEFAULT_DELTA,
             kind,
             seed: Self::DEFAULT_SEED,
+            threads: None,
         }
     }
 
@@ -104,9 +132,23 @@ impl NetConfig {
         self.delta = delta;
         self
     }
+
+    /// Sets the worker-thread count for same-time-slice pre-execution
+    /// (values < 1 are clamped to 1). Overrides the `MPC_THREADS`
+    /// environment variable.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The effective worker-thread count: the explicit
+    /// [`NetConfig::with_threads`] value if set, else `MPC_THREADS`, else 1.
+    pub fn resolved_threads(&self) -> usize {
+        self.threads.unwrap_or_else(env_threads).max(1)
+    }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum EventKind {
     Deliver {
         to: PartyId,
@@ -121,6 +163,16 @@ enum EventKind {
         path: Path,
         id: u64,
     },
+}
+
+impl EventKind {
+    /// The party that will handle this event.
+    fn party(&self) -> PartyId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { party, .. } => *party,
+        }
+    }
 }
 
 /// One processed event, as recorded by [`Simulation::record_transcript`].
@@ -204,6 +256,368 @@ impl Ord for Event {
     }
 }
 
+/// Calendar-queue event store: a ring of per-tick buckets spanning `Δ` ticks
+/// from the current time plus an overflow heap for farther-out events.
+///
+/// The paper's protocols generate heavily clustered schedules (synchronous
+/// rounds put *every* delivery of a round at the same tick), which makes the
+/// classic binary-heap queue pay `O(log k)` per event for no benefit: within
+/// one tick the (rank, depth, seq) order is what matters, and across ticks
+/// the calendar ring finds the next non-empty tick in `O(Δ)`. Each bucket is
+/// itself a small heap ordered by the canonical event order, so draining a
+/// bucket yields exactly the sequence the old global heap produced.
+struct EventQueue {
+    /// `ring[(cursor + (t - base)) % ring.len()]` holds the events of tick
+    /// `t` for `t ∈ [base, base + ring.len())`.
+    ring: Vec<BinaryHeap<Reverse<Event>>>,
+    /// Tick represented by `ring[cursor]`.
+    base: Time,
+    cursor: usize,
+    /// Events at ticks `≥ base + ring.len()`.
+    overflow: BinaryHeap<Reverse<Event>>,
+    len: usize,
+}
+
+impl EventQueue {
+    /// Ring width is `Δ` ticks, clamped to a sane range: correctness does
+    /// not depend on the width (farther events overflow), only constant
+    /// factors do.
+    fn new(delta: Time) -> Self {
+        let width = delta.clamp(1, 256) as usize;
+        EventQueue {
+            ring: (0..width).map(|_| BinaryHeap::new()).collect(),
+            base: 0,
+            cursor: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, ev: Event) {
+        debug_assert!(ev.at >= self.base, "events cannot be scheduled in the past");
+        self.len += 1;
+        let width = self.ring.len() as Time;
+        if ev.at < self.base + width {
+            let slot = (self.cursor + (ev.at - self.base) as usize) % self.ring.len();
+            self.ring[slot].push(Reverse(ev));
+        } else {
+            self.overflow.push(Reverse(ev));
+        }
+    }
+
+    /// Moves overflow events that now fall inside the ring window into their
+    /// buckets. Called whenever `base` advances.
+    fn migrate_overflow(&mut self) {
+        let width = self.ring.len() as Time;
+        while let Some(Reverse(ev)) = self.overflow.peek() {
+            if ev.at >= self.base + width {
+                break;
+            }
+            let Some(Reverse(ev)) = self.overflow.pop() else {
+                unreachable!("peeked above")
+            };
+            let slot = (self.cursor + (ev.at - self.base) as usize) % self.ring.len();
+            self.ring[slot].push(Reverse(ev));
+        }
+    }
+
+    /// Advances to and returns the earliest tick holding any event, or
+    /// `None` when the queue is empty. Afterwards [`EventQueue::pop_current`]
+    /// pops that tick's events in canonical order.
+    fn next_time(&mut self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = self.ring.len();
+        for off in 0..width {
+            let slot = (self.cursor + off) % width;
+            if !self.ring[slot].is_empty() {
+                self.cursor = slot;
+                self.base += off as Time;
+                if off > 0 {
+                    self.migrate_overflow();
+                }
+                return Some(self.base);
+            }
+        }
+        // The ring is empty: jump straight to the earliest overflow tick.
+        let t = self
+            .overflow
+            .peek()
+            .map(|Reverse(ev)| ev.at)
+            .expect("len > 0 but no events anywhere");
+        self.base = t;
+        self.migrate_overflow();
+        Some(t)
+    }
+
+    /// Pops the canonically-next event of the *current* tick (the one the
+    /// last [`EventQueue::next_time`] returned), if any remains.
+    fn pop_current(&mut self) -> Option<Event> {
+        let Reverse(ev) = self.ring[self.cursor].pop()?;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    /// Iterates the *current* tick's pending events in arbitrary order
+    /// (cheap pre-inspection without popping).
+    fn current_events(&self) -> impl Iterator<Item = &Event> {
+        self.ring[self.cursor].iter().map(|Reverse(ev)| ev)
+    }
+}
+
+/// One pre-executed event of a party's same-time batch: the transcript entry
+/// it produced plus its side effects with payloads already encoded. Produced
+/// on worker threads, consumed by the canonical serial merge.
+struct Step {
+    /// 0 = delivery, 1 = timer — validated against the merged event.
+    kind_tag: u8,
+    transcript: Option<TranscriptEntry>,
+    decode_failed: bool,
+    /// `(to, path, canonical bytes)` unicasts, in emission order.
+    sends: Vec<(PartyId, Path, Arc<Vec<u8>>)>,
+    /// `(path, canonical bytes)` broadcasts, in emission order.
+    broadcasts: Vec<(Path, Arc<Vec<u8>>)>,
+    /// `(delay, path, id)` timer requests, in emission order.
+    timers: Vec<(Time, Path, u64)>,
+}
+
+/// A worker-local event: same ordering key as [`Event`] restricted to one
+/// tick and one party, with a local sequence surrogate whose relative order
+/// matches the global sequence numbers the merge will assign.
+struct LocalEv {
+    rank: u8,
+    depth: usize,
+    lseq: u64,
+    kind: LocalKind,
+}
+
+enum LocalKind {
+    Deliver {
+        from: PartyId,
+        path: Path,
+        payload: Arc<Vec<u8>>,
+    },
+    Timer {
+        path: Path,
+        id: u64,
+    },
+}
+
+impl PartialEq for LocalEv {
+    fn eq(&self, other: &Self) -> bool {
+        (self.rank, self.depth, self.lseq) == (other.rank, other.depth, other.lseq)
+    }
+}
+impl Eq for LocalEv {}
+impl PartialOrd for LocalEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LocalEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.rank, Reverse(self.depth), self.lseq).cmp(&(
+            other.rank,
+            Reverse(other.depth),
+            other.lseq,
+        ))
+    }
+}
+
+/// One party's work for one time slice, carved out of the simulation for a
+/// worker thread: exclusive access to the party's state machine and RNG plus
+/// its batch events in canonical order.
+struct WorkerParty<'a, M> {
+    party: PartyId,
+    protocol: &'a mut Box<dyn Protocol<M>>,
+    rng: &'a mut StdRng,
+    events: Vec<EventKind>,
+}
+
+/// Pre-executes one party's full time-`t` batch — including the same-tick
+/// cascades its own handlers spawn (self-sends, broadcast self-copies,
+/// zero-delay timers) — and returns one [`Step`] per processed event, in the
+/// party's canonical processing order.
+///
+/// This runs on a worker thread and touches nothing but the party's own
+/// state and RNG, which is exactly why per-party pre-execution commutes: see
+/// DESIGN.md, "Deterministic parallel execution".
+fn run_party_slice<M: WireEncode + WireDecode + 'static>(
+    wp: WorkerParty<'_, M>,
+    t: Time,
+    n: usize,
+    delta: Time,
+    coin_seed: u64,
+    record: bool,
+) -> (PartyId, VecDeque<Step>) {
+    let WorkerParty {
+        party,
+        protocol,
+        rng,
+        events,
+    } = wp;
+    let mut queue: BinaryHeap<Reverse<LocalEv>> = BinaryHeap::with_capacity(events.len());
+    let mut lseq = 0u64;
+    for kind in events {
+        debug_assert_eq!(kind.party(), party);
+        let local = match kind {
+            EventKind::Deliver {
+                from,
+                path,
+                payload,
+                ..
+            } => LocalEv {
+                rank: 0,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Deliver {
+                    from,
+                    path,
+                    payload,
+                },
+            },
+            EventKind::Timer { path, id, .. } => LocalEv {
+                rank: 1,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Timer { path, id },
+            },
+        };
+        lseq += 1;
+        queue.push(Reverse(local));
+    }
+    let mut steps = VecDeque::new();
+    let mut scratch: Effects<M> = Effects::new();
+    while let Some(Reverse(ev)) = queue.pop() {
+        let mut step = Step {
+            kind_tag: 0,
+            transcript: None,
+            decode_failed: false,
+            sends: Vec::new(),
+            broadcasts: Vec::new(),
+            timers: Vec::new(),
+        };
+        match ev.kind {
+            LocalKind::Deliver {
+                from,
+                path,
+                payload,
+            } => match M::decode(&payload) {
+                Err(_) => {
+                    step.decode_failed = true;
+                    if record {
+                        step.transcript = Some(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::DroppedDeliver {
+                                from,
+                                path,
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                }
+                Ok(msg) => {
+                    if record {
+                        step.transcript = Some(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::Deliver {
+                                from,
+                                path: path.clone(),
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                    let mut ctx = Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                    protocol.on_message(&mut ctx, from, &path, msg);
+                }
+            },
+            LocalKind::Timer { path, id } => {
+                step.kind_tag = 1;
+                if record {
+                    step.transcript = Some(TranscriptEntry {
+                        at: t,
+                        party,
+                        event: TranscriptEvent::Timer {
+                            path: path.clone(),
+                            id,
+                        },
+                    });
+                }
+                let mut ctx = Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                protocol.on_timer(&mut ctx, &path, id);
+            }
+        }
+        // Resolve the effects: encode payloads here (off the serial merge
+        // path) and feed the party's own same-tick cascades back into the
+        // local queue, in the same relative order the merge's global
+        // sequence numbers will induce (sends, then broadcast self-copies,
+        // then timers — each in emission order).
+        for (to, path, msg) in scratch.sends.drain(..) {
+            let bytes = Arc::new(msg.encode());
+            if to == party {
+                lseq += 1;
+                queue.push(Reverse(LocalEv {
+                    rank: 0,
+                    depth: path.len(),
+                    lseq,
+                    kind: LocalKind::Deliver {
+                        from: party,
+                        path: path.clone(),
+                        payload: Arc::clone(&bytes),
+                    },
+                }));
+            }
+            step.sends.push((to, path, bytes));
+        }
+        for (path, msg) in scratch.broadcasts.drain(..) {
+            let bytes = Arc::new(msg.encode());
+            lseq += 1;
+            queue.push(Reverse(LocalEv {
+                rank: 0,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Deliver {
+                    from: party,
+                    path: path.clone(),
+                    payload: Arc::clone(&bytes),
+                },
+            }));
+            step.broadcasts.push((path, bytes));
+        }
+        for (delay, path, id) in scratch.timers.drain(..) {
+            if delay == 0 {
+                lseq += 1;
+                queue.push(Reverse(LocalEv {
+                    rank: 1,
+                    depth: path.len(),
+                    lseq,
+                    kind: LocalKind::Timer {
+                        path: path.clone(),
+                        id,
+                    },
+                }));
+            }
+            step.timers.push((delay, path, id));
+        }
+        steps.push_back(step);
+    }
+    (party, steps)
+}
+
+/// Minimum same-tick events before the parallel path spawns workers; below
+/// this the per-slice thread overhead outweighs any win and the slice runs
+/// inline (the results are identical either way). At least two distinct
+/// honest parties must also have work — see
+/// [`Simulation::slice_worth_parallelising`].
+const MIN_PARALLEL_EVENTS: usize = 4;
+
 /// A deterministic discrete-event simulation of `n` parties running one root
 /// [`Protocol`] instance each over the configured network.
 ///
@@ -221,8 +635,15 @@ impl Ord for Event {
 /// whose timer is set to the network bound `Δ` observes every message that
 /// was guaranteed to arrive by then — exactly the paper's synchronous round
 /// abstraction.
+///
+/// With [`NetConfig::with_threads`] (or `MPC_THREADS`) > 1, each same-time
+/// batch is pre-executed concurrently grouped by destination party and
+/// merged back serially in canonical order; the execution — transcript,
+/// metrics, bit accounting, outputs — is bit-identical to the sequential
+/// one for every seed, network kind and Byzantine strategy.
 pub struct Simulation<M> {
     config: NetConfig,
+    threads: usize,
     parties: Vec<Box<dyn Protocol<M>>>,
     rngs: Vec<StdRng>,
     corruption: CorruptionSet,
@@ -230,7 +651,7 @@ pub struct Simulation<M> {
     scheduler: Box<dyn Scheduler>,
     sched_rng: StdRng,
     adv_rng: StdRng,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     seq: u64,
     now: Time,
     metrics: Metrics,
@@ -283,8 +704,13 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         let sched_rng = StdRng::seed_from_u64(config.seed ^ 0xDEAD_BEEF);
         let adv_rng = StdRng::seed_from_u64(config.seed ^ 0xBADA_D0E5);
         let coin_seed = config.seed ^ 0x5EED_C011;
+        let threads = config.resolved_threads();
+        let queue = EventQueue::new(config.delta);
+        let mut metrics = Metrics::new();
+        metrics.worker_threads = threads as u64;
         Simulation {
             config,
+            threads,
             parties,
             rngs,
             corruption,
@@ -292,10 +718,10 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             scheduler,
             sched_rng,
             adv_rng,
-            queue: BinaryHeap::new(),
+            queue,
             seq: 0,
             now: 0,
-            metrics: Metrics::new(),
+            metrics,
             coin_seed,
             initialized: false,
             transcript: None,
@@ -325,6 +751,11 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
     /// The configuration the simulation was built with.
     pub fn config(&self) -> &NetConfig {
         &self.config
+    }
+
+    /// The effective worker-thread count of this run.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Current simulated time.
@@ -379,15 +810,243 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         }
     }
 
-    /// Processes the next event. Returns `false` when the queue is empty.
+    /// Processes the next single event. Returns `false` when the queue is
+    /// empty. Always sequential — the parallel engine operates on whole
+    /// time slices via the `run_*` methods.
     pub fn step(&mut self) -> bool {
         self.init();
-        let Some(Reverse(ev)) = self.queue.pop() else {
+        let Some(t) = self.queue.next_time() else {
             return false;
         };
-        debug_assert!(ev.at >= self.now, "time must be monotone");
-        self.now = ev.at;
+        let Some(ev) = self.queue.pop_current() else {
+            unreachable!("next_time returned a tick without events")
+        };
+        debug_assert!(t >= self.now, "time must be monotone");
+        self.now = t;
         self.metrics.events_processed += 1;
+        self.execute_event(ev);
+        true
+    }
+
+    /// Runs until `pred` returns `true`, the event queue drains, or the next
+    /// pending event lies beyond `horizon`. Returns whether `pred` became
+    /// true.
+    ///
+    /// `pred` is evaluated at *time-slice boundaries*: all events scheduled
+    /// at the same simulated tick (including the same-tick cascades they
+    /// spawn) are processed as one atomic batch before the predicate sees
+    /// the state. A tick is the paper's indivisible unit of simultaneity —
+    /// and slice atomicity is what lets the batch be pre-executed on worker
+    /// threads without ever exposing a state the sequential engine would
+    /// not also reach.
+    pub fn run_until(&mut self, horizon: Time, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        self.init();
+        if pred(self) {
+            return true;
+        }
+        while let Some(t) = self.queue.next_time() {
+            if t > horizon {
+                return false;
+            }
+            self.process_slice(t);
+            if pred(self) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs until the event queue is empty or `horizon` is exceeded.
+    pub fn run_to_quiescence(&mut self, horizon: Time) {
+        let _ = self.run_until(horizon, |_| false);
+    }
+
+    /// Processes the complete batch of events scheduled at tick `t` — the
+    /// events already queued for `t` plus every same-tick cascade they
+    /// spawn. The caller must have positioned the queue via
+    /// [`EventQueue::next_time`].
+    fn process_slice(&mut self, t: Time) {
+        self.now = t;
+        let depth = self.queue.len() as u64;
+        let before = self.metrics.events_processed;
+        // Parallel pre-execution is sound only when cross-party messages
+        // cannot be delivered within the same tick they are sent (see
+        // `Scheduler::min_delay`): then every same-tick cascade stays on the
+        // party that spawned it, and per-party batches commute. Whether it
+        // is *worth it* is decided by inspecting the live bucket, so thin
+        // slices pay a single pop each rather than a drain-and-reinsert.
+        if self.threads > 1 && self.scheduler.min_delay() >= 1 && self.slice_worth_parallelising() {
+            self.process_slice_parallel(t);
+        } else {
+            while let Some(ev) = self.queue.pop_current() {
+                self.metrics.events_processed += 1;
+                self.execute_event(ev);
+            }
+        }
+        self.metrics
+            .record_slice(self.metrics.events_processed - before, depth);
+    }
+
+    /// Cheap pre-check on the current bucket: spawn workers only for slices
+    /// with at least [`MIN_PARALLEL_EVENTS`] initially queued events spread
+    /// over at least two distinct honest parties. Purely a
+    /// wall-clock heuristic — either engine produces identical results.
+    fn slice_worth_parallelising(&self) -> bool {
+        let mut events = 0usize;
+        let mut first_honest: Option<PartyId> = None;
+        let mut two_honest = false;
+        for ev in self.queue.current_events() {
+            events += 1;
+            if !two_honest {
+                let p = ev.kind.party();
+                if self.corruption.is_honest(p) {
+                    match first_honest {
+                        None => first_honest = Some(p),
+                        Some(q) => two_honest = q != p,
+                    }
+                }
+            }
+            if events >= MIN_PARALLEL_EVENTS && two_honest {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The parallel slice engine: drain the batch, pre-execute honest
+    /// parties' events on worker threads grouped by party, then merge the
+    /// pre-computed steps back by replaying the queue in canonical order
+    /// (corrupt parties execute inline during the merge, because their
+    /// sends consult the shared adversary RNG and strategy).
+    fn process_slice_parallel(&mut self, t: Time) {
+        let mut initial: Vec<Event> = Vec::new();
+        while let Some(ev) = self.queue.pop_current() {
+            initial.push(ev);
+        }
+        // Group the honest parties' events (canonical order per party; the
+        // kind clones are cheap `Arc` bumps).
+        let mut per_party: BTreeMap<PartyId, Vec<EventKind>> = BTreeMap::new();
+        for ev in &initial {
+            let p = ev.kind.party();
+            if self.corruption.is_honest(p) {
+                per_party.entry(p).or_default().push(ev.kind.clone());
+            }
+        }
+        let workers = self.threads.min(per_party.len());
+        let n = self.config.n;
+        let delta = self.config.delta;
+        let coin_seed = self.coin_seed;
+        let record = self.transcript.is_some();
+        // Carve disjoint `&mut` party/rng slots out of the simulation,
+        // round-robin across workers (party ids ascend, so repeated
+        // `split_at_mut` walks suffice — no unsafe).
+        let mut groups: Vec<Vec<WorkerParty<'_, M>>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut parties_tail = self.parties.as_mut_slice();
+        let mut rngs_tail = self.rngs.as_mut_slice();
+        let mut offset = 0usize;
+        for (i, (party, events)) in per_party.into_iter().enumerate() {
+            let (_, rest) = parties_tail.split_at_mut(party - offset);
+            let Some((protocol, rest)) = rest.split_first_mut() else {
+                unreachable!("party id within range")
+            };
+            parties_tail = rest;
+            let (_, rest) = rngs_tail.split_at_mut(party - offset);
+            let Some((rng, rest)) = rest.split_first_mut() else {
+                unreachable!("party id within range")
+            };
+            rngs_tail = rest;
+            offset = party + 1;
+            groups[i % workers].push(WorkerParty {
+                party,
+                protocol,
+                rng,
+                events,
+            });
+        }
+        let mut traces: Vec<Option<VecDeque<Step>>> = (0..n).map(|_| None).collect();
+        let results: Vec<Vec<(PartyId, VecDeque<Step>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .into_iter()
+                            .map(|wp| run_party_slice(wp, t, n, delta, coin_seed, record))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("simulation worker thread panicked"))
+                .collect()
+        });
+        for (party, steps) in results.into_iter().flatten() {
+            traces[party] = Some(steps);
+        }
+        // Canonical serial merge: replay the slice through the queue so the
+        // global order — including cross-party interleavings of same-tick
+        // cascades — is exactly what the sequential engine produces.
+        for ev in initial {
+            self.queue.push(ev);
+        }
+        while let Some(ev) = self.queue.pop_current() {
+            self.metrics.events_processed += 1;
+            let p = ev.kind.party();
+            match traces.get_mut(p).and_then(Option::as_mut) {
+                Some(steps) => {
+                    let step = steps.pop_front().unwrap_or_else(|| {
+                        panic!(
+                            "parallel slice out of sync: party {p} received an unplanned \
+                             same-tick event (is a cross-party delay-0 scheduler in use?)"
+                        )
+                    });
+                    let tag = matches!(ev.kind, EventKind::Timer { .. }) as u8;
+                    assert_eq!(
+                        tag, step.kind_tag,
+                        "parallel slice out of sync for party {p}: event kind mismatch"
+                    );
+                    self.consume_step(p, step);
+                }
+                None => self.execute_event(ev),
+            }
+        }
+        debug_assert!(
+            traces
+                .iter()
+                .all(|t| t.as_ref().is_none_or(VecDeque::is_empty)),
+            "every pre-executed step must be consumed by the merge"
+        );
+    }
+
+    /// Applies one pre-executed step on the serial merge path: transcript,
+    /// decode accounting and effect dispatch happen here, in canonical
+    /// order, exactly as the sequential engine interleaves them.
+    fn consume_step(&mut self, party: PartyId, step: Step) {
+        if step.decode_failed {
+            self.metrics.decode_failures += 1;
+        }
+        if let Some(transcript) = &mut self.transcript {
+            if let Some(entry) = step.transcript {
+                transcript.push(entry);
+            }
+        }
+        for (to, path, bytes) in step.sends {
+            self.dispatch(party, true, to, path, bytes, false);
+        }
+        for (path, bytes) in step.broadcasts {
+            for to in 0..self.config.n {
+                self.dispatch(party, true, to, path.clone(), Arc::clone(&bytes), true);
+            }
+        }
+        for (delay, path, id) in step.timers {
+            self.push_timer(party, delay, path, id);
+        }
+    }
+
+    /// Executes one event inline (sequential path and corrupt parties):
+    /// decode boundary, transcript, handler, effect application.
+    fn execute_event(&mut self, ev: Event) {
         let (party, mut effects) = match ev.kind {
             EventKind::Deliver {
                 to,
@@ -411,7 +1070,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                             },
                         });
                     }
-                    return true;
+                    return;
                 };
                 if let Some(transcript) = &mut self.transcript {
                     transcript.push(TranscriptEntry {
@@ -468,35 +1127,6 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         };
         self.apply_effects(party, &mut effects);
         self.scratch = effects;
-        true
-    }
-
-    /// Runs until `pred` returns `true` (checked after every event), the
-    /// event queue drains, or simulated time exceeds `horizon`. Returns
-    /// whether `pred` became true.
-    pub fn run_until(&mut self, horizon: Time, mut pred: impl FnMut(&Self) -> bool) -> bool {
-        self.init();
-        if pred(self) {
-            return true;
-        }
-        loop {
-            if let Some(Reverse(ev)) = self.queue.peek() {
-                if ev.at > horizon {
-                    return false;
-                }
-            }
-            if !self.step() {
-                return pred(self);
-            }
-            if pred(self) {
-                return true;
-            }
-        }
-    }
-
-    /// Runs until the event queue is empty or `horizon` is exceeded.
-    pub fn run_to_quiescence(&mut self, horizon: Time) {
-        let _ = self.run_until(horizon, |_| false);
     }
 
     /// Drains the effects buffer into the event queue (the buffer's
@@ -517,19 +1147,20 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             }
         }
         for (delay, path, id) in effects.timers.drain(..) {
-            self.seq += 1;
-            self.queue.push(Reverse(Event {
-                at: self.now + delay,
-                rank: 1,
-                depth: path.len(),
-                seq: self.seq,
-                kind: EventKind::Timer {
-                    party: sender,
-                    path,
-                    id,
-                },
-            }));
+            self.push_timer(sender, delay, path, id);
         }
+    }
+
+    /// Schedules one timer expiry.
+    fn push_timer(&mut self, party: PartyId, delay: Time, path: Path, id: u64) {
+        self.seq += 1;
+        self.queue.push(Event {
+            at: self.now + delay,
+            rank: 1,
+            depth: path.len(),
+            seq: self.seq,
+            kind: EventKind::Timer { party, path, id },
+        });
     }
 
     /// Puts one already-encoded message on the wire: consults the Byzantine
@@ -577,7 +1208,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                 .delay(from, to, self.now, &mut self.sched_rng)
         };
         self.seq += 1;
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             at: self.now + delay,
             rank: 0,
             depth: path.len(),
@@ -588,7 +1219,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                 path,
                 payload,
             },
-        }));
+        });
     }
 }
 
@@ -817,5 +1448,179 @@ mod tests {
         );
         sim.run_to_quiescence(100);
         assert_eq!(sim.party_as::<Order>(0).unwrap().log, vec!["msg", "timer"]);
+    }
+
+    /// The core tentpole guarantee at unit scale: a multi-threaded run is
+    /// bit-identical to the sequential one — transcript, metrics, times.
+    #[test]
+    fn parallel_run_bit_identical_to_sequential() {
+        let n = 8;
+        let run = |threads: usize, kind: NetworkKind| {
+            let cfg = NetConfig::for_kind(n, kind)
+                .with_seed(5)
+                .with_threads(threads);
+            let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties(n));
+            sim.record_transcript();
+            sim.run_to_quiescence(100_000);
+            (sim.transcript().to_vec(), sim.metrics().clone(), sim.now())
+        };
+        for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+            let seq = run(1, kind);
+            for threads in [2, 4, 7] {
+                let par = run(threads, kind);
+                assert_eq!(seq.0, par.0, "{kind:?} transcript, threads={threads}");
+                assert_eq!(seq.1, par.1, "{kind:?} metrics, threads={threads}");
+                assert_eq!(seq.2, par.2, "{kind:?} end time, threads={threads}");
+            }
+        }
+    }
+
+    /// Same-tick cascade ordering (self-sends before timers, then deeper
+    /// paths first) must survive parallel pre-execution.
+    #[test]
+    fn parallel_preserves_same_tick_cascade_order() {
+        #[derive(Debug, Default)]
+        struct Cascade {
+            log: Vec<String>,
+        }
+        impl Protocol<Msg> for Cascade {
+            fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.broadcast(Msg::Ping);
+                ctx.set_timer(0, 7);
+            }
+            fn on_message(
+                &mut self,
+                ctx: &mut Context<'_, Msg>,
+                from: PartyId,
+                _p: &[u32],
+                m: Msg,
+            ) {
+                self.log.push(format!("msg{from}:{m:?}"));
+                if matches!(m, Msg::Ping) && from == ctx.me {
+                    // same-tick self-cascade, one level deeper
+                    ctx.scoped(3, |c| c.send(c.me, Msg::Pong));
+                }
+            }
+            fn on_timer(&mut self, _c: &mut Context<'_, Msg>, _p: &[u32], id: u64) {
+                self.log.push(format!("timer{id}"));
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let n = 6;
+        let run = |threads: usize| {
+            let cfg = NetConfig::synchronous(n).with_seed(9).with_threads(threads);
+            let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
+                .map(|_| Box::new(Cascade::default()) as Box<dyn Protocol<Msg>>)
+                .collect();
+            let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
+            sim.record_transcript();
+            sim.run_to_quiescence(10_000);
+            let logs: Vec<Vec<String>> = (0..n)
+                .map(|i| sim.party_as::<Cascade>(i).unwrap().log.clone())
+                .collect();
+            (sim.transcript().to_vec(), logs)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    /// The calendar queue must behave exactly like the old global heap:
+    /// strictly non-decreasing times, canonical order within a tick, and no
+    /// lost events across the ring/overflow boundary.
+    #[test]
+    fn event_queue_orders_events_canonically() {
+        let mk = |at: Time, rank: u8, depth: usize, seq: u64| Event {
+            at,
+            rank,
+            depth,
+            seq,
+            kind: EventKind::Timer {
+                party: 0,
+                path: Path::from(vec![0u32; depth].as_slice()),
+                id: seq,
+            },
+        };
+        let mut q = EventQueue::new(10);
+        // deliberately scattered times: in-ring, far overflow, same tick
+        let mut expect: Vec<(Time, u8, Reverse<usize>, u64)> = Vec::new();
+        let mut seq = 0;
+        for &(at, rank, depth) in &[
+            (5u64, 1u8, 0usize),
+            (5, 0, 2),
+            (5, 0, 0),
+            (123, 0, 1),
+            (42, 1, 3),
+            (42, 1, 1),
+            (7, 0, 0),
+            (400, 0, 0),
+            (42, 0, 0),
+        ] {
+            seq += 1;
+            q.push(mk(at, rank, depth, seq));
+            expect.push((at, rank, Reverse(depth), seq));
+        }
+        expect.sort();
+        let mut got = Vec::new();
+        while let Some(t) = q.next_time() {
+            while let Some(ev) = q.pop_current() {
+                assert_eq!(ev.at, t);
+                got.push((ev.at, ev.rank, Reverse(ev.depth), ev.seq));
+            }
+        }
+        assert_eq!(got, expect);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn event_queue_supports_same_tick_cascades() {
+        let mut q = EventQueue::new(10);
+        let mk = |at: Time, seq: u64| Event {
+            at,
+            rank: 0,
+            depth: 0,
+            seq,
+            kind: EventKind::Timer {
+                party: 0,
+                path: Path::from(&[][..]),
+                id: seq,
+            },
+        };
+        q.push(mk(3, 1));
+        assert_eq!(q.next_time(), Some(3));
+        let first = q.pop_current().unwrap();
+        assert_eq!(first.seq, 1);
+        // cascade lands on the same tick and must be drainable immediately
+        q.push(mk(3, 2));
+        let second = q.pop_current().unwrap();
+        assert_eq!(second.seq, 2);
+        assert!(q.pop_current().is_none());
+        // and the next tick still works after the in-slice push
+        q.push(mk(4, 3));
+        assert_eq!(q.next_time(), Some(4));
+        assert_eq!(q.pop_current().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn threads_knob_resolution() {
+        // explicit beats env; clamped to ≥ 1
+        assert_eq!(
+            NetConfig::synchronous(4).with_threads(0).resolved_threads(),
+            1
+        );
+        assert_eq!(
+            NetConfig::synchronous(4).with_threads(6).resolved_threads(),
+            6
+        );
+        let sim = Simulation::new(
+            NetConfig::synchronous(3).with_threads(2),
+            CorruptionSet::none(),
+            parties(3),
+        );
+        assert_eq!(sim.threads(), 2);
+        assert_eq!(sim.metrics().worker_threads, 2);
     }
 }

@@ -40,3 +40,23 @@ pub mod wps;
 
 pub use msg::{AbaMsg, AcastMsg, BcValue, Msg, SbaMsg, Vote};
 pub use params::Params;
+
+/// Compile-time guard for the simulator's deterministic parallel engine:
+/// every root protocol state machine (and the message tree they exchange)
+/// must be `Send` so a time slice can hand ownership of a party to a worker
+/// thread (`mpc_net::Protocol` has `Send` as a supertrait; this assertion
+/// keeps the error message local to this crate if a future protocol ever
+/// smuggles in a non-`Send` field).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Msg>();
+    assert_send::<acast::Acast>();
+    assert_send::<ba::Ba>();
+    assert_send::<bc::Bc>();
+    assert_send::<sba::Sba>();
+    assert_send::<aba::Aba>();
+    assert_send::<wps::Wps>();
+    assert_send::<vss::Vss>();
+    assert_send::<acs::Acs>();
+    assert_send::<byzantine::SilentParty>();
+};
