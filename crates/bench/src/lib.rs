@@ -40,6 +40,8 @@ pub struct Measurement {
     pub wall_ms: f64,
     /// Events the simulator processed.
     pub events_processed: u64,
+    /// Wire-frame events dispatched (0 when frame coalescing is off).
+    pub frames_sent: u64,
     /// Largest pending-event count observed at a time-slice boundary.
     pub max_queue_depth: u64,
     /// Simulator worker threads the run was configured with.
@@ -59,6 +61,7 @@ impl Measurement {
             completed_at,
             wall_ms: start.elapsed().as_secs_f64() * 1000.0,
             events_processed: metrics.events_processed,
+            frames_sent: metrics.frames_sent,
             max_queue_depth: metrics.max_queue_depth,
             worker_threads: metrics.worker_threads,
             batch_width_hist: metrics.batch_width_hist.clone(),
@@ -77,13 +80,14 @@ impl Measurement {
         format!(
             "{{\"experiment\":\"{experiment}\",\"n\":{n},\"ell\":{ell},\
              \"honest_bits\":{},\"honest_messages\":{},\"completed_at\":{},\
-             \"wall_ms\":{:.3},\"events\":{},\"max_queue_depth\":{},\
+             \"wall_ms\":{:.3},\"events\":{},\"frames\":{},\"max_queue_depth\":{},\
              \"threads\":{},\"batch_width_hist\":[{hist}]}}",
             self.honest_bits,
             self.honest_messages,
             self.completed_at,
             self.wall_ms,
             self.events_processed,
+            self.frames_sent,
             self.max_queue_depth,
             self.worker_threads,
         )
@@ -367,6 +371,32 @@ pub fn run_cireval_threads(
         builder = builder.threads(t);
     }
     let result = builder.run(circuit).expect("benchmark run must complete");
+    let m = Measurement::capture(&result.metrics, result.finished_at, start);
+    (m, result.output)
+}
+
+/// [`run_cireval`] with explicit communication-batching knobs: wire-frame
+/// coalescing on/off × per-layer vs per-gate Beaver openings. Used by the
+/// E12 batching experiment to compare the four corners of the design space.
+pub fn run_cireval_batching(
+    n: usize,
+    circuit: &Circuit,
+    kind: NetworkKind,
+    seed: u64,
+    frames: bool,
+    per_gate: bool,
+) -> (Measurement, Fp) {
+    let params = Params::max_thresholds(n, 10);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
+    let start = Instant::now();
+    let result = MpcBuilder::new(n, params.ts, params.ta)
+        .network(kind)
+        .seed(seed)
+        .inputs(&inputs)
+        .frames(frames)
+        .per_gate_openings(per_gate)
+        .run(circuit)
+        .expect("benchmark run must complete");
     let m = Measurement::capture(&result.metrics, result.finished_at, start);
     (m, result.output)
 }

@@ -61,6 +61,8 @@ pub struct MpcBuilder {
     scheduler: Option<Box<dyn Scheduler>>,
     horizon_factor: u64,
     threads: Option<usize>,
+    frames: Option<bool>,
+    per_gate_openings: bool,
 }
 
 impl fmt::Debug for MpcBuilder {
@@ -96,6 +98,8 @@ impl MpcBuilder {
             scheduler: None,
             horizon_factor: 8,
             threads: None,
+            frames: None,
+            per_gate_openings: false,
         }
     }
 
@@ -176,6 +180,24 @@ impl MpcBuilder {
         self
     }
 
+    /// Enables or disables wire-frame coalescing explicitly (see
+    /// [`NetConfig::with_frames`]); defaults to the `MPC_FRAMES` environment
+    /// variable, then on. Framing changes the event schedule (and therefore
+    /// the transcript), never the outputs or the bit accounting rules.
+    pub fn frames(mut self, frames: bool) -> Self {
+        self.frames = Some(frames);
+        self
+    }
+
+    /// Switches `Π_CirEval` to the per-gate opening reference path (one
+    /// public reconstruction per multiplication gate instead of one batch per
+    /// multiplication layer). Used by equivalence tests and the e12
+    /// benchmark baseline.
+    pub fn per_gate_openings(mut self, per_gate: bool) -> Self {
+        self.per_gate_openings = per_gate;
+        self
+    }
+
     /// The protocol parameters this builder will run with.
     pub fn params(&self) -> Params {
         self.params
@@ -199,8 +221,9 @@ impl MpcBuilder {
                 if corrupt.is_corrupt(i) && !wire_level {
                     Box::new(SilentParty) as Box<dyn Protocol<Msg>>
                 } else {
-                    Box::new(CirEval::new(params, circuit.clone(), self.inputs[i]))
-                        as Box<dyn Protocol<Msg>>
+                    let mut party = CirEval::new(params, circuit.clone(), self.inputs[i]);
+                    party.set_per_gate_openings(self.per_gate_openings);
+                    Box::new(party) as Box<dyn Protocol<Msg>>
                 }
             })
             .collect();
@@ -209,6 +232,9 @@ impl MpcBuilder {
             .with_seed(self.seed);
         if let Some(threads) = self.threads {
             cfg = cfg.with_threads(threads);
+        }
+        if let Some(frames) = self.frames {
+            cfg = cfg.with_frames(frames);
         }
         let mut sim = match self.scheduler {
             Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),

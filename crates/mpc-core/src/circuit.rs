@@ -13,8 +13,16 @@ use mpc_algebra::Fp;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Wire(pub(crate) usize);
 
+impl Wire {
+    /// The index of the gate whose output this wire carries (gates are in
+    /// topological order, so a gate's inputs always have smaller indices).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// One gate of the circuit.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Gate {
     /// The `i`-th circuit input (party `P_{i+1}`'s private input).
     Input(usize),
@@ -167,6 +175,25 @@ impl Circuit {
         self.mult_layers().0
     }
 
+    /// Topological layering of the multiplication gates: `layers()[l]` holds
+    /// the gate ids of the `Mul` gates of multiplication layer `l + 1`, in
+    /// ascending gate order. Every input wire of a gate in `layers()[l]`
+    /// depends only on multiplications of layers `≤ l` (strictly earlier
+    /// layers), so once the openings of the first `l` layers are resolved,
+    /// all of layer `l + 1`'s Beaver maskings can be issued in one batch —
+    /// this is what `Π_CirEval`'s layer-batched evaluation opens per layer
+    /// (`2·|layers()[l]|` values under one tag) instead of per gate.
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let (depth, layer) = self.mult_layers();
+        let mut out = vec![Vec::new(); depth];
+        for (g, gate) in self.gates.iter().enumerate() {
+            if matches!(gate, Gate::Mul(_, _)) {
+                out[layer[g] - 1].push(g);
+            }
+        }
+        out
+    }
+
     /// Evaluates the circuit in the clear (reference semantics for tests and
     /// experiments).
     ///
@@ -276,6 +303,28 @@ mod tests {
         let c = Circuit::layered(4, 3, 5);
         assert_eq!(c.mult_count(), 15);
         assert_eq!(c.mult_depth(), 5);
+        let layers = c.layers();
+        assert_eq!(layers.len(), 5);
+        assert!(layers.iter().all(|l| l.len() == 3));
+    }
+
+    #[test]
+    fn layers_partition_mul_gates_and_respect_dependencies() {
+        let c = Circuit::product_of_inputs(8);
+        let layers = c.layers();
+        assert_eq!(layers.len(), c.mult_depth());
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, c.mult_count());
+        let (_, per_gate) = c.mult_layers();
+        for (l, gates) in layers.iter().enumerate() {
+            for &g in gates {
+                let Gate::Mul(a, b) = c.gates()[g] else {
+                    panic!("layer member must be a Mul gate");
+                };
+                assert_eq!(per_gate[g], l + 1);
+                assert!(per_gate[a.0] <= l && per_gate[b.0] <= l);
+            }
+        }
     }
 
     #[test]

@@ -111,9 +111,28 @@ pub struct CirEval {
     ext_z: HashMap<(usize, usize), Fp>,
     pool: Vec<TripleShare>,
     wire_shares: Vec<Option<Fp>>,
-    mul_gate_triple: HashMap<usize, usize>,
-    mul_opened_issued: HashSet<usize>,
-    ready_counts: HashMap<Fp, HashSet<PartyId>>,
+    /// Triple-pool index of each `Mul` gate (in gate order), `usize::MAX`
+    /// for non-multiplication gates — a flat vector instead of a per-gate
+    /// hash map, computed once at construction.
+    gate_triple: Vec<usize>,
+    /// Multiplication layers of the circuit ([`Circuit::layers`]), computed
+    /// once; the default evaluation path opens one batch per layer.
+    mul_layers: Vec<Vec<usize>>,
+    /// Next unresolved multiplication layer (index into `mul_layers`).
+    next_mul_layer: usize,
+    /// Whether the current layer's Beaver maskings have been broadcast.
+    layer_issued: bool,
+    /// Reference mode: one opening per multiplication gate (the pre-batching
+    /// behaviour), kept for equivalence tests and the e12 benchmark. All
+    /// parties of a run must agree on the mode: the same `TAG_CIRCUIT`
+    /// offset means "gate id" in one mode and "layer index" in the other,
+    /// so mixed-mode parties would merge shares of different values.
+    per_gate_openings: bool,
+    /// Per-gate mode bookkeeping: whether gate `g`'s opening was issued.
+    mul_opened: Vec<bool>,
+    /// `(ready, y)` votes per candidate output (deterministic iteration
+    /// order — `Fp` is `Ord`).
+    ready_counts: BTreeMap<Fp, HashSet<PartyId>>,
     sent_ready: bool,
     /// The reconstructed circuit output, once the termination condition holds.
     pub output: Option<Fp>,
@@ -136,6 +155,16 @@ impl CirEval {
         let c_m = circuit.mult_count();
         let batches = if c_m == 0 { 0 } else { c_m.div_ceil(per_batch) };
         let n_gates = circuit.gates().len();
+        // One triple per multiplication gate, assigned in gate order.
+        let mut gate_triple = vec![usize::MAX; n_gates];
+        let mut next_triple = 0usize;
+        for (g, gate) in circuit.gates().iter().enumerate() {
+            if matches!(gate, Gate::Mul(_, _)) {
+                gate_triple[g] = next_triple;
+                next_triple += 1;
+            }
+        }
+        let mul_layers = circuit.layers();
         CirEval {
             params,
             domain: EvalDomain::get(params.n),
@@ -157,14 +186,27 @@ impl CirEval {
             ext_z: HashMap::new(),
             pool: Vec::new(),
             wire_shares: vec![None; n_gates],
-            mul_gate_triple: HashMap::new(),
-            mul_opened_issued: HashSet::new(),
-            ready_counts: HashMap::new(),
+            gate_triple,
+            mul_layers,
+            next_mul_layer: 0,
+            layer_issued: false,
+            per_gate_openings: false,
+            mul_opened: vec![false; n_gates],
+            ready_counts: BTreeMap::new(),
             sent_ready: false,
             output: None,
             output_at: None,
             input_subset: None,
         }
+    }
+
+    /// Selects the circuit-evaluation opening mode: `true` opens every
+    /// multiplication gate under its own tag (the pre-batching reference
+    /// path), `false` (the default) opens one `2·L` batch per multiplication
+    /// layer. Every party of a run must use the same mode — the opening tags
+    /// are part of the implicit protocol agreement.
+    pub fn set_per_gate_openings(&mut self, per_gate: bool) {
+        self.per_gate_openings = per_gate;
     }
 
     fn raw_per_dealer(&self) -> usize {
@@ -528,26 +570,109 @@ impl CirEval {
                 self.pool.push(TripleShare::new(x, y, z));
             }
         }
-        // assign one triple per multiplication gate, in gate order
-        let mut next = 0usize;
-        for (g, gate) in self.circuit.gates().iter().enumerate() {
-            if matches!(gate, Gate::Mul(_, _)) {
-                self.mul_gate_triple.insert(g, next);
-                next += 1;
-            }
-        }
         assert!(
-            next <= self.pool.len(),
+            self.circuit.mult_count() <= self.pool.len(),
             "triple pool must cover every multiplication gate"
         );
         self.phase = Phase::Circuit;
         self.drive_circuit(ctx);
     }
 
+    /// One topological pass filling every wire computable from inputs,
+    /// constants, linear gates and already-resolved multiplications. Gates
+    /// are stored in topological order, so a single pass resolves the entire
+    /// linear region exposed by the multiplication layers opened so far.
+    fn propagate_linear(&mut self) {
+        for g in 0..self.circuit.gates().len() {
+            if self.wire_shares[g].is_some() {
+                continue;
+            }
+            let value = match self.circuit.gates()[g] {
+                Gate::Input(i) => Some(self.input_shares[i]),
+                Gate::Constant(c) => Some(c),
+                Gate::Add(a, b) => match (self.wire_shares[a.0], self.wire_shares[b.0]) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    _ => None,
+                },
+                Gate::Sub(a, b) => match (self.wire_shares[a.0], self.wire_shares[b.0]) {
+                    (Some(x), Some(y)) => Some(x - y),
+                    _ => None,
+                },
+                Gate::MulConst(a, c) => self.wire_shares[a.0].map(|x| x * c),
+                Gate::AddConst(a, c) => self.wire_shares[a.0].map(|x| x + c),
+                // Multiplications resolve through their layer's opening.
+                Gate::Mul(_, _) => None,
+            };
+            if value.is_some() {
+                self.wire_shares[g] = value;
+            }
+        }
+    }
+
+    /// Layer-batched shared evaluation (the default): a single pass over the
+    /// multiplication layers, opening **one** `2·L` batch of Beaver maskings
+    /// per layer — `D_M` openings total instead of `c_M`, with the OEC
+    /// interpolate-and-verify basis shared across the whole layer
+    /// (`rs::oec_decode_batch` inside the opening manager).
     fn drive_circuit(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.per_gate_openings {
+            self.drive_circuit_per_gate(ctx);
+            return;
+        }
         let ts = self.ts();
-        // propagate values through the circuit as far as possible, issuing
-        // Beaver openings for multiplication gates as their inputs resolve
+        loop {
+            self.propagate_linear();
+            if let Some(share) = self.wire_shares[self.circuit.output().0] {
+                self.phase = Phase::OpenOutput;
+                self.openings.open(ctx, TAG_OUTPUT, vec![share]);
+                return;
+            }
+            if self.next_mul_layer >= self.mul_layers.len() {
+                return;
+            }
+            let tag = TAG_CIRCUIT + self.next_mul_layer as u32;
+            let gates = &self.mul_layers[self.next_mul_layer];
+            if !self.layer_issued {
+                self.layer_issued = true;
+                // Every input of a layer-(l+1) multiplication depends only on
+                // multiplications of layers ≤ l, so after the propagation
+                // pass all of them are resolved and the whole layer's
+                // maskings go out as one batch.
+                let mut values = Vec::with_capacity(2 * gates.len());
+                for &g in gates {
+                    let Gate::Mul(a, b) = self.circuit.gates()[g] else {
+                        unreachable!("mul_layers only contains Mul gates")
+                    };
+                    let x = self.wire_shares[a.0].expect("earlier layers resolved");
+                    let y = self.wire_shares[b.0].expect("earlier layers resolved");
+                    let triple = self.pool[self.gate_triple[g]];
+                    let (d, e) = beaver_masked_shares(x, y, &triple);
+                    values.push(d);
+                    values.push(e);
+                }
+                self.openings.open(ctx, tag, values);
+            }
+            let Some(de) = self
+                .openings
+                .try_reconstruct(tag, 2 * gates.len(), ts, ts)
+                .cloned()
+            else {
+                return;
+            };
+            for (i, &g) in self.mul_layers[self.next_mul_layer].iter().enumerate() {
+                let triple = self.pool[self.gate_triple[g]];
+                self.wire_shares[g] = Some(beaver_output_share(de[2 * i], de[2 * i + 1], &triple));
+            }
+            self.next_mul_layer += 1;
+            self.layer_issued = false;
+        }
+    }
+
+    /// Per-gate reference path: the pre-batching behaviour (one opening per
+    /// multiplication gate, issued as the gate's inputs resolve), kept for
+    /// equivalence tests and as the e12 benchmark baseline.
+    fn drive_circuit_per_gate(&mut self, ctx: &mut Context<'_, Msg>) {
+        let ts = self.ts();
         let mut progress = true;
         while progress {
             progress = false;
@@ -555,8 +680,7 @@ impl CirEval {
                 if self.wire_shares[g].is_some() {
                     continue;
                 }
-                let gate = self.circuit.gates()[g].clone();
-                let value = match gate {
+                let value = match self.circuit.gates()[g] {
                     Gate::Input(i) => Some(self.input_shares[i]),
                     Gate::Constant(c) => Some(c),
                     Gate::Add(a, b) => match (self.wire_shares[a.0], self.wire_shares[b.0]) {
@@ -574,10 +698,10 @@ impl CirEval {
                         else {
                             continue;
                         };
-                        let triple = self.pool[self.mul_gate_triple[&g]];
+                        let triple = self.pool[self.gate_triple[g]];
                         let tag = TAG_CIRCUIT + g as u32;
-                        if !self.mul_opened_issued.contains(&g) {
-                            self.mul_opened_issued.insert(g);
+                        if !self.mul_opened[g] {
+                            self.mul_opened[g] = true;
                             let (d, e) = beaver_masked_shares(x, y, &triple);
                             self.openings.open(ctx, tag, vec![d, e]);
                         }
@@ -593,9 +717,8 @@ impl CirEval {
                 }
             }
         }
-        if self.wire_shares[self.circuit.output().0].is_some() {
+        if let Some(share) = self.wire_shares[self.circuit.output().0] {
             self.phase = Phase::OpenOutput;
-            let share = self.wire_shares[self.circuit.output().0].unwrap();
             self.openings.open(ctx, TAG_OUTPUT, vec![share]);
         }
     }
@@ -619,12 +742,26 @@ impl CirEval {
 
     fn drive_ready(&mut self, ctx: &mut Context<'_, Msg>) {
         let ts = self.ts();
-        for (y, senders) in self.ready_counts.clone() {
-            if senders.len() > ts && !self.sent_ready {
+        // Decide on a borrowed view (no per-call clone of the vote map),
+        // then act: at most one echo and one decision can fire per call.
+        let mut echo = None;
+        let mut decide = None;
+        for (&y, senders) in &self.ready_counts {
+            if echo.is_none() && senders.len() > ts {
+                echo = Some(y);
+            }
+            if decide.is_none() && senders.len() > 2 * ts {
+                decide = Some(y);
+            }
+        }
+        if let Some(y) = echo {
+            if !self.sent_ready {
                 self.sent_ready = true;
                 ctx.broadcast(Msg::Ready(vec![y]));
             }
-            if senders.len() > 2 * ts && self.output.is_none() {
+        }
+        if let Some(y) = decide {
+            if self.output.is_none() {
                 self.output = Some(y);
                 self.output_at = Some(ctx.now);
                 self.phase = Phase::Done;

@@ -23,5 +23,5 @@ pub mod thresholds;
 pub mod triples;
 
 pub use builder::{MpcBuilder, MpcRunResult};
-pub use circuit::{Circuit, Wire};
+pub use circuit::{Circuit, Gate, Wire};
 pub use cireval::CirEval;

@@ -67,6 +67,13 @@ impl OpeningManager {
     ) -> Option<&Vec<Fp>> {
         if !self.opened.contains_key(&tag) {
             let received = self.received.get(&tag)?;
+            // `OEC(d, t, ·)` cannot succeed on fewer than `d + t + 1` points
+            // (see `rs::oec_decode`); bail out before building the per-value
+            // columns — reconstruction is re-attempted on every delivery, so
+            // this early exit runs on the hot path of every opening round.
+            if received.len() < degree + t + 1 {
+                return None;
+            }
             let out = if count > 0 && received.values().all(|v| v.len() >= count) {
                 let xs: Vec<Fp> = received.keys().map(|&p| alpha(p)).collect();
                 let columns: Vec<Vec<Fp>> = (0..count)

@@ -169,15 +169,6 @@ impl<'a, M> Context<'a, M> {
         self.effects.broadcasts.push((path, msg));
     }
 
-    /// Sends `msg` to every party.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Context::broadcast`, which shares the payload"
-    )]
-    pub fn send_all(&mut self, msg: M) {
-        self.broadcast(msg);
-    }
-
     /// Requests a timer that fires after `delay` local time units, delivered
     /// back to the current instance path with the given `timer_id`.
     pub fn set_timer(&mut self, delay: Time, timer_id: u64) {
@@ -296,17 +287,6 @@ mod tests {
         assert_eq!(effects.broadcasts.len(), 1);
         assert_eq!(&effects.broadcasts[0].0[..], &[3]);
         assert_eq!(effects.broadcasts[0].1, 1);
-    }
-
-    #[test]
-    fn send_all_is_an_alias_for_broadcast() {
-        let mut effects: Effects<u32> = Effects::new();
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut ctx = Context::new(2, 5, 0, 10, &mut effects, &mut rng, 42);
-        #[allow(deprecated)]
-        ctx.send_all(1);
-        assert!(effects.sends.is_empty());
-        assert_eq!(effects.broadcasts.len(), 1);
     }
 
     #[test]

@@ -43,9 +43,7 @@ pub use adversary::{
 pub use context::{Context, Effects, Path, PathSlice, Protocol};
 pub use metrics::Metrics;
 pub use scheduler::{AsyncScheduler, FixedDelay, Scheduler, SkewedAsyncScheduler, UniformDelay};
-#[allow(deprecated)]
-pub use simulation::MessageSize;
 pub use simulation::{
     NetConfig, NetworkKind, PartyId, Simulation, Time, TranscriptEntry, TranscriptEvent,
 };
-pub use wire::{WireDecode, WireEncode, WireError, WireReader};
+pub use wire::{Frame, FrameBuilder, FrameItem, WireDecode, WireEncode, WireError, WireReader};

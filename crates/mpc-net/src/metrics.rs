@@ -39,6 +39,10 @@ pub struct Metrics {
     pub decode_failures: u64,
     /// Number of events processed.
     pub events_processed: u64,
+    /// Wire-frame events dispatched (one per `(sender, destination)` frame;
+    /// a broadcast frame counts once per recipient). Always 0 when frame
+    /// coalescing is disabled.
+    pub frames_sent: u64,
     /// Largest number of pending events observed at a time-slice boundary
     /// (sampled once per slice, including the slice's own events).
     pub max_queue_depth: u64,
@@ -71,6 +75,7 @@ impl PartialEq for Metrics {
             adversary_tampered,
             decode_failures,
             events_processed,
+            frames_sent,
             max_queue_depth,
             batch_width_hist,
             worker_threads: _, // harness observability: see the struct docs
@@ -83,6 +88,7 @@ impl PartialEq for Metrics {
             && *adversary_tampered == other.adversary_tampered
             && *decode_failures == other.decode_failures
             && *events_processed == other.events_processed
+            && *frames_sent == other.frames_sent
             && *max_queue_depth == other.max_queue_depth
             && *batch_width_hist == other.batch_width_hist
             && *honest_bits_by_root_segment == other.honest_bits_by_root_segment

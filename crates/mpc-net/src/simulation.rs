@@ -20,7 +20,7 @@ use crate::adversary::{ByzantineStrategy, CorruptionSet, Passive, WireAction, Wi
 use crate::context::{Context, Effects, Path, Protocol};
 use crate::metrics::Metrics;
 use crate::scheduler::{FixedDelay, Scheduler, UniformDelay};
-use crate::wire::{WireDecode, WireEncode};
+use crate::wire::{Frame, FrameBuilder, WireDecode, WireEncode};
 
 /// A party identifier in `0..n` (the paper's `P_{i+1}`).
 pub type PartyId = usize;
@@ -28,28 +28,6 @@ pub type PartyId = usize;
 /// Simulated local/global time in abstract ticks. The synchronous bound `Δ`
 /// is expressed in the same unit.
 pub type Time = u64;
-
-/// Size accounting for message payloads, in bits.
-///
-/// Historically implemented by hand-written estimates; the simulator now
-/// derives all bit counts from the exact length of the canonical encoding,
-/// and this trait survives only as a thin adapter over
-/// [`WireEncode::encoded_bits`].
-#[deprecated(
-    since = "0.1.0",
-    note = "bit accounting is exact now — use `WireEncode::encoded_bits`"
-)]
-pub trait MessageSize {
-    /// The number of bits this payload occupies on the wire.
-    fn size_bits(&self) -> u64;
-}
-
-#[allow(deprecated)]
-impl<T: WireEncode> MessageSize for T {
-    fn size_bits(&self) -> u64 {
-        self.encoded_bits()
-    }
-}
 
 /// Which of the paper's two network models the execution runs in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -73,6 +51,20 @@ fn env_threads() -> usize {
     })
 }
 
+/// The process-wide default for wire-frame coalescing, read once from the
+/// `MPC_FRAMES` environment variable (`0`, `false` or `off` disable it;
+/// anything else — including unset — enables it).
+fn env_frames() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var("MPC_FRAMES") {
+        Ok(v) => {
+            let v = v.trim();
+            !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"))
+        }
+        Err(_) => true,
+    })
+}
+
 /// Static configuration of a simulation run.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -90,6 +82,14 @@ pub struct NetConfig {
     /// The thread count never changes the execution — only its wall-clock
     /// time — so this is purely a performance knob.
     pub threads: Option<usize>,
+    /// Wire-frame coalescing: every honest party's sends/broadcasts of one
+    /// time-slice activation travel as per-destination [`Frame`]s (one
+    /// simulator event each) instead of one event per message. `None` defers
+    /// to the `MPC_FRAMES` environment variable (default on). Framing keeps
+    /// the paper-level bit accounting and all security-relevant behaviour
+    /// intact but changes the event schedule, so the two modes produce
+    /// different (individually deterministic) transcripts.
+    pub frames: Option<bool>,
 }
 
 impl NetConfig {
@@ -107,6 +107,7 @@ impl NetConfig {
             kind,
             seed: Self::DEFAULT_SEED,
             threads: None,
+            frames: None,
         }
     }
 
@@ -146,6 +147,20 @@ impl NetConfig {
     pub fn resolved_threads(&self) -> usize {
         self.threads.unwrap_or_else(env_threads).max(1)
     }
+
+    /// Enables or disables wire-frame coalescing explicitly, overriding the
+    /// `MPC_FRAMES` environment variable. Golden-transcript tests pin this so
+    /// their fingerprints are environment-independent.
+    pub fn with_frames(mut self, frames: bool) -> Self {
+        self.frames = Some(frames);
+        self
+    }
+
+    /// The effective frame-coalescing setting: the explicit
+    /// [`NetConfig::with_frames`] value if set, else `MPC_FRAMES`, else on.
+    pub fn resolved_frames(&self) -> bool {
+        self.frames.unwrap_or_else(env_frames)
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -156,6 +171,16 @@ enum EventKind {
         path: Path,
         /// The canonical encoding of the payload. A broadcast is encoded
         /// once and this `Arc` is shared across all `n` delivery events.
+        payload: Arc<Vec<u8>>,
+    },
+    /// A coalesced [`Frame`] of messages from one honest sender: all the
+    /// sends/broadcasts it emitted towards `to` during one time-slice
+    /// activation, travelling as a *single* simulator event and unpacked at
+    /// the delivery boundary. A broadcast frame's bytes are encoded once and
+    /// this `Arc` is shared across all recipients.
+    DeliverFrame {
+        to: PartyId,
+        from: PartyId,
         payload: Arc<Vec<u8>>,
     },
     Timer {
@@ -169,7 +194,7 @@ impl EventKind {
     /// The party that will handle this event.
     fn party(&self) -> PartyId {
         match self {
-            EventKind::Deliver { to, .. } => *to,
+            EventKind::Deliver { to, .. } | EventKind::DeliverFrame { to, .. } => *to,
             EventKind::Timer { party, .. } => *party,
         }
     }
@@ -402,6 +427,10 @@ enum LocalKind {
         path: Path,
         payload: Arc<Vec<u8>>,
     },
+    Frame {
+        from: PartyId,
+        payload: Arc<Vec<u8>>,
+    },
     Timer {
         path: Path,
         id: u64,
@@ -481,6 +510,9 @@ fn run_party_slice<M: WireEncode + WireDecode + 'static>(
                     payload,
                 },
             },
+            EventKind::DeliverFrame { .. } => {
+                unreachable!("frame events are only scheduled by the framed slice engine")
+            }
             EventKind::Timer { path, id, .. } => LocalEv {
                 rank: 1,
                 depth: path.len(),
@@ -538,6 +570,9 @@ fn run_party_slice<M: WireEncode + WireDecode + 'static>(
                     protocol.on_message(&mut ctx, from, &path, msg);
                 }
             },
+            LocalKind::Frame { .. } => {
+                unreachable!("frame events are only scheduled by the framed slice engine")
+            }
             LocalKind::Timer { path, id } => {
                 step.kind_tag = 1;
                 if record {
@@ -611,6 +646,305 @@ fn run_party_slice<M: WireEncode + WireDecode + 'static>(
     (party, steps)
 }
 
+/// Per-message accounting for one honest send: the exact wire size of the
+/// message's canonical encoding (in bits) and the top-level path segment the
+/// sending instance belongs to (for [`Metrics::honest_bits_by_root_segment`]).
+type SendRecord = (u64, Option<u32>);
+
+/// The outgoing wire frames of one honest party's activation: at most one
+/// unicast frame per destination plus one broadcast frame whose encoding is
+/// shared across all recipients. Accounting stays *per contained message* —
+/// frames change the event schedule, never the paper-level bit counting.
+struct FrameSet {
+    /// Per-destination unicast frames with their per-message accounting,
+    /// flushed in ascending destination order.
+    unicast: BTreeMap<PartyId, (FrameBuilder, Vec<SendRecord>)>,
+    /// The single broadcast frame (empty = no broadcasts this activation).
+    broadcast: FrameBuilder,
+    /// Per-message accounting of the broadcast frame, applied once per
+    /// recipient at flush time.
+    broadcast_meta: Vec<SendRecord>,
+}
+
+impl FrameSet {
+    fn new() -> Self {
+        FrameSet {
+            unicast: BTreeMap::new(),
+            broadcast: FrameBuilder::new(),
+            broadcast_meta: Vec::new(),
+        }
+    }
+
+    /// Appends one unicast to the destination's frame.
+    fn add_send<M: WireEncode>(&mut self, to: PartyId, path: &Path, msg: &M) {
+        let (builder, meta) = self
+            .unicast
+            .entry(to)
+            .or_insert_with(|| (FrameBuilder::new(), Vec::new()));
+        let span = builder.push(path, msg);
+        meta.push((span.len() as u64 * 8, path.first().copied()));
+    }
+
+    /// Appends one broadcast message to the shared broadcast frame and
+    /// returns its exact wire size plus a standalone copy of its encoding
+    /// (for the sender's own same-tick delivery), without encoding twice.
+    fn add_broadcast<M: WireEncode>(&mut self, path: &Path, msg: &M) -> (u64, Vec<u8>) {
+        let span = self.broadcast.push(path, msg);
+        let bits = span.len() as u64 * 8;
+        self.broadcast_meta.push((bits, path.first().copied()));
+        (bits, self.broadcast.message_bytes(span).to_vec())
+    }
+}
+
+/// Everything one honest party's pre-executed time-slice batch produced under
+/// the framed engine: event/transcript/decode accounting plus the coalesced
+/// outgoing frames and future timers. Self-addressed messages and zero-delay
+/// timers were already handled *inside* the batch (they can only concern the
+/// batch's own party) and appear here only as accounting records.
+struct BatchOutcome {
+    party: PartyId,
+    /// Events processed: initial batch events (a frame counts as one) plus
+    /// every internal same-tick cascade step.
+    events: u64,
+    decode_failures: u64,
+    transcript: Vec<TranscriptEntry>,
+    /// Accounting for the sends delivered internally (self-sends and the
+    /// sender's own copy of each broadcast).
+    self_records: Vec<SendRecord>,
+    frames: FrameSet,
+    /// Timer requests with delay ≥ 1, in emission order.
+    timers: Vec<(Time, Path, u64)>,
+}
+
+/// Feeds one handler invocation's effects back into a framed batch: unicasts
+/// and broadcasts join the outgoing [`FrameSet`], the party's own same-tick
+/// copies and zero-delay timers re-enter the local queue, and future timers
+/// are recorded for the merge.
+fn resolve_framed_effects<M: WireEncode>(
+    party: PartyId,
+    scratch: &mut Effects<M>,
+    out: &mut BatchOutcome,
+    queue: &mut BinaryHeap<Reverse<LocalEv>>,
+    lseq: &mut u64,
+) {
+    for (to, path, msg) in scratch.sends.drain(..) {
+        if to == party {
+            let bytes = Arc::new(msg.encode());
+            out.self_records
+                .push((bytes.len() as u64 * 8, path.first().copied()));
+            *lseq += 1;
+            queue.push(Reverse(LocalEv {
+                rank: 0,
+                depth: path.len(),
+                lseq: *lseq,
+                kind: LocalKind::Deliver {
+                    from: party,
+                    path,
+                    payload: bytes,
+                },
+            }));
+        } else {
+            out.frames.add_send(to, &path, &msg);
+        }
+    }
+    for (path, msg) in scratch.broadcasts.drain(..) {
+        let (bits, self_copy) = out.frames.add_broadcast(&path, &msg);
+        out.self_records.push((bits, path.first().copied()));
+        *lseq += 1;
+        queue.push(Reverse(LocalEv {
+            rank: 0,
+            depth: path.len(),
+            lseq: *lseq,
+            kind: LocalKind::Deliver {
+                from: party,
+                path,
+                payload: Arc::new(self_copy),
+            },
+        }));
+    }
+    for (delay, path, id) in scratch.timers.drain(..) {
+        if delay == 0 {
+            *lseq += 1;
+            queue.push(Reverse(LocalEv {
+                rank: 1,
+                depth: path.len(),
+                lseq: *lseq,
+                kind: LocalKind::Timer { path, id },
+            }));
+        } else {
+            out.timers.push((delay, path, id));
+        }
+    }
+}
+
+/// Pre-executes one honest party's full time-`t` batch under the framed
+/// engine: frames are unpacked at the delivery boundary, same-tick cascades
+/// run locally, and all outgoing cross-party traffic is coalesced into the
+/// returned [`BatchOutcome`]'s frame set. Runs either inline (sequential
+/// framed engine) or on a worker thread — the outcome is identical, which is
+/// what keeps `threads = k` runs bit-identical to `threads = 1`.
+fn run_party_batch<M: WireEncode + WireDecode + 'static>(
+    wp: WorkerParty<'_, M>,
+    t: Time,
+    n: usize,
+    delta: Time,
+    coin_seed: u64,
+    record: bool,
+) -> BatchOutcome {
+    let WorkerParty {
+        party,
+        protocol,
+        rng,
+        events,
+    } = wp;
+    let mut queue: BinaryHeap<Reverse<LocalEv>> = BinaryHeap::with_capacity(events.len());
+    let mut lseq = 0u64;
+    for kind in events {
+        debug_assert_eq!(kind.party(), party);
+        let local = match kind {
+            EventKind::Deliver {
+                from,
+                path,
+                payload,
+                ..
+            } => LocalEv {
+                rank: 0,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Deliver {
+                    from,
+                    path,
+                    payload,
+                },
+            },
+            EventKind::DeliverFrame { from, payload, .. } => LocalEv {
+                rank: 0,
+                depth: 0,
+                lseq,
+                kind: LocalKind::Frame { from, payload },
+            },
+            EventKind::Timer { path, id, .. } => LocalEv {
+                rank: 1,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Timer { path, id },
+            },
+        };
+        lseq += 1;
+        queue.push(Reverse(local));
+    }
+    let mut out = BatchOutcome {
+        party,
+        events: 0,
+        decode_failures: 0,
+        transcript: Vec::new(),
+        self_records: Vec::new(),
+        frames: FrameSet::new(),
+        timers: Vec::new(),
+    };
+    let mut scratch: Effects<M> = Effects::new();
+    while let Some(Reverse(ev)) = queue.pop() {
+        out.events += 1;
+        match ev.kind {
+            LocalKind::Deliver {
+                from,
+                path,
+                payload,
+            } => match M::decode(&payload) {
+                Err(_) => {
+                    out.decode_failures += 1;
+                    if record {
+                        out.transcript.push(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::DroppedDeliver {
+                                from,
+                                path,
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                }
+                Ok(msg) => {
+                    if record {
+                        out.transcript.push(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::Deliver {
+                                from,
+                                path: path.clone(),
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                    let mut ctx = Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                    protocol.on_message(&mut ctx, from, &path, msg);
+                    resolve_framed_effects(party, &mut scratch, &mut out, &mut queue, &mut lseq);
+                }
+            },
+            LocalKind::Frame { from, payload } => match Frame::decode::<M>(&payload) {
+                Err(_) => {
+                    // Frames only come from honest senders, whose channels the
+                    // adversary cannot touch — defensively drop, never panic.
+                    out.decode_failures += 1;
+                    if record {
+                        out.transcript.push(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::DroppedDeliver {
+                                from,
+                                path: Path::from(&[][..]),
+                                bits: payload.len() as u64 * 8,
+                            },
+                        });
+                    }
+                }
+                Ok(items) => {
+                    for item in items {
+                        if record {
+                            out.transcript.push(TranscriptEntry {
+                                at: t,
+                                party,
+                                event: TranscriptEvent::Deliver {
+                                    from,
+                                    path: item.path.clone(),
+                                    bits: item.msg_bits,
+                                },
+                            });
+                        }
+                        let mut ctx =
+                            Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                        protocol.on_message(&mut ctx, from, &item.path, item.msg);
+                        resolve_framed_effects(
+                            party,
+                            &mut scratch,
+                            &mut out,
+                            &mut queue,
+                            &mut lseq,
+                        );
+                    }
+                }
+            },
+            LocalKind::Timer { path, id } => {
+                if record {
+                    out.transcript.push(TranscriptEntry {
+                        at: t,
+                        party,
+                        event: TranscriptEvent::Timer {
+                            path: path.clone(),
+                            id,
+                        },
+                    });
+                }
+                let mut ctx = Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                protocol.on_timer(&mut ctx, &path, id);
+                resolve_framed_effects(party, &mut scratch, &mut out, &mut queue, &mut lseq);
+            }
+        }
+    }
+    out
+}
+
 /// Minimum same-tick events before the parallel path spawns workers; below
 /// this the per-slice thread overhead outweighs any win and the slice runs
 /// inline (the results are identical either way). At least two distinct
@@ -644,6 +978,11 @@ const MIN_PARALLEL_EVENTS: usize = 4;
 pub struct Simulation<M> {
     config: NetConfig,
     threads: usize,
+    /// Whether the framed slice engine is active: frame coalescing resolved
+    /// from the config, gated on `Scheduler::min_delay() ≥ 1` (cross-party
+    /// zero-delay schedulers fall back to the per-message engine, which is
+    /// correct for them).
+    framed: bool,
     parties: Vec<Box<dyn Protocol<M>>>,
     rngs: Vec<StdRng>,
     corruption: CorruptionSet,
@@ -705,12 +1044,14 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         let adv_rng = StdRng::seed_from_u64(config.seed ^ 0xBADA_D0E5);
         let coin_seed = config.seed ^ 0x5EED_C011;
         let threads = config.resolved_threads();
+        let framed = config.resolved_frames() && scheduler.min_delay() >= 1;
         let queue = EventQueue::new(config.delta);
         let mut metrics = Metrics::new();
         metrics.worker_threads = threads as u64;
         Simulation {
             config,
             threads,
+            framed,
             parties,
             rngs,
             corruption,
@@ -756,6 +1097,13 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
     /// The effective worker-thread count of this run.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether the framed slice engine is active for this run (frame
+    /// coalescing enabled *and* the scheduler guarantees cross-party delays
+    /// of at least one tick).
+    pub fn framed(&self) -> bool {
+        self.framed
     }
 
     /// Current simulated time.
@@ -805,14 +1153,20 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                 );
                 self.parties[p].init(&mut ctx);
             }
-            self.apply_effects(p, &mut effects);
+            if self.framed && self.corruption.is_honest(p) {
+                self.flush_framed_effects(p, &mut effects);
+            } else {
+                self.apply_effects(p, &mut effects);
+            }
             self.scratch = effects;
         }
     }
 
     /// Processes the next single event. Returns `false` when the queue is
-    /// empty. Always sequential — the parallel engine operates on whole
-    /// time slices via the `run_*` methods.
+    /// empty. Always sequential — the parallel *and* framed engines operate
+    /// on whole time slices via the `run_*` methods, so a single-stepped run
+    /// delivers frames (unpacking them at the boundary) but dispatches its
+    /// own output per message.
     pub fn step(&mut self) -> bool {
         self.init();
         let Some(t) = self.queue.next_time() else {
@@ -872,10 +1226,19 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         // Parallel pre-execution is sound only when cross-party messages
         // cannot be delivered within the same tick they are sent (see
         // `Scheduler::min_delay`): then every same-tick cascade stays on the
-        // party that spawned it, and per-party batches commute. Whether it
-        // is *worth it* is decided by inspecting the live bucket, so thin
-        // slices pay a single pop each rather than a drain-and-reinsert.
-        if self.threads > 1 && self.scheduler.min_delay() >= 1 && self.slice_worth_parallelising() {
+        // party that spawned it, and per-party batches commute. The framed
+        // engine rests on the same property (it is gated on it at
+        // construction) and exploits it twice: per-party batches *and*
+        // per-destination frame coalescing of each batch's output. Whether
+        // parallelism is *worth it* is decided by inspecting the live
+        // bucket, so thin slices pay a single pop each rather than a
+        // drain-and-reinsert.
+        if self.framed {
+            self.process_slice_framed(t);
+        } else if self.threads > 1
+            && self.scheduler.min_delay() >= 1
+            && self.slice_worth_parallelising()
+        {
             self.process_slice_parallel(t);
         } else {
             while let Some(ev) = self.queue.pop_current() {
@@ -1044,10 +1407,279 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         }
     }
 
+    /// The framed slice engine: drain the tick, group events by party, run
+    /// every honest party's batch through [`run_party_batch`] (inline, or on
+    /// worker threads when the slice is wide enough), and merge the outcomes
+    /// in ascending party order — flushing each batch's coalesced frames with
+    /// one scheduler draw per frame event. Corrupt parties execute inline
+    /// with per-message dispatch so Byzantine strategies keep their exact
+    /// per-message semantics (and their shared adversary RNG draw order).
+    fn process_slice_framed(&mut self, t: Time) {
+        let mut per_party: BTreeMap<PartyId, Vec<Event>> = BTreeMap::new();
+        let mut total = 0usize;
+        while let Some(ev) = self.queue.pop_current() {
+            total += 1;
+            per_party.entry(ev.kind.party()).or_default().push(ev);
+        }
+        let record = self.transcript.is_some();
+        let n = self.config.n;
+        let delta = self.config.delta;
+        let coin_seed = self.coin_seed;
+        let mut outcomes: Vec<Option<BatchOutcome>> = (0..n).map(|_| None).collect();
+        let honest_with_work = per_party
+            .keys()
+            .filter(|&&p| self.corruption.is_honest(p))
+            .count();
+        if self.threads > 1 && total >= MIN_PARALLEL_EVENTS && honest_with_work >= 2 {
+            // Carve disjoint `&mut` party/rng slots for the honest parties
+            // (ascending ids ⇒ repeated `split_at_mut` walks, no unsafe).
+            let workers = self.threads.min(honest_with_work);
+            let mut groups: Vec<Vec<WorkerParty<'_, M>>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            let mut parties_tail = self.parties.as_mut_slice();
+            let mut rngs_tail = self.rngs.as_mut_slice();
+            let mut offset = 0usize;
+            let mut slot = 0usize;
+            for (&party, events) in &per_party {
+                if !self.corruption.is_honest(party) {
+                    continue;
+                }
+                let (_, rest) = parties_tail.split_at_mut(party - offset);
+                let Some((protocol, rest)) = rest.split_first_mut() else {
+                    unreachable!("party id within range")
+                };
+                parties_tail = rest;
+                let (_, rest) = rngs_tail.split_at_mut(party - offset);
+                let Some((rng, rest)) = rest.split_first_mut() else {
+                    unreachable!("party id within range")
+                };
+                rngs_tail = rest;
+                offset = party + 1;
+                groups[slot % workers].push(WorkerParty {
+                    party,
+                    protocol,
+                    rng,
+                    events: events.iter().map(|ev| ev.kind.clone()).collect(),
+                });
+                slot += 1;
+            }
+            let results: Vec<Vec<BatchOutcome>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        scope.spawn(move || {
+                            group
+                                .into_iter()
+                                .map(|wp| run_party_batch(wp, t, n, delta, coin_seed, record))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulation worker thread panicked"))
+                    .collect()
+            });
+            for outcome in results.into_iter().flatten() {
+                let party = outcome.party;
+                outcomes[party] = Some(outcome);
+            }
+        }
+        for (party, events) in per_party {
+            if self.corruption.is_honest(party) {
+                let outcome = match outcomes[party].take() {
+                    Some(outcome) => outcome,
+                    None => {
+                        let kinds: Vec<EventKind> = events.into_iter().map(|ev| ev.kind).collect();
+                        run_party_batch(
+                            WorkerParty {
+                                party,
+                                protocol: &mut self.parties[party],
+                                rng: &mut self.rngs[party],
+                                events: kinds,
+                            },
+                            t,
+                            n,
+                            delta,
+                            coin_seed,
+                            record,
+                        )
+                    }
+                };
+                self.apply_outcome(outcome);
+            } else {
+                for ev in events {
+                    self.metrics.events_processed += 1;
+                    self.execute_event(ev);
+                }
+            }
+        }
+        // Same-tick cascades of corrupt parties (their self-sends and
+        // zero-delay timers go through the global queue); `min_delay ≥ 1`
+        // keeps everything else out of the current tick.
+        while let Some(ev) = self.queue.pop_current() {
+            self.metrics.events_processed += 1;
+            self.execute_event(ev);
+        }
+    }
+
+    /// Applies one pre-executed framed batch on the merge path: accounting,
+    /// transcript, frame dispatch (one scheduler draw per frame event) and
+    /// timer scheduling, in the engine's canonical ascending-party order.
+    fn apply_outcome(&mut self, outcome: BatchOutcome) {
+        let BatchOutcome {
+            party,
+            events,
+            decode_failures,
+            transcript,
+            self_records,
+            frames,
+            timers,
+        } = outcome;
+        self.metrics.events_processed += events;
+        self.metrics.decode_failures += decode_failures;
+        if let Some(recorded) = &mut self.transcript {
+            recorded.extend(transcript);
+        }
+        for (bits, seg) in self_records {
+            self.metrics.record_send(true, bits, seg);
+        }
+        self.flush_frame_set(party, frames);
+        for (delay, path, id) in timers {
+            self.push_timer(party, delay, path, id);
+        }
+    }
+
+    /// Dispatches a [`FrameSet`]'s frames: unicast frames in ascending
+    /// destination order, then the broadcast frame to every other party with
+    /// its encoding `Arc`-shared. Per-message bit accounting is applied here
+    /// (once per recipient channel), exactly as the unframed engine would.
+    fn flush_frame_set(&mut self, sender: PartyId, frames: FrameSet) {
+        let FrameSet {
+            unicast,
+            broadcast,
+            broadcast_meta,
+        } = frames;
+        for (to, (builder, meta)) in unicast {
+            for (bits, seg) in meta {
+                self.metrics.record_send(true, bits, seg);
+            }
+            self.dispatch_frame(sender, to, Arc::new(builder.finish()));
+        }
+        if !broadcast.is_empty() {
+            let payload = Arc::new(broadcast.finish());
+            for to in 0..self.config.n {
+                if to == sender {
+                    continue;
+                }
+                for &(bits, seg) in &broadcast_meta {
+                    self.metrics.record_send(true, bits, seg);
+                }
+                self.dispatch_frame(sender, to, Arc::clone(&payload));
+            }
+        }
+    }
+
+    /// Coalesces an *honest* party's out-of-slice effects (currently: its
+    /// `init` effects) into frames and dispatches them. Self-addressed
+    /// messages have no running batch to join, so they travel as plain
+    /// zero-delay events instead.
+    fn flush_framed_effects(&mut self, sender: PartyId, effects: &mut Effects<M>) {
+        let mut frames = FrameSet::new();
+        for (to, path, msg) in effects.sends.drain(..) {
+            if to == sender {
+                let payload = Arc::new(msg.encode());
+                self.dispatch(sender, true, to, path, payload, false);
+            } else {
+                frames.add_send(to, &path, &msg);
+            }
+        }
+        for (path, msg) in effects.broadcasts.drain(..) {
+            let (_, self_copy) = frames.add_broadcast(&path, &msg);
+            self.dispatch(sender, true, sender, path, Arc::new(self_copy), true);
+        }
+        self.flush_frame_set(sender, frames);
+        for (delay, path, id) in effects.timers.drain(..) {
+            self.push_timer(sender, delay, path, id);
+        }
+    }
+
+    /// Schedules one frame event (honest senders only — corrupt parties'
+    /// traffic is never framed, so Byzantine strategies keep their
+    /// per-message view of the wire).
+    fn dispatch_frame(&mut self, from: PartyId, to: PartyId, payload: Arc<Vec<u8>>) {
+        debug_assert_ne!(to, from, "self-addressed traffic is delivered in-batch");
+        self.metrics.frames_sent += 1;
+        let delay = self
+            .scheduler
+            .delay(from, to, self.now, &mut self.sched_rng);
+        self.seq += 1;
+        self.queue.push(Event {
+            at: self.now + delay,
+            rank: 0,
+            depth: 0,
+            seq: self.seq,
+            kind: EventKind::DeliverFrame { to, from, payload },
+        });
+    }
+
     /// Executes one event inline (sequential path and corrupt parties):
     /// decode boundary, transcript, handler, effect application.
     fn execute_event(&mut self, ev: Event) {
         let (party, mut effects) = match ev.kind {
+            EventKind::DeliverFrame { to, from, payload } => {
+                // Frame delivery outside a framed batch: corrupt recipients
+                // during a framed slice, and single-stepped runs. Unpack at
+                // the boundary and handle the items back to back; effects are
+                // applied per item with the unframed per-message dispatch.
+                match Frame::decode::<M>(&payload) {
+                    Err(_) => {
+                        self.metrics.decode_failures += 1;
+                        if let Some(transcript) = &mut self.transcript {
+                            transcript.push(TranscriptEntry {
+                                at: ev.at,
+                                party: to,
+                                event: TranscriptEvent::DroppedDeliver {
+                                    from,
+                                    path: Path::from(&[][..]),
+                                    bits: payload.len() as u64 * 8,
+                                },
+                            });
+                        }
+                    }
+                    Ok(items) => {
+                        for item in items {
+                            if let Some(transcript) = &mut self.transcript {
+                                transcript.push(TranscriptEntry {
+                                    at: ev.at,
+                                    party: to,
+                                    event: TranscriptEvent::Deliver {
+                                        from,
+                                        path: item.path.clone(),
+                                        bits: item.msg_bits,
+                                    },
+                                });
+                            }
+                            let mut effects = std::mem::replace(&mut self.scratch, Effects::new());
+                            {
+                                let mut ctx = Context::new(
+                                    to,
+                                    self.config.n,
+                                    self.now,
+                                    self.config.delta,
+                                    &mut effects,
+                                    &mut self.rngs[to],
+                                    self.coin_seed,
+                                );
+                                self.parties[to].on_message(&mut ctx, from, &item.path, item.msg);
+                            }
+                            self.apply_effects(to, &mut effects);
+                            self.scratch = effects;
+                        }
+                    }
+                }
+                return;
+            }
             EventKind::Deliver {
                 to,
                 from,

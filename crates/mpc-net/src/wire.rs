@@ -27,6 +27,7 @@
 //! (the message is dropped and counted, never a panic).
 
 use core::fmt;
+use std::sync::Arc;
 
 /// Why a byte string failed to decode as a message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -358,6 +359,127 @@ impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire frames
+// ---------------------------------------------------------------------------
+
+/// One message unpacked from a [`Frame`]: the instance path it is addressed
+/// to, the decoded payload, and the exact wire size of the payload encoding
+/// (path and frame framing excluded — the same per-message size the unframed
+/// engine accounts).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameItem<M> {
+    /// Instance path the message is addressed to.
+    pub path: Arc<[u32]>,
+    /// The decoded payload.
+    pub msg: M,
+    /// Exact size of the payload's canonical encoding, in bits.
+    pub msg_bits: u64,
+}
+
+/// A coalesced batch of `(path, message)` pairs travelling from one sender to
+/// one destination as a *single* simulator event.
+///
+/// The frame format is canonical like everything else in this module: a
+/// `u32` item count, then per item a `u32`-length-prefixed path (segments as
+/// little-endian `u32`s) followed by the message's canonical encoding (which
+/// is self-delimiting). Frames are a *transport* construct of the simulator:
+/// the paper-level bit accounting ([`crate::Metrics::honest_bits`]) counts
+/// the contained messages exactly as if they had been sent individually, and
+/// the frame header/path bytes are treated as scheduling metadata.
+#[derive(Debug)]
+pub struct Frame;
+
+impl Frame {
+    /// Decodes a complete frame, returning its items in emission order.
+    /// The whole input must be consumed.
+    pub fn decode<M: WireDecode>(bytes: &[u8]) -> Result<Vec<FrameItem<M>>, WireError> {
+        let mut r = WireReader::new(bytes);
+        // Every item needs at least a path length prefix and one payload byte.
+        let count = r.seq_len(5)?;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            let path: Vec<u32> = Vec::decode_from(&mut r)?;
+            let before = r.remaining();
+            let msg = M::decode_from(&mut r)?;
+            let msg_bits = (before - r.remaining()) as u64 * 8;
+            items.push(FrameItem {
+                path: Arc::from(path.as_slice()),
+                msg,
+                msg_bits,
+            });
+        }
+        r.finish()?;
+        Ok(items)
+    }
+}
+
+/// Incremental encoder for a [`Frame`]: messages are appended (and encoded)
+/// one by one as a party's activation emits them, and [`FrameBuilder::finish`]
+/// yields the canonical frame bytes without re-walking the messages.
+#[derive(Debug)]
+pub struct FrameBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl FrameBuilder {
+    /// An empty frame under construction.
+    pub fn new() -> Self {
+        FrameBuilder {
+            // Placeholder for the item count, patched by `finish`.
+            buf: vec![0; 4],
+            count: 0,
+        }
+    }
+
+    /// Number of messages appended so far.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Whether no message has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Appends one `(path, message)` item and returns the byte range the
+    /// message's canonical encoding occupies inside the growing frame — its
+    /// length is the message's exact wire size, and the range lets a caller
+    /// extract the standalone encoding (e.g. for a broadcast's self-copy)
+    /// without encoding the message twice.
+    pub fn push<M: WireEncode>(&mut self, path: &[u32], msg: &M) -> std::ops::Range<usize> {
+        self.count += 1;
+        self.buf
+            .extend_from_slice(&(path.len() as u32).to_le_bytes());
+        for &seg in path {
+            self.buf.extend_from_slice(&seg.to_le_bytes());
+        }
+        let start = self.buf.len();
+        self.buf.reserve(msg.encoded_len_hint());
+        msg.encode_into(&mut self.buf);
+        start..self.buf.len()
+    }
+
+    /// The bytes of a previously pushed message (range returned by
+    /// [`FrameBuilder::push`]).
+    pub fn message_bytes(&self, range: std::ops::Range<usize>) -> &[u8] {
+        &self.buf[range]
+    }
+
+    /// Finalises the frame into its canonical byte encoding.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[..4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+impl Default for FrameBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +544,57 @@ mod tests {
         assert!(matches!(
             Option::<bool>::decode(&[9]),
             Err(WireError::InvalidTag { .. })
+        ));
+    }
+
+    #[test]
+    fn frame_round_trips_paths_and_messages() {
+        let mut b = FrameBuilder::new();
+        assert!(b.is_empty());
+        let r1 = b.push(&[1, 2], &7u64);
+        let r2 = b.push(&[], &true);
+        let r3 = b.push(&[9], &vec![3u32, 4]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.message_bytes(r1.clone()), 7u64.encode().as_slice());
+        let bytes = b.finish();
+        let items = Frame::decode::<u64>(&bytes[..]).err();
+        assert!(items.is_some(), "mixed types must not decode as one type");
+        // Homogeneous frame decodes exactly.
+        let mut b = FrameBuilder::new();
+        b.push(&[1, 2], &7u64);
+        b.push(&[], &8u64);
+        let bytes = b.finish();
+        let items = Frame::decode::<u64>(&bytes).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(&items[0].path[..], &[1, 2]);
+        assert_eq!(items[0].msg, 7);
+        assert_eq!(items[0].msg_bits, 64);
+        assert_eq!(&items[1].path[..], &[] as &[u32]);
+        assert_eq!(items[1].msg, 8);
+        let _ = (r2, r3);
+    }
+
+    #[test]
+    fn frame_rejects_trailing_and_truncated_input() {
+        let mut b = FrameBuilder::new();
+        b.push(&[3], &1u8);
+        let mut bytes = b.finish();
+        bytes.push(0);
+        assert!(matches!(
+            Frame::decode::<u8>(&bytes),
+            Err(WireError::TrailingBytes { .. })
+        ));
+        bytes.truncate(bytes.len() - 3);
+        assert!(Frame::decode::<u8>(&bytes).is_err());
+    }
+
+    #[test]
+    fn frame_count_prefix_bounded_before_allocation() {
+        let mut bytes = u32::MAX.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            Frame::decode::<u8>(&bytes),
+            Err(WireError::LengthOverflow { .. })
         ));
     }
 }

@@ -64,6 +64,13 @@ impl VoteBoard {
         seg >= self.base && seg < self.base + Self::segment_span(self.params.n)
     }
 
+    /// Whether this party has already cast its vote about `counterpart`
+    /// (further [`VoteBoard::add_vote`] calls for it are no-ops — callers on
+    /// hot paths use this to skip recomputing the vote).
+    pub fn has_voted(&self, counterpart: PartyId) -> bool {
+        self.my_votes.contains_key(&counterpart)
+    }
+
     /// Records (and if already started, incrementally A-casts) this party's
     /// vote about `counterpart`. Votes recorded before [`VoteBoard::start`]
     /// ride in the scheduled broadcast.

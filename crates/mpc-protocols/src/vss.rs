@@ -123,30 +123,35 @@ impl Vss {
     /// Casts the consistency vote about party `j` once both this party's rows
     /// and the WPS-share from `Π_WPS^{(j)}` are available.
     fn refresh_votes(&mut self, ctx: &mut Context<'_, Msg>) {
-        if !self.wps_started {
+        // Hot path: called after every delivered message/timer of the
+        // instance. Work entirely on borrows (the old per-call clone of all
+        // `L` row polynomials plus each counterpart's share vector dominated
+        // large-`n` runs) and leave immediately once every vote is cast.
+        if !self.wps_started || self.my_rows.is_none() || self.voted.len() == self.params.n {
             return;
         }
-        let Some(rows) = self.my_rows.clone() else {
-            return;
-        };
         for j in 0..self.params.n {
             if self.voted.contains_key(&j) {
                 continue;
             }
-            let Some(shares) = self.wps_share_of(j).cloned() else {
-                continue;
-            };
-            let mut vote = Vote::Ok;
-            for (ell, row) in rows.iter().enumerate() {
-                let mine = row.evaluate(alpha(j));
-                if shares.get(ell) != Some(&mine) {
-                    vote = Vote::Nok {
-                        ell: ell as u32,
-                        value: mine,
-                    };
-                    break;
+            let vote = {
+                let Some(shares) = self.wps_share_of(j) else {
+                    continue;
+                };
+                let rows = self.my_rows.as_ref().expect("checked above");
+                let mut vote = Vote::Ok;
+                for (ell, row) in rows.iter().enumerate() {
+                    let mine = row.evaluate(alpha(j));
+                    if shares.get(ell) != Some(&mine) {
+                        vote = Vote::Nok {
+                            ell: ell as u32,
+                            value: mine,
+                        };
+                        break;
+                    }
                 }
-            }
+                vote
+            };
             self.voted.insert(j, ());
             self.votes.add_vote(ctx, j, vote);
         }

@@ -280,7 +280,17 @@ impl Wps {
     }
 
     fn refresh_votes(&mut self, ctx: &mut Context<'_, Msg>) {
-        let counterparts: Vec<PartyId> = self.points_from.keys().copied().collect();
+        // Hot path: re-run after every event. Only counterparts not yet
+        // voted on are considered ([`VoteBoard::add_vote`] ignores repeats
+        // anyway, but recomputing a discarded vote costs `L` polynomial
+        // evaluations); the common all-voted case allocates nothing.
+        let votes = &self.votes;
+        let counterparts: Vec<PartyId> = self
+            .points_from
+            .keys()
+            .copied()
+            .filter(|&j| !votes.has_voted(j))
+            .collect();
         for j in counterparts {
             if let Some(v) = self.compute_vote(j) {
                 self.votes.add_vote(ctx, j, v);

@@ -19,7 +19,7 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Defines property tests: each `fn name(arg in strategy, ..) { body }` item
@@ -54,6 +54,20 @@ macro_rules! __proptest_impl {
                 }
             }
         )+
+    };
+}
+
+/// Weighted union of strategies: `prop_oneof![w1 => s1, w2 => s2, ...]` (or
+/// unweighted `prop_oneof![s1, s2, ...]`, where every case has weight 1).
+/// All cases must generate the same value type. Unlike real proptest, mixed
+/// weighted/unweighted entry lists are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.case($weight, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new()$(.case(1, $strat))+
     };
 }
 

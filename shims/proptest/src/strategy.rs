@@ -77,3 +77,75 @@ where
         rng.gen_range(self.clone())
     }
 }
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.new_value(rng), self.1.new_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.new_value(rng),
+            self.1.new_value(rng),
+            self.2.new_value(rng),
+        )
+    }
+}
+
+/// One type-erased case of a [`OneOf`] union.
+type OneOfCase<V> = (u32, Box<dyn Fn(&mut TestRng) -> V>);
+
+/// Weighted union of strategies over a common value type — what the
+/// [`crate::prop_oneof!`] macro builds. Each case is picked with probability
+/// proportional to its weight.
+pub struct OneOf<V> {
+    cases: Vec<OneOfCase<V>>,
+}
+
+impl<V> OneOf<V> {
+    /// An empty union (generating from it panics — add cases first).
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        OneOf { cases: Vec::new() }
+    }
+
+    /// Adds one weighted case.
+    pub fn case<S>(mut self, weight: u32, strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof weights must be positive");
+        self.cases
+            .push((weight, Box::new(move |rng| strategy.new_value(rng))));
+        self
+    }
+}
+
+impl<V> core::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "OneOf({} cases)", self.cases.len())
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.cases.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one case");
+        let mut pick = rng.gen_range(0..total);
+        for (w, gen) in &self.cases {
+            if pick < *w {
+                return gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}

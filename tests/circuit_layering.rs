@@ -1,0 +1,159 @@
+//! Circuit layering and layer-batched evaluation equivalence.
+//!
+//! `Circuit::layers()` drives `Π_CirEval`'s layer-batched Beaver openings:
+//! one public reconstruction of `2·L` maskings per multiplication layer
+//! instead of one per gate. These tests check the layering invariants over
+//! randomly generated wide/deep DAG circuits, and that the layer-batched
+//! shared evaluation produces exactly the cleartext result — and exactly the
+//! per-gate reference path's result — on real simulated runs.
+
+use bobw_mpc::algebra::Fp;
+use bobw_mpc::core::{Circuit, Gate, MpcBuilder};
+use bobw_mpc::net::NetworkKind;
+use proptest::prelude::*;
+
+/// A recipe for one random DAG circuit: a list of gate constructors applied
+/// to pseudo-randomly chosen earlier wires.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MulConst(usize, u64),
+    AddConst(usize, u64),
+    Constant(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Add(a, b)),
+        1 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Sub(a, b)),
+        3 => (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Mul(a, b)),
+        1 => (any::<usize>(), 0u64..100).prop_map(|(a, c)| Op::MulConst(a, c)),
+        1 => (any::<usize>(), 0u64..100).prop_map(|(a, c)| Op::AddConst(a, c)),
+        1 => (0u64..100).prop_map(Op::Constant),
+    ]
+}
+
+/// Builds a circuit over `n_inputs` inputs from the recipe; wire indices are
+/// taken modulo the number of wires built so far, so every recipe yields a
+/// valid DAG (wires only ever reference earlier gates).
+fn build(n_inputs: usize, ops: &[Op]) -> Circuit {
+    let mut c = Circuit::new(n_inputs);
+    let mut wires: Vec<_> = (0..n_inputs).map(|i| c.input(i)).collect();
+    for op in ops {
+        let pick = |i: &usize| wires[i % wires.len()];
+        let w = match op {
+            Op::Add(a, b) => c.add(pick(a), pick(b)),
+            Op::Sub(a, b) => c.sub(pick(a), pick(b)),
+            Op::Mul(a, b) => c.mul(pick(a), pick(b)),
+            Op::MulConst(a, k) => c.mul_const(pick(a), Fp::from_u64(*k)),
+            Op::AddConst(a, k) => c.add_const(pick(a), Fp::from_u64(*k)),
+            Op::Constant(k) => c.constant(Fp::from_u64(*k)),
+        };
+        wires.push(w);
+    }
+    c.set_output(*wires.last().expect("at least the inputs exist"));
+    c
+}
+
+/// The layering invariants: layers partition the `Mul` gates, every layer is
+/// non-empty and ascending, the count matches `mult_depth`, and each gate's
+/// inputs depend only on strictly earlier multiplication layers.
+fn assert_layering_invariants(c: &Circuit) {
+    let layers = c.layers();
+    assert_eq!(layers.len(), c.mult_depth(), "depth = number of layers");
+    let total: usize = layers.iter().map(Vec::len).sum();
+    assert_eq!(total, c.mult_count(), "layers partition the Mul gates");
+    let (_, per_gate) = c.mult_layers();
+    let mut seen = std::collections::HashSet::new();
+    for (l, gates) in layers.iter().enumerate() {
+        assert!(!gates.is_empty(), "no empty layers");
+        assert!(gates.windows(2).all(|w| w[0] < w[1]), "ascending gate ids");
+        for &g in gates {
+            assert!(seen.insert(g), "no gate in two layers");
+            let Gate::Mul(a, b) = c.gates()[g] else {
+                panic!("layer member {g} is not a Mul gate");
+            };
+            assert_eq!(per_gate[g], l + 1, "layer index matches mult_layers");
+            assert!(
+                per_gate[a.index()] <= l && per_gate[b.index()] <= l,
+                "inputs of a layer-{} gate must not depend on layer {} or later",
+                l + 1,
+                l + 1
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Layering invariants over random wide/deep DAG circuits.
+    #[test]
+    fn prop_layers_respect_dependencies(
+        n_inputs in 2usize..6,
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let c = build(n_inputs, &ops);
+        assert_layering_invariants(&c);
+    }
+}
+
+proptest! {
+    // Full simulated MPC runs are comparatively expensive; a handful of
+    // random circuits exercises the layer-batched evaluation end to end.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Layer-batched evaluation == cleartext evaluation == per-gate
+    /// reference path, on real simulated runs over random circuits.
+    #[test]
+    fn prop_layer_batched_evaluation_matches_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..14),
+        seed in 1u64..1000,
+    ) {
+        let n = 4;
+        let c = build(n, &ops);
+        if c.mult_count() > 8 {
+            return; // skip: keep the preprocessing phase affordable
+        }
+        let inputs = [3u64, 5, 7, 11];
+        let clear = c.evaluate_clear(&inputs.map(Fp::from_u64));
+        let run = |per_gate: bool| {
+            MpcBuilder::new(n, 1, 0)
+                .network(NetworkKind::Synchronous)
+                .seed(seed)
+                .inputs(&inputs)
+                .per_gate_openings(per_gate)
+                .run(&c)
+                .expect("synchronous all-honest run must complete")
+        };
+        let layered = run(false);
+        prop_assert_eq!(layered.output, clear, "layer-batched == cleartext");
+        let per_gate = run(true);
+        prop_assert_eq!(layered.output, per_gate.output, "layer-batched == per-gate");
+        // Both engines must agree the run was clean.
+        prop_assert_eq!(layered.metrics.decode_failures, 0);
+        prop_assert_eq!(per_gate.metrics.decode_failures, 0);
+    }
+}
+
+/// Deterministic wide + deep shapes (the extremes the proptest recipes only
+/// sample): one opening per layer must still finish and agree with the
+/// cleartext result.
+#[test]
+fn wide_and_deep_layered_circuits_evaluate_correctly() {
+    for (width, depth) in [(6usize, 1usize), (1, 6), (3, 3)] {
+        let c = Circuit::layered(4, width, depth);
+        assert_layering_invariants(&c);
+        assert_eq!(c.layers().len(), depth);
+        assert!(c.layers().iter().all(|l| l.len() == width));
+        let inputs = [2u64, 3, 4, 5];
+        let clear = c.evaluate_clear(&inputs.map(Fp::from_u64));
+        let r = MpcBuilder::new(4, 1, 0)
+            .inputs(&inputs)
+            .run(&c)
+            .expect("layered circuit run completes");
+        assert_eq!(r.output, clear, "width={width} depth={depth}");
+    }
+}
