@@ -1,0 +1,103 @@
+//! Experiment E13 — transport backends: the deterministic simulator vs the
+//! real threaded runtime.
+//!
+//! Runs the same full `Π_CirEval` evaluation on both [`Backend`]s at
+//! n ∈ {4, 7} and reports throughput (circuits/second) and the per-party
+//! honest-bit accounting side by side. The simulator burns pure compute; the
+//! threaded backend additionally pays genuine wall-clock tick pacing (every
+//! Δ-timer is a real `recv_timeout` deadline), so its wall time is dominated
+//! by `completed_at × tick` — the throughput gap *is* the price of real
+//! time, not of the runtime machinery. Communication accounting must not
+//! depend on the backend: the per-party bit vectors are asserted identical
+//! across the two runs (the cheap always-on slice of the conformance
+//! contract; the full fingerprint lives in `tests/transport_conformance.rs`).
+//!
+//! `BENCH_SMOKE=1` shrinks the sweep for CI; outputs are checked against the
+//! cleartext evaluation on both backends.
+
+use bench::{expected_clear, run_cireval_transport, JsonReport, Measurement};
+use mpc_core::Circuit;
+use mpc_net::{Backend, NetworkKind};
+
+/// Real tick duration for the threaded runs (µs). Short: throughput numbers
+/// should show the pacing floor, and the conservative link-clock gate keeps
+/// the schedule conformant even when debug compute overruns a tick.
+const TICK_US: u64 = 500;
+
+fn product_circuit(n: usize, muls: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    let mut acc = c.input(0);
+    for i in 0..muls {
+        let rhs = c.input((i + 1) % n);
+        acc = c.mul(acc, rhs);
+    }
+    c.set_output(acc);
+    c
+}
+
+fn print_row(backend: &str, n: usize, m: &Measurement, by_party: &[u64]) {
+    let cps = if m.wall_ms > 0.0 {
+        1000.0 / m.wall_ms
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{:>5} {:>10} {:>10.1} {:>12.3} {:>11} {:>12} {:?}",
+        n, backend, m.wall_ms, cps, m.completed_at, m.honest_bits, by_party
+    );
+}
+
+fn main() {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let mut report = JsonReport::new("e13_transport");
+    println!("# E13 — transport backends (synchronous, full Π_CirEval)");
+    println!();
+    println!(
+        "{:>5} {:>10} {:>10} {:>12} {:>11} {:>12} per-party bits",
+        "n", "backend", "wall-ms", "circuits/s", "ticks", "bits"
+    );
+
+    let muls = if smoke { 1 } else { 2 };
+    for n in [4usize, 7] {
+        let circuit = product_circuit(n, muls);
+        let expected = expected_clear(n, &circuit);
+        let seed = 13 + n as u64;
+        let (sim, sim_out, sim_bits) = run_cireval_transport(
+            n,
+            &circuit,
+            NetworkKind::Synchronous,
+            seed,
+            Backend::Simulator,
+            0,
+        );
+        assert_eq!(
+            sim_out, expected,
+            "simulator output must be correct (n={n})"
+        );
+        report.push_labeled("simulator", n, circuit.mult_count(), &sim);
+        print_row("simulator", n, &sim, &sim_bits);
+
+        let (th, th_out, th_bits) = run_cireval_transport(
+            n,
+            &circuit,
+            NetworkKind::Synchronous,
+            seed,
+            Backend::Threaded,
+            TICK_US,
+        );
+        assert_eq!(th_out, expected, "threaded output must be correct (n={n})");
+        assert_eq!(
+            sim_bits, th_bits,
+            "per-party honest bits must not depend on the backend (n={n})"
+        );
+        report.push_labeled("threaded", n, circuit.mult_count(), &th);
+        print_row("threaded", n, &th, &th_bits);
+
+        let pacing_floor_ms = th.completed_at as f64 * TICK_US as f64 / 1000.0;
+        println!(
+            "  (n={n}: threaded pacing floor {pacing_floor_ms:.1} ms at {TICK_US} µs/tick, {} real timeouts fired)",
+            th.timeouts_fired
+        );
+    }
+    report.finish();
+}

@@ -15,7 +15,8 @@ use std::time::Instant;
 use mpc_algebra::{Fp, Polynomial};
 use mpc_core::{CirEval, Circuit, MpcBuilder};
 use mpc_net::{
-    CorruptionSet, Metrics, NetConfig, NetworkKind, Protocol, Simulation, Time, UniformDelay,
+    Backend, CorruptionSet, Metrics, NetConfig, NetworkKind, Protocol, Simulation, Time,
+    UniformDelay,
 };
 use mpc_protocols::acast::Acast;
 use mpc_protocols::acs::Acs;
@@ -49,6 +50,9 @@ pub struct Measurement {
     /// Same-time batch-width histogram (`hist[i]` = slices whose width fell
     /// in `[2^i, 2^(i+1))`).
     pub batch_width_hist: Vec<u64>,
+    /// Timer expiries that were real `recv_timeout` deadlines (threaded
+    /// backend only; the simulator reports 0).
+    pub timeouts_fired: u64,
 }
 
 impl Measurement {
@@ -65,6 +69,7 @@ impl Measurement {
             max_queue_depth: metrics.max_queue_depth,
             worker_threads: metrics.worker_threads,
             batch_width_hist: metrics.batch_width_hist.clone(),
+            timeouts_fired: metrics.timeouts_fired,
         }
     }
 
@@ -399,6 +404,38 @@ pub fn run_cireval_batching(
         .expect("benchmark run must complete");
     let m = Measurement::capture(&result.metrics, result.finished_at, start);
     (m, result.output)
+}
+
+/// [`run_cireval`] on an explicit transport backend. For the threaded
+/// backend, `tick_micros` sets the real duration of one logical tick
+/// (`0` defers to `MPC_TICK_US`); wall-clock time then includes genuine
+/// tick pacing, so throughput is dominated by the simulated schedule
+/// rather than raw compute. Returns the per-party honest-bit accounting
+/// alongside the measurement — the transport experiment (E13) compares it
+/// across backends.
+pub fn run_cireval_transport(
+    n: usize,
+    circuit: &Circuit,
+    kind: NetworkKind,
+    seed: u64,
+    backend: Backend,
+    tick_micros: u64,
+) -> (Measurement, Fp, Vec<u64>) {
+    let params = Params::max_thresholds(n, 10);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
+    let start = Instant::now();
+    let mut builder = MpcBuilder::new(n, params.ts, params.ta)
+        .network(kind)
+        .seed(seed)
+        .inputs(&inputs)
+        .transport(backend);
+    if backend == Backend::Threaded && tick_micros > 0 {
+        builder = builder.tick_micros(tick_micros);
+    }
+    let result = builder.run(circuit).expect("benchmark run must complete");
+    let m = Measurement::capture(&result.metrics, result.finished_at, start);
+    let by_party = result.metrics.honest_bits_by_party.clone();
+    (m, result.output, by_party)
 }
 
 /// Runs a full evaluation on an explicitly fast asynchronous network

@@ -1,17 +1,20 @@
 //! [`MpcBuilder`] — the one-call API for running a full best-of-both-worlds
-//! MPC evaluation inside the deterministic network simulation.
+//! MPC evaluation on any [`Transport`] backend.
 //!
 //! This is what the examples, the integration tests and the experiment
 //! harness use: configure `n`, `(t_s, t_a)`, the network kind and the inputs,
 //! then [`MpcBuilder::run`] a circuit and get every honest party's output
-//! plus the run's communication metrics and completion time.
+//! plus the run's communication metrics and completion time. The backend —
+//! the deterministic discrete-event simulator or the real threaded runtime —
+//! is picked with [`MpcBuilder::transport`] (default: the `MPC_TRANSPORT`
+//! environment variable via [`Backend::from_env`]).
 
 use std::fmt;
 
 use mpc_algebra::Fp;
 use mpc_net::{
-    ByzantineStrategy, CorruptionSet, Metrics, NetConfig, NetworkKind, PartyId, Protocol,
-    Scheduler, Simulation, Time,
+    Backend, ByzantineStrategy, CorruptionSet, LinkDelays, Metrics, NetConfig, NetworkKind,
+    PartyId, PartyView, Protocol, Scheduler, Simulation, ThreadedNet, Time, Transport,
 };
 use mpc_protocols::byzantine::SilentParty;
 use mpc_protocols::{Msg, Params};
@@ -63,6 +66,10 @@ pub struct MpcBuilder {
     threads: Option<usize>,
     frames: Option<bool>,
     per_gate_openings: bool,
+    transport: Option<Backend>,
+    link_delays: Option<LinkDelays>,
+    tick_micros: Option<u64>,
+    drain: bool,
 }
 
 impl fmt::Debug for MpcBuilder {
@@ -100,6 +107,10 @@ impl MpcBuilder {
             threads: None,
             frames: None,
             per_gate_openings: false,
+            transport: None,
+            link_delays: None,
+            tick_micros: None,
+            drain: false,
         }
     }
 
@@ -198,6 +209,41 @@ impl MpcBuilder {
         self
     }
 
+    /// Selects the backend the run executes on: the deterministic simulator
+    /// or the real threaded runtime. Defaults to the `MPC_TRANSPORT`
+    /// environment variable (see [`Backend::from_env`]), i.e. the simulator
+    /// unless `MPC_TRANSPORT=threaded`.
+    pub fn transport(mut self, backend: Backend) -> Self {
+        self.transport = Some(backend);
+        self
+    }
+
+    /// Overrides the threaded backend's per-link latency matrix (ignored on
+    /// the simulator — pass the same matrix as a [`MpcBuilder::scheduler`]
+    /// there). Used by the conformance harness to drive both backends with
+    /// the exact same link delays.
+    pub fn link_delays(mut self, links: LinkDelays) -> Self {
+        self.link_delays = Some(links);
+        self
+    }
+
+    /// Overrides the threaded backend's real tick duration in microseconds
+    /// (default: the `MPC_TICK_US` environment variable, then 1000). Ignored
+    /// on the simulator.
+    pub fn tick_micros(mut self, micros: u64) -> Self {
+        self.tick_micros = Some(micros);
+        self
+    }
+
+    /// Runs to quiescence instead of stopping as soon as every honest party
+    /// has an output. The simulator stops early by default (cheapest); the
+    /// threaded backend always drains — so enable this when comparing
+    /// metrics across backends.
+    pub fn drain(mut self, drain: bool) -> Self {
+        self.drain = drain;
+        self
+    }
+
     /// The protocol parameters this builder will run with.
     pub fn params(&self) -> Params {
         self.params
@@ -236,27 +282,55 @@ impl MpcBuilder {
         if let Some(frames) = self.frames {
             cfg = cfg.with_frames(frames);
         }
-        let mut sim = match self.scheduler {
-            Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
-            None => Simulation::new(cfg, corrupt.clone(), parties),
+        let backend = self.transport.unwrap_or_else(Backend::from_env);
+        let mut net: Box<dyn Transport<Msg>> = match backend {
+            Backend::Simulator => Box::new(match self.scheduler {
+                Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
+                None => Simulation::new(cfg, corrupt.clone(), parties),
+            }),
+            Backend::Threaded => {
+                // The threaded backend needs frozen per-link latencies: an
+                // explicit matrix wins, then a sampled snapshot of a custom
+                // scheduler, then the network kind's default matrix.
+                let links = match self.link_delays {
+                    Some(links) => links,
+                    None => match self.scheduler {
+                        Some(mut s) => LinkDelays::sampled_from(n, cfg.seed, s.as_mut()),
+                        None => LinkDelays::for_kind(n, cfg.kind, cfg.delta, cfg.seed),
+                    },
+                };
+                let mut th = ThreadedNet::with_links(cfg, corrupt.clone(), links, parties);
+                if let Some(micros) = self.tick_micros {
+                    th = th.with_tick_micros(micros);
+                }
+                Box::new(th)
+            }
         };
         if let Some(strategy) = self.strategy {
-            sim.set_strategy(strategy);
+            net.set_strategy(strategy);
         }
         let horizon = params.horizon_for_depth(circuit.mult_depth()) * self.horizon_factor;
-        let done = sim.run_until(horizon, |s| {
+        let party_output = |view: &dyn PartyView<Msg>, i: PartyId| {
+            mpc_net::party_as::<CirEval, Msg>(view, i).and_then(|p| p.output)
+        };
+        let mut pred = |view: &dyn PartyView<Msg>| {
             (0..n)
                 .filter(|&i| corrupt.is_honest(i))
-                .all(|i| s.party_as::<CirEval>(i).is_some_and(|p| p.output.is_some()))
-        });
+                .all(|i| party_output(view, i).is_some())
+        };
+        let done = if self.drain {
+            net.run_to_quiescence(horizon);
+            pred(net.as_ref())
+        } else {
+            net.run_until_done(horizon, &mut pred)
+        };
         if !done {
             return Err(RunError {
                 message: format!("honest parties did not terminate within horizon {horizon}"),
             });
         }
-        let outputs: Vec<Option<Fp>> = (0..n)
-            .map(|i| sim.party_as::<CirEval>(i).and_then(|p| p.output))
-            .collect();
+        let view: &dyn PartyView<Msg> = net.as_ref();
+        let outputs: Vec<Option<Fp>> = (0..n).map(|i| party_output(view, i)).collect();
         let honest_outputs: Vec<Fp> = (0..n)
             .filter(|&i| corrupt.is_honest(i))
             .map(|i| outputs[i].expect("checked by predicate"))
@@ -268,16 +342,15 @@ impl MpcBuilder {
         }
         let input_subset = (0..n)
             .find_map(|i| {
-                sim.party_as::<CirEval>(i)
-                    .and_then(|p| p.input_subset.clone())
+                mpc_net::party_as::<CirEval, Msg>(view, i).and_then(|p| p.input_subset.clone())
             })
             .unwrap_or_default();
         Ok(MpcRunResult {
             output: honest_outputs[0],
             outputs,
             input_subset,
-            finished_at: sim.now(),
-            metrics: sim.metrics().clone(),
+            finished_at: view.now(),
+            metrics: net.metrics().clone(),
         })
     }
 }

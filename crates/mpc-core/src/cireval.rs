@@ -874,8 +874,14 @@ const _: () = {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_net::{CorruptionSet, NetConfig, Simulation};
+    use mpc_net::{
+        Backend, CorruptionSet, LinkDelays, NetConfig, PartyView, Scheduler, Simulation,
+        ThreadedNet, Transport,
+    };
 
+    /// Drives a circuit evaluation through the [`Transport`] abstraction; the
+    /// backend follows `MPC_TRANSPORT` so the whole module doubles as a
+    /// threaded-runtime exercise under `MPC_TRANSPORT=threaded`.
     fn run_circuit(
         params: Params,
         circuit: &Circuit,
@@ -897,29 +903,45 @@ mod tests {
             NetConfig::asynchronous(params.n)
         }
         .with_seed(seed);
-        let mut sim = Simulation::with_scheduler(
-            cfg.clone(),
-            corrupt.clone(),
-            match cfg.kind {
-                mpc_net::NetworkKind::Synchronous => Box::new(mpc_net::FixedDelay(cfg.delta)),
-                mpc_net::NetworkKind::Asynchronous => Box::new(mpc_net::UniformDelay {
-                    min: 1,
-                    max: cfg.delta * 5,
-                }),
-            },
-            parties,
-        );
+        let mut scheduler: Box<dyn Scheduler> = match cfg.kind {
+            mpc_net::NetworkKind::Synchronous => Box::new(mpc_net::FixedDelay(cfg.delta)),
+            mpc_net::NetworkKind::Asynchronous => Box::new(mpc_net::UniformDelay {
+                min: 1,
+                max: cfg.delta * 5,
+            }),
+        };
+        let mut net: Box<dyn Transport<Msg>> = match Backend::from_env() {
+            Backend::Simulator => Box::new(Simulation::with_scheduler(
+                cfg.clone(),
+                corrupt.clone(),
+                scheduler,
+                parties,
+            )),
+            Backend::Threaded => {
+                let links = LinkDelays::sampled_from(cfg.n, cfg.seed, scheduler.as_mut());
+                Box::new(ThreadedNet::with_links(
+                    cfg,
+                    corrupt.clone(),
+                    links,
+                    parties,
+                ))
+            }
+        };
         let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
-        let done = sim.run_until(horizon, |s| {
-            (0..params.n)
-                .filter(|&i| corrupt.is_honest(i))
-                .all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        let done = net.run_until_done(horizon, &mut |view| {
+            (0..params.n).filter(|&i| corrupt.is_honest(i)).all(|i| {
+                mpc_net::party_as::<CirEval, Msg>(view, i)
+                    .unwrap()
+                    .output
+                    .is_some()
+            })
         });
         assert!(done, "circuit evaluation did not finish before the horizon");
+        let view: &dyn PartyView<Msg> = net.as_ref();
         let outs = (0..params.n)
-            .map(|i| sim.party_as::<CirEval>(i).unwrap().output)
+            .map(|i| mpc_net::party_as::<CirEval, Msg>(view, i).unwrap().output)
             .collect();
-        (outs, sim.now())
+        (outs, view.now())
     }
 
     #[test]

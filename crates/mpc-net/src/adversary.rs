@@ -20,7 +20,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
 
-use crate::simulation::PartyId;
+use crate::transport::PartyId;
 
 /// The set of statically corrupted parties.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -140,9 +140,11 @@ pub enum WireAction {
 /// and authentic, so the adversary cannot touch them).
 ///
 /// Strategies are consulted at the send boundary with the already-encoded
-/// canonical bytes and draw any randomness they need from the simulation's
-/// dedicated adversary RNG, keeping runs reproducible.
-pub trait ByzantineStrategy {
+/// canonical bytes and draw any randomness they need from the transport's
+/// dedicated adversary RNG, keeping runs reproducible. `Send` because the
+/// threaded transport backend consults the (mutex-guarded) strategy from the
+/// corrupt party's own thread.
+pub trait ByzantineStrategy: Send {
     /// Decides the fate of one outgoing message of a corrupt sender.
     fn on_send(&mut self, send: &WireSend<'_>, rng: &mut StdRng) -> WireAction;
 }
@@ -212,6 +214,52 @@ impl ByzantineStrategy for GarbleBytes {
             }
         }
         WireAction::Replace(bytes)
+    }
+}
+
+/// Makes any randomized strategy's decisions a pure function of the channel:
+/// each `(from, to)` pair keeps its own consult counter, and every consult
+/// hands the inner strategy a fresh RNG seeded from
+/// `(seed, from, to, counter)` instead of the transport's shared adversary
+/// RNG stream.
+///
+/// This removes the one source of cross-backend divergence randomized
+/// strategies have: the simulator consults the strategy in global event
+/// order while the threaded backend consults it in the corrupt parties'
+/// thread order, so a strategy that draws from the *shared* stream (e.g.
+/// [`GarbleBytes`]) only conforms when a single corrupt party fixes the
+/// consult order. Wrapped in `ChannelDeterministic`, the draws depend only
+/// on the channel and its consult index — identical on both backends for
+/// any corruption set.
+#[derive(Clone, Debug)]
+pub struct ChannelDeterministic<S> {
+    inner: S,
+    seed: u64,
+    counters: std::collections::BTreeMap<(PartyId, PartyId), u64>,
+}
+
+impl<S> ChannelDeterministic<S> {
+    /// Wraps `inner`, deriving all per-consult randomness from `seed`.
+    pub fn new(inner: S, seed: u64) -> Self {
+        ChannelDeterministic {
+            inner,
+            seed,
+            counters: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl<S: ByzantineStrategy> ByzantineStrategy for ChannelDeterministic<S> {
+    fn on_send(&mut self, send: &WireSend<'_>, _rng: &mut StdRng) -> WireAction {
+        let k = self.counters.entry((send.from, send.to)).or_insert(0);
+        let mix = self
+            .seed
+            .wrapping_add((send.from as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((send.to as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add(k.wrapping_mul(0x1656_67B1_9E37_79F9));
+        *k += 1;
+        let mut channel_rng = StdRng::seed_from_u64(mix);
+        self.inner.on_send(send, &mut channel_rng)
     }
 }
 
@@ -298,6 +346,42 @@ mod tests {
         };
         assert_eq!(garbled.len(), 3);
         assert_ne!(garbled, vec![1, 2, 3], "at least one byte must change");
+    }
+
+    #[test]
+    fn channel_deterministic_ignores_the_shared_rng_stream() {
+        let send = WireSend {
+            from: 0,
+            to: 3,
+            n: 4,
+            path: &[],
+            bytes: &[1, 2, 3, 4, 5, 6, 7, 8],
+            broadcast: false,
+        };
+        // Same consult sequence under two *different* shared RNG states must
+        // produce identical decisions …
+        let mut a = ChannelDeterministic::new(GarbleBytes, 42);
+        let mut b = ChannelDeterministic::new(GarbleBytes, 42);
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(999);
+        for _ in 0..5 {
+            assert_eq!(a.on_send(&send, &mut rng_a), b.on_send(&send, &mut rng_b));
+        }
+        // … while consecutive consults on one channel still differ (the
+        // per-channel counter advances the derived seed).
+        let mut c = ChannelDeterministic::new(GarbleBytes, 42);
+        let first = c.on_send(&send, &mut rng_a);
+        let second = c.on_send(&send, &mut rng_a);
+        assert_ne!(first, second, "consult counter must advance the stream");
+        // … and the shared stream is never touched.
+        let mut untouched = StdRng::seed_from_u64(7);
+        let mut reference = StdRng::seed_from_u64(7);
+        let _ = ChannelDeterministic::new(GarbleBytes, 1).on_send(&send, &mut untouched);
+        assert_eq!(
+            untouched.gen::<u64>(),
+            reference.gen::<u64>(),
+            "wrapper must not consume the shared adversary RNG"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::simulation::{PartyId, Time};
+use crate::transport::{PartyId, Time};
 
 /// Hierarchical instance path identifying one protocol instance within the
 /// composition tree (e.g. `[ACS, vss=3, wps=5, ba, bc=2, acast]`).

@@ -34,16 +34,20 @@ pub mod context;
 pub mod metrics;
 pub mod scheduler;
 pub mod simulation;
+pub mod transport;
 pub mod wire;
 
 pub use adversary::{
-    ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, GarbleBytes, Passive, WireAction,
-    WireSend,
+    ByzantineStrategy, ChannelDeterministic, CorruptionSet, Crash, EquivocateBroadcast,
+    GarbleBytes, Passive, WireAction, WireSend,
 };
 pub use context::{Context, Effects, Path, PathSlice, Protocol};
 pub use metrics::Metrics;
-pub use scheduler::{AsyncScheduler, FixedDelay, Scheduler, SkewedAsyncScheduler, UniformDelay};
-pub use simulation::{
-    NetConfig, NetworkKind, PartyId, Simulation, Time, TranscriptEntry, TranscriptEvent,
+pub use scheduler::{
+    AsyncScheduler, FixedDelay, LinkDelays, Scheduler, SkewedAsyncScheduler, UniformDelay,
+};
+pub use simulation::{NetConfig, NetworkKind, Simulation, TranscriptEntry, TranscriptEvent};
+pub use transport::{
+    party_as, threaded::ThreadedNet, Backend, PartyId, PartyView, Time, Transport,
 };
 pub use wire::{Frame, FrameBuilder, FrameItem, WireDecode, WireEncode, WireError, WireReader};

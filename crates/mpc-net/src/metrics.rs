@@ -8,13 +8,19 @@
 
 use std::collections::BTreeMap;
 
-/// Aggregated communication metrics of one simulation run.
+/// Aggregated communication metrics of one run, on either transport backend.
 ///
 /// Equality (`PartialEq`) compares every *execution* field — everything that
-/// must be bit-identical across reruns and across worker-thread counts — and
-/// deliberately ignores [`Metrics::worker_threads`], which describes the
-/// harness configuration rather than the execution (a `threads = 4` run must
-/// compare equal to the `threads = 1` run it reproduces).
+/// must be bit-identical across reruns, across worker-thread counts and
+/// across transport backends — and deliberately ignores the harness /
+/// wall-clock observability fields ([`Metrics::worker_threads`],
+/// [`Metrics::max_queue_depth`], [`Metrics::timeouts_fired`],
+/// [`Metrics::held_packets_peak`], [`Metrics::late_packets`]): those describe
+/// *how* the run was executed (thread count, real-time pacing, queue
+/// pressure), not *what* it computed. A `threads = 4` run must compare equal
+/// to the `threads = 1` run it reproduces, and a threaded-backend run must
+/// compare equal to its simulator oracle even though its wall-clock-driven
+/// timer/queue behaviour is inherently non-reproducible.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Messages sent by honest parties.
@@ -44,12 +50,18 @@ pub struct Metrics {
     /// coalescing is disabled.
     pub frames_sent: u64,
     /// Largest number of pending events observed at a time-slice boundary
-    /// (sampled once per slice, including the slice's own events).
+    /// (sampled once per slice, including the slice's own events). Queue
+    /// *pressure* is scheduler observability, not execution fingerprint —
+    /// the threaded backend's equivalent (held-packet depth) depends on
+    /// wall-clock arrival timing — so it is excluded from `PartialEq`.
     pub max_queue_depth: u64,
     /// Histogram of same-time batch widths: `batch_width_hist[i]` counts the
-    /// time slices that processed a number of events in `[2^i, 2^(i+1))`
-    /// (slice width includes same-tick cascades such as broadcast
-    /// self-deliveries). Empty slices are never recorded.
+    /// batches that processed a number of events in `[2^i, 2^(i+1))` (batch
+    /// width includes same-tick cascades such as broadcast self-deliveries).
+    /// Empty batches are never recorded. Batch *granularity* is
+    /// backend-specific — the simulator records whole time slices (all
+    /// parties), the threaded backend per-party tick batches — so this is
+    /// engine observability, excluded from `PartialEq`.
     pub batch_width_hist: Vec<u64>,
     /// The worker-thread count the simulation was configured with
     /// (`NetConfig::with_threads` / the `MPC_THREADS` environment knob).
@@ -60,6 +72,25 @@ pub struct Metrics {
     /// Honest bits broken down by the *top-level path segment* of the sending
     /// instance — lets composite experiments attribute cost to sub-protocols.
     pub honest_bits_by_root_segment: BTreeMap<u32, u64>,
+    /// Honest bits broken down by *sending party* (`honest_bits_by_party[i]`
+    /// is the exact wire-bit total party `i` put on its channels; corrupt
+    /// parties stay 0). Part of the execution fingerprint: the transport
+    /// conformance oracle asserts this vector is identical between the
+    /// threaded backend and the simulator.
+    pub honest_bits_by_party: Vec<u64>,
+    /// Timer expiries processed. On the threaded backend these are *real*
+    /// wall-clock timeouts (`recv_timeout` deadlines), so the count is kept
+    /// out of `PartialEq`; the simulator currently leaves it 0.
+    pub timeouts_fired: u64,
+    /// Threaded backend only: largest number of latency-held inbound packets
+    /// observed at any party. Wall-clock observability, excluded from
+    /// `PartialEq`.
+    pub held_packets_peak: u64,
+    /// Threaded backend only: packets that physically arrived after their
+    /// delivery deadline had already been processed (their logical delivery
+    /// tick was clamped forward). A diagnostic for real-time jitter; 0 in a
+    /// healthy run. Excluded from `PartialEq`.
+    pub late_packets: u64,
 }
 
 impl PartialEq for Metrics {
@@ -76,10 +107,14 @@ impl PartialEq for Metrics {
             decode_failures,
             events_processed,
             frames_sent,
-            max_queue_depth,
-            batch_width_hist,
-            worker_threads: _, // harness observability: see the struct docs
+            max_queue_depth: _,  // wall-clock/queue observability: struct docs
+            batch_width_hist: _, // backend-specific batch granularity
+            worker_threads: _,   // harness observability: see the struct docs
             honest_bits_by_root_segment,
+            honest_bits_by_party,
+            timeouts_fired: _,    // real-time pacing observability
+            held_packets_peak: _, // real-time pacing observability
+            late_packets: _,      // real-time pacing observability
         } = self;
         *honest_messages == other.honest_messages
             && *honest_bits == other.honest_bits
@@ -89,9 +124,8 @@ impl PartialEq for Metrics {
             && *decode_failures == other.decode_failures
             && *events_processed == other.events_processed
             && *frames_sent == other.frames_sent
-            && *max_queue_depth == other.max_queue_depth
-            && *batch_width_hist == other.batch_width_hist
             && *honest_bits_by_root_segment == other.honest_bits_by_root_segment
+            && *honest_bits_by_party == other.honest_bits_by_party
     }
 }
 
@@ -103,16 +137,54 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records one sent message.
-    pub fn record_send(&mut self, honest: bool, bits: u64, root_segment: Option<u32>) {
+    /// Records one sent message of party `from`.
+    pub fn record_send(&mut self, from: usize, honest: bool, bits: u64, root_segment: Option<u32>) {
         if honest {
             self.honest_messages += 1;
             self.honest_bits += bits;
             if let Some(seg) = root_segment {
                 *self.honest_bits_by_root_segment.entry(seg).or_insert(0) += bits;
             }
+            if self.honest_bits_by_party.len() <= from {
+                self.honest_bits_by_party.resize(from + 1, 0);
+            }
+            self.honest_bits_by_party[from] += bits;
         } else {
             self.corrupt_messages += 1;
+        }
+    }
+
+    /// Folds another party-local metrics record into this one (used by the
+    /// threaded backend to aggregate its per-party accounting).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.honest_messages += other.honest_messages;
+        self.honest_bits += other.honest_bits;
+        self.corrupt_messages += other.corrupt_messages;
+        self.adversary_drops += other.adversary_drops;
+        self.adversary_tampered += other.adversary_tampered;
+        self.decode_failures += other.decode_failures;
+        self.events_processed += other.events_processed;
+        self.frames_sent += other.frames_sent;
+        self.max_queue_depth = self.max_queue_depth.max(other.max_queue_depth);
+        if self.batch_width_hist.len() < other.batch_width_hist.len() {
+            self.batch_width_hist
+                .resize(other.batch_width_hist.len(), 0);
+        }
+        for (i, count) in other.batch_width_hist.iter().enumerate() {
+            self.batch_width_hist[i] += count;
+        }
+        self.timeouts_fired += other.timeouts_fired;
+        self.held_packets_peak = self.held_packets_peak.max(other.held_packets_peak);
+        self.late_packets += other.late_packets;
+        for (seg, bits) in &other.honest_bits_by_root_segment {
+            *self.honest_bits_by_root_segment.entry(*seg).or_insert(0) += bits;
+        }
+        if self.honest_bits_by_party.len() < other.honest_bits_by_party.len() {
+            self.honest_bits_by_party
+                .resize(other.honest_bits_by_party.len(), 0);
+        }
+        for (i, bits) in other.honest_bits_by_party.iter().enumerate() {
+            self.honest_bits_by_party[i] += bits;
         }
     }
 
@@ -144,15 +216,37 @@ mod tests {
     #[test]
     fn records_honest_and_corrupt_separately() {
         let mut m = Metrics::new();
-        m.record_send(true, 100, Some(2));
-        m.record_send(true, 50, Some(2));
-        m.record_send(true, 10, None);
-        m.record_send(false, 9999, Some(1));
+        m.record_send(0, true, 100, Some(2));
+        m.record_send(0, true, 50, Some(2));
+        m.record_send(2, true, 10, None);
+        m.record_send(3, false, 9999, Some(1));
         assert_eq!(m.honest_messages, 3);
         assert_eq!(m.honest_bits, 160);
         assert_eq!(m.corrupt_messages, 1);
         assert_eq!(m.honest_bits_by_root_segment.get(&2), Some(&150));
         assert_eq!(m.honest_bits_by_root_segment.get(&1), None);
+        assert_eq!(m.honest_bits_by_party, vec![150, 0, 10]);
+    }
+
+    #[test]
+    fn merge_folds_party_local_records() {
+        let mut a = Metrics::new();
+        a.record_send(0, true, 100, Some(2));
+        a.timeouts_fired = 3;
+        a.held_packets_peak = 5;
+        let mut b = Metrics::new();
+        b.record_send(2, true, 10, Some(2));
+        b.record_send(1, false, 7, None);
+        b.timeouts_fired = 2;
+        b.held_packets_peak = 9;
+        a.merge(&b);
+        assert_eq!(a.honest_messages, 2);
+        assert_eq!(a.honest_bits, 110);
+        assert_eq!(a.corrupt_messages, 1);
+        assert_eq!(a.honest_bits_by_root_segment.get(&2), Some(&110));
+        assert_eq!(a.honest_bits_by_party, vec![100, 0, 10]);
+        assert_eq!(a.timeouts_fired, 5);
+        assert_eq!(a.held_packets_peak, 9);
     }
 
     #[test]
@@ -169,13 +263,21 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_worker_threads_only() {
+    fn equality_ignores_harness_and_wall_clock_fields() {
         let mut a = Metrics::new();
-        a.record_send(true, 8, None);
+        a.record_send(0, true, 8, None);
         let mut b = a.clone();
         b.worker_threads = 4;
-        assert_eq!(a, b, "worker_threads is harness observability");
-        b.record_slice(2, 2);
+        b.max_queue_depth = 99;
+        b.timeouts_fired = 7;
+        b.held_packets_peak = 3;
+        b.late_packets = 1;
+        b.record_slice(2, 2); // batch granularity is backend-specific
+        assert_eq!(a, b, "harness/wall-clock fields are observability only");
+        b.record_send(0, true, 8, None);
         assert_ne!(a, b, "execution fields must still discriminate");
+        let mut c = a.clone();
+        c.honest_bits_by_party = vec![0, 8];
+        assert_ne!(a, c, "per-party attribution is part of the fingerprint");
     }
 }

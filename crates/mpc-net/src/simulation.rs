@@ -22,12 +22,7 @@ use crate::metrics::Metrics;
 use crate::scheduler::{FixedDelay, Scheduler, UniformDelay};
 use crate::wire::{Frame, FrameBuilder, WireDecode, WireEncode};
 
-/// A party identifier in `0..n` (the paper's `P_{i+1}`).
-pub type PartyId = usize;
-
-/// Simulated local/global time in abstract ticks. The synchronous bound `Δ`
-/// is expressed in the same unit.
-pub type Time = u64;
+pub use crate::transport::{PartyId, Time};
 
 /// Which of the paper's two network models the execution runs in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -161,10 +156,29 @@ impl NetConfig {
     pub fn resolved_frames(&self) -> bool {
         self.frames.unwrap_or_else(env_frames)
     }
+
+    /// Seed of party `i`'s deterministic RNG. Shared by every
+    /// [`crate::transport::Transport`] backend: the conformance oracle
+    /// (threaded backend vs simulator) depends on both deriving identical
+    /// per-party randomness from the master seed.
+    pub fn party_rng_seed(&self, i: PartyId) -> u64 {
+        self.seed.wrapping_mul(0x9E37).wrapping_add(i as u64)
+    }
+
+    /// Seed of the ideal common-coin oracle (shared across backends).
+    pub fn coin_seed(&self) -> u64 {
+        self.seed ^ 0x5EED_C011
+    }
+
+    /// Seed of the adversary RNG handed to [`ByzantineStrategy`] consults
+    /// (shared across backends).
+    pub fn adversary_seed(&self) -> u64 {
+        self.seed ^ 0xBADA_D0E5
+    }
 }
 
 #[derive(Clone, Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Deliver {
         to: PartyId,
         from: PartyId,
@@ -460,12 +474,14 @@ impl Ord for LocalEv {
 
 /// One party's work for one time slice, carved out of the simulation for a
 /// worker thread: exclusive access to the party's state machine and RNG plus
-/// its batch events in canonical order.
-struct WorkerParty<'a, M> {
-    party: PartyId,
-    protocol: &'a mut Box<dyn Protocol<M>>,
-    rng: &'a mut StdRng,
-    events: Vec<EventKind>,
+/// its batch events in canonical order. Also the unit of work of the
+/// threaded transport backend, which reuses [`run_party_batch`] verbatim —
+/// that shared engine is what makes the two backends bit-conformant.
+pub(crate) struct WorkerParty<'a, M> {
+    pub(crate) party: PartyId,
+    pub(crate) protocol: &'a mut Box<dyn Protocol<M>>,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) events: Vec<EventKind>,
 }
 
 /// Pre-executes one party's full time-`t` batch — including the same-tick
@@ -649,25 +665,25 @@ fn run_party_slice<M: WireEncode + WireDecode + 'static>(
 /// Per-message accounting for one honest send: the exact wire size of the
 /// message's canonical encoding (in bits) and the top-level path segment the
 /// sending instance belongs to (for [`Metrics::honest_bits_by_root_segment`]).
-type SendRecord = (u64, Option<u32>);
+pub(crate) type SendRecord = (u64, Option<u32>);
 
 /// The outgoing wire frames of one honest party's activation: at most one
 /// unicast frame per destination plus one broadcast frame whose encoding is
 /// shared across all recipients. Accounting stays *per contained message* —
 /// frames change the event schedule, never the paper-level bit counting.
-struct FrameSet {
+pub(crate) struct FrameSet {
     /// Per-destination unicast frames with their per-message accounting,
     /// flushed in ascending destination order.
-    unicast: BTreeMap<PartyId, (FrameBuilder, Vec<SendRecord>)>,
+    pub(crate) unicast: BTreeMap<PartyId, (FrameBuilder, Vec<SendRecord>)>,
     /// The single broadcast frame (empty = no broadcasts this activation).
-    broadcast: FrameBuilder,
+    pub(crate) broadcast: FrameBuilder,
     /// Per-message accounting of the broadcast frame, applied once per
     /// recipient at flush time.
-    broadcast_meta: Vec<SendRecord>,
+    pub(crate) broadcast_meta: Vec<SendRecord>,
 }
 
 impl FrameSet {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         FrameSet {
             unicast: BTreeMap::new(),
             broadcast: FrameBuilder::new(),
@@ -676,7 +692,7 @@ impl FrameSet {
     }
 
     /// Appends one unicast to the destination's frame.
-    fn add_send<M: WireEncode>(&mut self, to: PartyId, path: &Path, msg: &M) {
+    pub(crate) fn add_send<M: WireEncode>(&mut self, to: PartyId, path: &Path, msg: &M) {
         let (builder, meta) = self
             .unicast
             .entry(to)
@@ -688,7 +704,7 @@ impl FrameSet {
     /// Appends one broadcast message to the shared broadcast frame and
     /// returns its exact wire size plus a standalone copy of its encoding
     /// (for the sender's own same-tick delivery), without encoding twice.
-    fn add_broadcast<M: WireEncode>(&mut self, path: &Path, msg: &M) -> (u64, Vec<u8>) {
+    pub(crate) fn add_broadcast<M: WireEncode>(&mut self, path: &Path, msg: &M) -> (u64, Vec<u8>) {
         let span = self.broadcast.push(path, msg);
         let bits = span.len() as u64 * 8;
         self.broadcast_meta.push((bits, path.first().copied()));
@@ -701,19 +717,19 @@ impl FrameSet {
 /// outgoing frames and future timers. Self-addressed messages and zero-delay
 /// timers were already handled *inside* the batch (they can only concern the
 /// batch's own party) and appear here only as accounting records.
-struct BatchOutcome {
-    party: PartyId,
+pub(crate) struct BatchOutcome {
+    pub(crate) party: PartyId,
     /// Events processed: initial batch events (a frame counts as one) plus
     /// every internal same-tick cascade step.
-    events: u64,
-    decode_failures: u64,
-    transcript: Vec<TranscriptEntry>,
+    pub(crate) events: u64,
+    pub(crate) decode_failures: u64,
+    pub(crate) transcript: Vec<TranscriptEntry>,
     /// Accounting for the sends delivered internally (self-sends and the
     /// sender's own copy of each broadcast).
-    self_records: Vec<SendRecord>,
-    frames: FrameSet,
+    pub(crate) self_records: Vec<SendRecord>,
+    pub(crate) frames: FrameSet,
     /// Timer requests with delay ≥ 1, in emission order.
-    timers: Vec<(Time, Path, u64)>,
+    pub(crate) timers: Vec<(Time, Path, u64)>,
 }
 
 /// Feeds one handler invocation's effects back into a framed batch: unicasts
@@ -783,7 +799,7 @@ fn resolve_framed_effects<M: WireEncode>(
 /// returned [`BatchOutcome`]'s frame set. Runs either inline (sequential
 /// framed engine) or on a worker thread — the outcome is identical, which is
 /// what keeps `threads = k` runs bit-identical to `threads = 1`.
-fn run_party_batch<M: WireEncode + WireDecode + 'static>(
+pub(crate) fn run_party_batch<M: WireEncode + WireDecode + 'static>(
     wp: WorkerParty<'_, M>,
     t: Time,
     n: usize,
@@ -945,6 +961,322 @@ fn run_party_batch<M: WireEncode + WireDecode + 'static>(
     out
 }
 
+/// One cross-party wire message a corrupt party's batch put on the wire
+/// (after its [`ByzantineStrategy`] was consulted), in consult order.
+pub(crate) struct CorruptSend {
+    pub(crate) to: PartyId,
+    pub(crate) path: Path,
+    pub(crate) payload: Arc<Vec<u8>>,
+}
+
+/// Everything one *corrupt* party's pre-executed time-`t` batch produced for
+/// the threaded transport backend. Corrupt traffic is never framed — the
+/// Byzantine strategy keeps its exact per-message view of the wire, matching
+/// the simulator's corrupt dispatch path message for message.
+pub(crate) struct CorruptOutcome {
+    pub(crate) party: PartyId,
+    pub(crate) events: u64,
+    pub(crate) decode_failures: u64,
+    pub(crate) transcript: Vec<TranscriptEntry>,
+    /// Post-strategy cross-party messages, in consult order.
+    pub(crate) sends: Vec<CorruptSend>,
+    /// Strategy decisions, mirroring [`Metrics::adversary_drops`] /
+    /// [`Metrics::adversary_tampered`] / [`Metrics::corrupt_messages`].
+    pub(crate) drops: u64,
+    pub(crate) tampered: u64,
+    pub(crate) wire_messages: u64,
+    /// Timer requests with delay ≥ 1, in emission order.
+    pub(crate) timers: Vec<(Time, Path, u64)>,
+}
+
+/// Pre-executes one *corrupt* party's full time-`t` batch for the threaded
+/// backend, mirroring the framed simulator engine's corrupt path exactly:
+/// the initial batch events are processed to completion in canonical
+/// `(rank, depth, lseq)` order first, then the same-tick cascades they
+/// spawned (self-sends, broadcast self-copies, zero-delay timers) are
+/// processed canonically among themselves — the same main-then-cascade order
+/// `process_slice_framed` produces by routing corrupt cascades through the
+/// global queue. Every send (including self-addressed copies) consults the
+/// Byzantine strategy in emission order, as [`Simulation`]'s `dispatch` does.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_corrupt_batch<M: WireEncode + WireDecode + 'static>(
+    wp: WorkerParty<'_, M>,
+    t: Time,
+    n: usize,
+    delta: Time,
+    coin_seed: u64,
+    record: bool,
+    strategy: &mut dyn ByzantineStrategy,
+    adv_rng: &mut StdRng,
+) -> CorruptOutcome {
+    let WorkerParty {
+        party,
+        protocol,
+        rng,
+        events,
+    } = wp;
+    let mut main: BinaryHeap<Reverse<LocalEv>> = BinaryHeap::with_capacity(events.len());
+    let mut lseq = 0u64;
+    for kind in events {
+        debug_assert_eq!(kind.party(), party);
+        let local = match kind {
+            EventKind::Deliver {
+                from,
+                path,
+                payload,
+                ..
+            } => LocalEv {
+                rank: 0,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Deliver {
+                    from,
+                    path,
+                    payload,
+                },
+            },
+            EventKind::DeliverFrame { from, payload, .. } => LocalEv {
+                rank: 0,
+                depth: 0,
+                lseq,
+                kind: LocalKind::Frame { from, payload },
+            },
+            EventKind::Timer { path, id, .. } => LocalEv {
+                rank: 1,
+                depth: path.len(),
+                lseq,
+                kind: LocalKind::Timer { path, id },
+            },
+        };
+        lseq += 1;
+        main.push(Reverse(local));
+    }
+    let mut out = CorruptOutcome {
+        party,
+        events: 0,
+        decode_failures: 0,
+        transcript: Vec::new(),
+        sends: Vec::new(),
+        drops: 0,
+        tampered: 0,
+        wire_messages: 0,
+        timers: Vec::new(),
+    };
+    let mut cascades: BinaryHeap<Reverse<LocalEv>> = BinaryHeap::new();
+    let mut scratch: Effects<M> = Effects::new();
+    // Routes one handler invocation's effects through the strategy: self
+    // copies join the cascade queue, cross-party survivors join the wire.
+    let apply = |scratch: &mut Effects<M>,
+                 out: &mut CorruptOutcome,
+                 cascades: &mut BinaryHeap<Reverse<LocalEv>>,
+                 lseq: &mut u64,
+                 strategy: &mut dyn ByzantineStrategy,
+                 adv_rng: &mut StdRng| {
+        let put = |to: PartyId,
+                   path: &Path,
+                   payload: &Arc<Vec<u8>>,
+                   broadcast: bool,
+                   out: &mut CorruptOutcome,
+                   cascades: &mut BinaryHeap<Reverse<LocalEv>>,
+                   lseq: &mut u64,
+                   strategy: &mut dyn ByzantineStrategy,
+                   adv_rng: &mut StdRng| {
+            let send = WireSend {
+                from: party,
+                to,
+                n,
+                path,
+                bytes: payload,
+                broadcast,
+            };
+            let payload = match strategy.on_send(&send, adv_rng) {
+                WireAction::Deliver => Arc::clone(payload),
+                WireAction::Replace(bytes) => {
+                    out.tampered += 1;
+                    Arc::new(bytes)
+                }
+                WireAction::Drop => {
+                    out.drops += 1;
+                    return;
+                }
+            };
+            out.wire_messages += 1;
+            if to == party {
+                *lseq += 1;
+                cascades.push(Reverse(LocalEv {
+                    rank: 0,
+                    depth: path.len(),
+                    lseq: *lseq,
+                    kind: LocalKind::Deliver {
+                        from: party,
+                        path: path.clone(),
+                        payload,
+                    },
+                }));
+            } else {
+                out.sends.push(CorruptSend {
+                    to,
+                    path: path.clone(),
+                    payload,
+                });
+            }
+        };
+        for (to, path, msg) in scratch.sends.drain(..) {
+            let payload = Arc::new(msg.encode());
+            put(
+                to, &path, &payload, false, out, cascades, lseq, strategy, adv_rng,
+            );
+        }
+        for (path, msg) in scratch.broadcasts.drain(..) {
+            let payload = Arc::new(msg.encode());
+            for to in 0..n {
+                put(
+                    to, &path, &payload, true, out, cascades, lseq, strategy, adv_rng,
+                );
+            }
+        }
+        for (delay, path, id) in scratch.timers.drain(..) {
+            if delay == 0 {
+                *lseq += 1;
+                cascades.push(Reverse(LocalEv {
+                    rank: 1,
+                    depth: path.len(),
+                    lseq: *lseq,
+                    kind: LocalKind::Timer { path, id },
+                }));
+            } else {
+                out.timers.push((delay, path, id));
+            }
+        }
+    };
+    // Phase 1: the initial batch, then phase 2: its same-tick cascades (which
+    // may spawn further cascades, merged canonically into the same queue).
+    for phase in 0..2 {
+        loop {
+            let popped = if phase == 0 {
+                main.pop()
+            } else {
+                cascades.pop()
+            };
+            let Some(Reverse(ev)) = popped else { break };
+            out.events += 1;
+            match ev.kind {
+                LocalKind::Deliver {
+                    from,
+                    path,
+                    payload,
+                } => match M::decode(&payload) {
+                    Err(_) => {
+                        out.decode_failures += 1;
+                        if record {
+                            out.transcript.push(TranscriptEntry {
+                                at: t,
+                                party,
+                                event: TranscriptEvent::DroppedDeliver {
+                                    from,
+                                    path,
+                                    bits: payload.len() as u64 * 8,
+                                },
+                            });
+                        }
+                    }
+                    Ok(msg) => {
+                        if record {
+                            out.transcript.push(TranscriptEntry {
+                                at: t,
+                                party,
+                                event: TranscriptEvent::Deliver {
+                                    from,
+                                    path: path.clone(),
+                                    bits: payload.len() as u64 * 8,
+                                },
+                            });
+                        }
+                        let mut ctx =
+                            Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                        protocol.on_message(&mut ctx, from, &path, msg);
+                        apply(
+                            &mut scratch,
+                            &mut out,
+                            &mut cascades,
+                            &mut lseq,
+                            strategy,
+                            adv_rng,
+                        );
+                    }
+                },
+                LocalKind::Frame { from, payload } => match Frame::decode::<M>(&payload) {
+                    Err(_) => {
+                        out.decode_failures += 1;
+                        if record {
+                            out.transcript.push(TranscriptEntry {
+                                at: t,
+                                party,
+                                event: TranscriptEvent::DroppedDeliver {
+                                    from,
+                                    path: Path::from(&[][..]),
+                                    bits: payload.len() as u64 * 8,
+                                },
+                            });
+                        }
+                    }
+                    Ok(items) => {
+                        // Effects are applied per item, exactly as the
+                        // simulator's inline frame delivery does.
+                        for item in items {
+                            if record {
+                                out.transcript.push(TranscriptEntry {
+                                    at: t,
+                                    party,
+                                    event: TranscriptEvent::Deliver {
+                                        from,
+                                        path: item.path.clone(),
+                                        bits: item.msg_bits,
+                                    },
+                                });
+                            }
+                            let mut ctx =
+                                Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                            protocol.on_message(&mut ctx, from, &item.path, item.msg);
+                            apply(
+                                &mut scratch,
+                                &mut out,
+                                &mut cascades,
+                                &mut lseq,
+                                strategy,
+                                adv_rng,
+                            );
+                        }
+                    }
+                },
+                LocalKind::Timer { path, id } => {
+                    if record {
+                        out.transcript.push(TranscriptEntry {
+                            at: t,
+                            party,
+                            event: TranscriptEvent::Timer {
+                                path: path.clone(),
+                                id,
+                            },
+                        });
+                    }
+                    let mut ctx = Context::new(party, n, t, delta, &mut scratch, rng, coin_seed);
+                    protocol.on_timer(&mut ctx, &path, id);
+                    apply(
+                        &mut scratch,
+                        &mut out,
+                        &mut cascades,
+                        &mut lseq,
+                        strategy,
+                        adv_rng,
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Minimum same-tick events before the parallel path spawns workers; below
 /// this the per-slice thread overhead outweighs any win and the slice runs
 /// inline (the results are identical either way). At least two distinct
@@ -1038,11 +1370,11 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             "need exactly one root protocol per party"
         );
         let rngs = (0..config.n)
-            .map(|i| StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37).wrapping_add(i as u64)))
+            .map(|i| StdRng::seed_from_u64(config.party_rng_seed(i)))
             .collect();
         let sched_rng = StdRng::seed_from_u64(config.seed ^ 0xDEAD_BEEF);
-        let adv_rng = StdRng::seed_from_u64(config.seed ^ 0xBADA_D0E5);
-        let coin_seed = config.seed ^ 0x5EED_C011;
+        let adv_rng = StdRng::seed_from_u64(config.adversary_seed());
+        let coin_seed = config.coin_seed();
         let threads = config.resolved_threads();
         let framed = config.resolved_frames() && scheduler.min_delay() >= 1;
         let queue = EventQueue::new(config.delta);
@@ -1542,7 +1874,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             recorded.extend(transcript);
         }
         for (bits, seg) in self_records {
-            self.metrics.record_send(true, bits, seg);
+            self.metrics.record_send(party, true, bits, seg);
         }
         self.flush_frame_set(party, frames);
         for (delay, path, id) in timers {
@@ -1562,7 +1894,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         } = frames;
         for (to, (builder, meta)) in unicast {
             for (bits, seg) in meta {
-                self.metrics.record_send(true, bits, seg);
+                self.metrics.record_send(sender, true, bits, seg);
             }
             self.dispatch_frame(sender, to, Arc::new(builder.finish()));
         }
@@ -1573,7 +1905,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                     continue;
                 }
                 for &(bits, seg) in &broadcast_meta {
-                    self.metrics.record_send(true, bits, seg);
+                    self.metrics.record_send(sender, true, bits, seg);
                 }
                 self.dispatch_frame(sender, to, Arc::clone(&payload));
             }
@@ -1832,7 +2164,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         };
         let bits = payload.len() as u64 * 8;
         self.metrics
-            .record_send(honest, bits, path.first().copied());
+            .record_send(from, honest, bits, path.first().copied());
         let delay = if to == from {
             0
         } else {

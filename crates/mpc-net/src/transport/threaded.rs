@@ -1,0 +1,1369 @@
+//! The real threaded transport backend: one OS thread per party, canonical
+//! wire bytes over in-memory duplex channels, wall-clock timeouts.
+//!
+//! # Execution model
+//!
+//! Each party runs `PartyRuntime::run` on its own thread. Outbound traffic
+//! leaves a party as TCP-ready byte strings — the same per-destination
+//! [`crate::wire::Frame`] encodings the framed simulator engine produces for
+//! honest senders, and path-prefixed single-message packets for corrupt
+//! senders (whose [`ByzantineStrategy`] keeps its exact per-message view of
+//! the wire) — and travels over `std::sync::mpsc` channels.
+//!
+//! Time is paced against the wall clock: one logical tick is a fixed real
+//! duration (`MPC_TICK_US`, default 1000 µs), and a party processes the work
+//! due at tick `t` when `recv_timeout` reaches the tick's real deadline —
+//! every timer expiry on this backend is a genuine timeout, not a simulated
+//! event. Link latency comes from a [`LinkDelays`] matrix: a packet sent at
+//! tick `t` over a link of `d` ticks is *stamped* `deliver_tick = t + d` by
+//! the sender and held by the receiver until that tick's wall deadline.
+//! Logical "now" therefore flows in-band with the packets, never from the
+//! wall clock — what the wall clock decides is *which event wins a race*:
+//! a party whose `Δ`-timer deadline arrives before a slow sender's bytes
+//! fires the timeout and takes the synchronous→asynchronous fallback path,
+//! exactly as it would against a real slow network.
+//!
+//! On an oversubscribed host (debug builds, single core) a party can overrun
+//! its tick budget, and a fixed wall schedule would then misdeliver its
+//! packets as *late*. The runtime therefore layers a conservative link-clock
+//! gate (Chandy–Misra null messages, `Inbound::Past`) on top of the wall
+//! pacing: a due tick only fires once every incoming link promises nothing
+//! earlier is still in flight. On a healthy schedule the promises run ahead
+//! of the deadlines and the gate never waits; under load it converts
+//! would-be lateness into back-pressure, bounded by `GATE_GRACE`.
+//!
+//! # Conformance
+//!
+//! Party batches are executed by the *same* engines the simulator uses
+//! (`run_party_batch` / `run_corrupt_batch`), and the per-receiver
+//! packet order `(deliver_tick, send_tick, from, order)` reproduces the
+//! simulator's canonical event order whenever the latency matrix is
+//! column-distinct (which [`LinkDelays`] constructions guarantee): for any
+//! seed, this backend and the simulator produce byte-identical per-party
+//! outputs and identical per-party bit accounting. See
+//! `tests/transport_conformance.rs` and DESIGN.md, "Transport abstraction &
+//! conformance oracle".
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adversary::{ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend};
+use crate::context::{Context, Effects, Path, Protocol};
+use crate::metrics::Metrics;
+use crate::scheduler::LinkDelays;
+use crate::simulation::{
+    run_corrupt_batch, run_party_batch, BatchOutcome, CorruptOutcome, CorruptSend, EventKind,
+    FrameSet, NetConfig, TranscriptEntry, WorkerParty,
+};
+use crate::transport::{Backend, PartyId, PartyView, Time, Transport};
+use crate::wire::{WireDecode, WireEncode, WireReader};
+
+/// Resolves the real duration of one logical tick from the `MPC_TICK_US`
+/// environment variable (microseconds, default 1000). Larger ticks give
+/// party threads more wall-clock slack per tick (fewer late packets under
+/// load); smaller ticks make runs faster.
+pub fn tick_micros_from_env() -> u64 {
+    std::env::var("MPC_TICK_US")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(1000)
+}
+
+/// What travels between party threads.
+enum Inbound {
+    Packet(Packet),
+    /// A link-clock promise (a Chandy–Misra null message): nothing the sender
+    /// emits from here on can arrive on this link before `floor`. Channels
+    /// are FIFO and per-link delays fixed, so once a receiver has read this
+    /// it has also already received every packet of the link due earlier.
+    Past {
+        from: PartyId,
+        floor: Time,
+    },
+    /// Global shutdown, sent by the coordinator at quiescence (or at the
+    /// hard wall-clock cap).
+    Stop,
+}
+
+/// One byte string on a channel. `bytes` is a complete [`crate::wire::Frame`]
+/// when `framed`, else a path-prefixed single message (see
+/// [`encode_single`]).
+struct Packet {
+    from: PartyId,
+    send_tick: Time,
+    /// Emission index among the sender's packets of `send_tick` — the
+    /// receiver-side tiebreaker that reproduces the simulator's scheduling
+    /// order for same-link packets.
+    order: u32,
+    deliver_tick: Time,
+    framed: bool,
+    bytes: Arc<Vec<u8>>,
+}
+
+/// A latency-held inbound event, ordered by the canonical receiver key.
+struct HeldEv {
+    deliver_tick: Time,
+    send_tick: Time,
+    from: PartyId,
+    order: u32,
+    kind: EventKind,
+}
+
+impl HeldEv {
+    fn key(&self) -> (Time, Time, PartyId, u32) {
+        (self.deliver_tick, self.send_tick, self.from, self.order)
+    }
+}
+
+impl PartialEq for HeldEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeldEv {}
+impl PartialOrd for HeldEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A pending timer, ordered by `(fire, tseq)` — `tseq` is the party's timer
+/// scheduling order, matching the simulator's per-party seq order.
+struct HeldTimer {
+    fire: Time,
+    tseq: u64,
+    path: Path,
+    id: u64,
+}
+
+impl HeldTimer {
+    fn key(&self) -> (Time, u64) {
+        (self.fire, self.tseq)
+    }
+}
+
+impl PartialEq for HeldTimer {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for HeldTimer {}
+impl PartialOrd for HeldTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeldTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Coordination state shared by all party threads and the coordinator.
+struct Shared {
+    /// Packets sent but not yet taken off their channel. Quiescence needs
+    /// this at 0.
+    in_flight: AtomicI64,
+    /// Per-party "blocked with nothing pending" flags.
+    idle: Vec<AtomicBool>,
+    /// Bumped on every send, receive and processed tick; the coordinator's
+    /// double-read of this counter makes its idle scan race-free.
+    activity: AtomicU64,
+}
+
+/// The wire-level adversary, shared by all corrupt parties' threads. With a
+/// single corrupt party the lock is uncontended and the consult order equals
+/// the simulator's; with several, strategies that draw from the shared RNG
+/// stream should be wrapped in [`crate::ChannelDeterministic`] to stay
+/// order-independent.
+struct AdvState {
+    strategy: Box<dyn ByzantineStrategy>,
+    rng: StdRng,
+}
+
+/// What a party thread hands back when it stops.
+struct PartyDone<M> {
+    party: PartyId,
+    protocol: Box<dyn Protocol<M>>,
+    metrics: Metrics,
+    transcript: Vec<TranscriptEntry>,
+    last_tick: Time,
+    processed_any: bool,
+}
+
+/// Encodes a single (non-framed) message for the wire: `u32` path length,
+/// path segments as little-endian `u32`s, then the payload bytes verbatim.
+/// The prefix layout matches the per-item layout inside a [`crate::Frame`].
+fn encode_single(path: &[u32], payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + path.len() * 4 + payload.len());
+    buf.extend_from_slice(&(path.len() as u32).to_le_bytes());
+    for &seg in path {
+        buf.extend_from_slice(&seg.to_le_bytes());
+    }
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Splits a single-message packet back into its path and payload bytes. The
+/// prefix is always well-formed (this backend wrote it *after* the Byzantine
+/// strategy acted — only the payload tail can be garbled, exactly like the
+/// simulator's `(path, payload)` events).
+fn decode_single(bytes: &[u8]) -> (Path, Arc<Vec<u8>>) {
+    let mut r = WireReader::new(bytes);
+    let len = r.u32().expect("single-packet path prefix") as usize;
+    let mut segs = Vec::with_capacity(len);
+    for _ in 0..len {
+        segs.push(r.u32().expect("single-packet path segment"));
+    }
+    let consumed = bytes.len() - r.remaining();
+    (
+        Path::from(segs.as_slice()),
+        Arc::new(bytes[consumed..].to_vec()),
+    )
+}
+
+/// The per-thread party runtime. See the module docs for the model.
+struct PartyRuntime<'s, M> {
+    me: PartyId,
+    n: usize,
+    delta: Time,
+    coin_seed: u64,
+    horizon: Time,
+    record: bool,
+    honest: bool,
+    tick_us: u64,
+    guard: Duration,
+    /// Wall-clock epoch: tick `t`'s deadline is `start + t·tick + guard`.
+    /// Stamped after the post-init barrier so thread-spawn latency never
+    /// eats into tick 0's budget.
+    start: Instant,
+    links: &'s LinkDelays,
+    protocol: Box<dyn Protocol<M>>,
+    rng: StdRng,
+    rx: Receiver<Inbound>,
+    txs: Vec<Sender<Inbound>>,
+    shared: &'s Shared,
+    adv: &'s Mutex<AdvState>,
+    held: BinaryHeap<Reverse<HeldEv>>,
+    timers: BinaryHeap<Reverse<HeldTimer>>,
+    tseq: u64,
+    metrics: Metrics,
+    transcript: Vec<TranscriptEntry>,
+    /// Every tick below this has been processed; late packets clamp here.
+    next_unprocessed: Time,
+    last_tick: Time,
+    processed_any: bool,
+    order_tick: Time,
+    order_counter: u32,
+    stopping: bool,
+    /// Per-sender link clock: the earliest tick at which a not-yet-received
+    /// packet from that sender could still arrive (own slot unused). Raised
+    /// by [`Inbound::Past`] promises; processing tick `t` waits until every
+    /// slot exceeds `t`, so an overrun party (debug compute on an
+    /// oversubscribed host) back-pressures its receivers instead of being
+    /// ruled late — the wall clock still decides *when* a due tick fires,
+    /// the floors only guarantee no link has earlier bytes in flight.
+    chan_floor: Vec<Time>,
+    /// Highest promise broadcast so far (the basis tick, before per-link
+    /// delay is added); deduplicates [`Inbound::Past`] chatter.
+    promised: Time,
+}
+
+/// How long the conservative gate tolerates *zero* progress (no packet, no
+/// advancing link clock) on a lagging link before processing anyway. This is
+/// a pathology net for a wedged peer, not a pacing knob: a single
+/// debug-build batch on an oversubscribed single-core host can legitimately
+/// compute for hundreds of milliseconds while emitting nothing, and bailing
+/// on it surfaces as `late_packets` plus oracle divergence. The
+/// coordinator's hard wall-clock cap remains the final backstop.
+const GATE_GRACE: Duration = Duration::from_secs(30);
+
+impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
+    /// Next emission index among this party's packets of `tick`.
+    fn next_order(&mut self, tick: Time) -> u32 {
+        if self.order_tick != tick {
+            self.order_tick = tick;
+            self.order_counter = 0;
+        }
+        let o = self.order_counter;
+        self.order_counter += 1;
+        o
+    }
+
+    fn deadline_of(&self, tick: Time) -> Instant {
+        self.start + Duration::from_micros(self.tick_us.saturating_mul(tick)) + self.guard
+    }
+
+    /// The earliest tick with pending work (held packet or timer), if any.
+    fn next_work(&self) -> Option<Time> {
+        let next_held = self.held.peek().map(|Reverse(ev)| ev.deliver_tick);
+        let next_timer = self.timers.peek().map(|Reverse(tm)| tm.fire);
+        match (next_held, next_timer) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(Time::MAX).min(b.unwrap_or(Time::MAX))),
+        }
+    }
+
+    /// Records a link-clock promise from `from`; true if the clock advanced.
+    fn note_past(&mut self, from: PartyId, floor: Time) -> bool {
+        if floor > self.chan_floor[from] {
+            self.chan_floor[from] = floor;
+            return true;
+        }
+        false
+    }
+
+    /// A sender whose link clock does not yet clear tick `t`, if any.
+    fn lagging_link(&self, t: Time) -> Option<PartyId> {
+        (0..self.n).find(|&s| s != self.me && self.chan_floor[s] <= t)
+    }
+
+    /// Recomputes this party's output clock — the earliest tick it could
+    /// still process, hence the earliest `send_tick` it could still stamp —
+    /// and broadcasts the promise when it has advanced. The clock is the
+    /// Chandy–Misra recurrence: own pending work, capped below by incoming
+    /// link clocks (a future packet can reactivate an otherwise idle party),
+    /// and never below what is already processed. Promises beyond the
+    /// horizon are pointless (that work is discarded), so the basis is
+    /// capped there — this also bounds the null-message chatter.
+    fn update_promise(&mut self, next: Option<Time>) {
+        let cap = self.horizon.saturating_add(1);
+        let mut basis = next.unwrap_or(cap).min(cap);
+        for s in 0..self.n {
+            if s != self.me {
+                basis = basis.min(self.chan_floor[s]);
+            }
+        }
+        basis = basis.max(self.next_unprocessed).min(cap);
+        if basis > self.promised {
+            self.promised = basis;
+            for r in 0..self.n {
+                if r != self.me {
+                    let _ = self.txs[r].send(Inbound::Past {
+                        from: self.me,
+                        floor: basis.saturating_add(self.links.get(self.me, r)),
+                    });
+                }
+            }
+        }
+    }
+
+    fn push_timer(&mut self, fire: Time, path: Path, id: u64) {
+        self.tseq += 1;
+        self.timers.push(Reverse(HeldTimer {
+            fire,
+            tseq: self.tseq,
+            path,
+            id,
+        }));
+    }
+
+    fn hold(
+        &mut self,
+        deliver_tick: Time,
+        send_tick: Time,
+        from: PartyId,
+        order: u32,
+        kind: EventKind,
+    ) {
+        self.held.push(Reverse(HeldEv {
+            deliver_tick,
+            send_tick,
+            from,
+            order,
+            kind,
+        }));
+        let depth = self.held.len() as u64;
+        if depth > self.metrics.held_packets_peak {
+            self.metrics.held_packets_peak = depth;
+        }
+    }
+
+    /// Takes one packet off the channel into the held heap.
+    fn receive(&mut self, p: Packet) {
+        self.shared.activity.fetch_add(1, Ordering::SeqCst);
+        let mut deliver = p.deliver_tick;
+        if deliver < self.next_unprocessed {
+            // Physically late: its logical tick is already processed. Clamp
+            // forward (and diagnose) rather than lose or reorder it.
+            self.metrics.late_packets += 1;
+            if std::env::var_os("MPC_TRACE_LATE").is_some() {
+                eprintln!(
+                    "late: to={} from={} deliver={} send={} next_unprocessed={} floor[from]={}",
+                    self.me,
+                    p.from,
+                    deliver,
+                    p.send_tick,
+                    self.next_unprocessed,
+                    self.chan_floor[p.from]
+                );
+            }
+            deliver = self.next_unprocessed;
+        }
+        let kind = if p.framed {
+            EventKind::DeliverFrame {
+                to: self.me,
+                from: p.from,
+                payload: p.bytes,
+            }
+        } else {
+            let (path, payload) = decode_single(&p.bytes);
+            EventKind::Deliver {
+                to: self.me,
+                from: p.from,
+                path,
+                payload,
+            }
+        };
+        self.hold(deliver, p.send_tick, p.from, p.order, kind);
+        self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn send_packet(&mut self, to: PartyId, send_tick: Time, framed: bool, bytes: Arc<Vec<u8>>) {
+        debug_assert_ne!(to, self.me, "self-addressed traffic is delivered in-batch");
+        let order = self.next_order(send_tick);
+        let deliver_tick = send_tick + self.links.get(self.me, to);
+        self.shared.activity.fetch_add(1, Ordering::SeqCst);
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let packet = Packet {
+            from: self.me,
+            send_tick,
+            order,
+            deliver_tick,
+            framed,
+            bytes,
+        };
+        if self.txs[to].send(Inbound::Packet(packet)).is_err() {
+            // Receiver already gone (forced stop): retract the claim.
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Dispatches an honest activation's coalesced frames: unicast frames in
+    /// ascending destination order, then the broadcast frame to every other
+    /// party — the simulator's flush order, reproduced in the packet `order`
+    /// stamps.
+    fn flush_frames(&mut self, frames: FrameSet, send_tick: Time) {
+        let FrameSet {
+            unicast,
+            broadcast,
+            broadcast_meta,
+        } = frames;
+        for (to, (builder, meta)) in unicast {
+            for (bits, seg) in meta {
+                self.metrics.record_send(self.me, true, bits, seg);
+            }
+            self.metrics.frames_sent += 1;
+            self.send_packet(to, send_tick, true, Arc::new(builder.finish()));
+        }
+        if !broadcast.is_empty() {
+            let payload = Arc::new(broadcast.finish());
+            for to in 0..self.n {
+                if to == self.me {
+                    continue;
+                }
+                for &(bits, seg) in &broadcast_meta {
+                    self.metrics.record_send(self.me, true, bits, seg);
+                }
+                self.metrics.frames_sent += 1;
+                self.send_packet(to, send_tick, true, Arc::clone(&payload));
+            }
+        }
+    }
+
+    /// Routes one corrupt-sender message through the Byzantine strategy (the
+    /// simulator's `dispatch` order of operations) at init time.
+    fn route_corrupt(
+        &mut self,
+        adv: &mut AdvState,
+        to: PartyId,
+        path: Path,
+        payload: Arc<Vec<u8>>,
+        broadcast: bool,
+        batch0: &mut Vec<EventKind>,
+    ) {
+        let send = WireSend {
+            from: self.me,
+            to,
+            n: self.n,
+            path: &path,
+            bytes: &payload,
+            broadcast,
+        };
+        let payload = match adv.strategy.on_send(&send, &mut adv.rng) {
+            WireAction::Deliver => payload,
+            WireAction::Replace(bytes) => {
+                self.metrics.adversary_tampered += 1;
+                Arc::new(bytes)
+            }
+            WireAction::Drop => {
+                self.metrics.adversary_drops += 1;
+                return;
+            }
+        };
+        self.metrics.record_send(
+            self.me,
+            false,
+            payload.len() as u64 * 8,
+            path.first().copied(),
+        );
+        if to == self.me {
+            batch0.push(EventKind::Deliver {
+                to,
+                from: self.me,
+                path,
+                payload,
+            });
+        } else {
+            let bytes = Arc::new(encode_single(&path, &payload));
+            self.send_packet(to, 0, false, bytes);
+        }
+    }
+
+    /// Runs the party's `init` at tick 0 and converts its effects into the
+    /// tick-0 pending batch plus outbound packets — mirroring the simulator's
+    /// init flush (self-sends and broadcast self-copies as same-tick events,
+    /// cross-party honest traffic framed, corrupt traffic per message).
+    fn init(&mut self) {
+        let mut effects: Effects<M> = Effects::new();
+        {
+            let mut ctx = Context::new(
+                self.me,
+                self.n,
+                0,
+                self.delta,
+                &mut effects,
+                &mut self.rng,
+                self.coin_seed,
+            );
+            self.protocol.init(&mut ctx);
+        }
+        let mut batch0: Vec<EventKind> = Vec::new();
+        if self.honest {
+            let mut frames = FrameSet::new();
+            for (to, path, msg) in effects.sends.drain(..) {
+                if to == self.me {
+                    let payload = Arc::new(msg.encode());
+                    self.metrics.record_send(
+                        self.me,
+                        true,
+                        payload.len() as u64 * 8,
+                        path.first().copied(),
+                    );
+                    batch0.push(EventKind::Deliver {
+                        to,
+                        from: self.me,
+                        path,
+                        payload,
+                    });
+                } else {
+                    frames.add_send(to, &path, &msg);
+                }
+            }
+            for (path, msg) in effects.broadcasts.drain(..) {
+                let (bits, self_copy) = frames.add_broadcast(&path, &msg);
+                self.metrics
+                    .record_send(self.me, true, bits, path.first().copied());
+                batch0.push(EventKind::Deliver {
+                    to: self.me,
+                    from: self.me,
+                    path,
+                    payload: Arc::new(self_copy),
+                });
+            }
+            self.flush_frames(frames, 0);
+        } else {
+            let sends: Vec<_> = effects.sends.drain(..).collect();
+            let broadcasts: Vec<_> = effects.broadcasts.drain(..).collect();
+            if !sends.is_empty() || !broadcasts.is_empty() {
+                let adv_mutex = self.adv;
+                let mut adv = adv_mutex.lock().expect("adversary state poisoned");
+                for (to, path, msg) in sends {
+                    let payload = Arc::new(msg.encode());
+                    self.route_corrupt(&mut adv, to, path, payload, false, &mut batch0);
+                }
+                for (path, msg) in broadcasts {
+                    let payload = Arc::new(msg.encode());
+                    for to in 0..self.n {
+                        self.route_corrupt(
+                            &mut adv,
+                            to,
+                            path.clone(),
+                            Arc::clone(&payload),
+                            true,
+                            &mut batch0,
+                        );
+                    }
+                }
+            }
+        }
+        for (delay, path, id) in effects.timers.drain(..) {
+            if delay == 0 {
+                batch0.push(EventKind::Timer {
+                    party: self.me,
+                    path,
+                    id,
+                });
+            } else {
+                self.push_timer(delay, path, id);
+            }
+        }
+        for kind in batch0 {
+            let order = self.next_order(0);
+            self.hold(0, 0, self.me, order, kind);
+        }
+    }
+
+    /// Processes everything due at tick `t` as one batch through the shared
+    /// slice engines.
+    fn process_tick(&mut self, t: Time) {
+        self.shared.activity.fetch_add(1, Ordering::SeqCst);
+        let mut events: Vec<EventKind> = Vec::new();
+        while self
+            .held
+            .peek()
+            .is_some_and(|Reverse(ev)| ev.deliver_tick <= t)
+        {
+            let Some(Reverse(ev)) = self.held.pop() else {
+                unreachable!("peeked event vanished")
+            };
+            debug_assert_eq!(ev.deliver_tick, t, "ticks are processed in order");
+            events.push(ev.kind);
+        }
+        let mut timer_events = 0u64;
+        while self.timers.peek().is_some_and(|Reverse(tm)| tm.fire <= t) {
+            let Some(Reverse(tm)) = self.timers.pop() else {
+                unreachable!("peeked timer vanished")
+            };
+            events.push(EventKind::Timer {
+                party: self.me,
+                path: tm.path,
+                id: tm.id,
+            });
+            timer_events += 1;
+        }
+        // Every timer expiry on this backend is a real `recv_timeout`
+        // deadline that elapsed.
+        self.metrics.timeouts_fired += timer_events;
+        self.metrics
+            .record_slice(events.len() as u64, (self.held.len() + events.len()) as u64);
+        let (n, delta, coin_seed, record) = (self.n, self.delta, self.coin_seed, self.record);
+        let wp = WorkerParty {
+            party: self.me,
+            protocol: &mut self.protocol,
+            rng: &mut self.rng,
+            events,
+        };
+        if self.honest {
+            let outcome = run_party_batch(wp, t, n, delta, coin_seed, record);
+            self.apply_honest(outcome, t);
+        } else {
+            let adv_mutex = self.adv;
+            let mut adv = adv_mutex.lock().expect("adversary state poisoned");
+            let AdvState { strategy, rng } = &mut *adv;
+            let outcome =
+                run_corrupt_batch(wp, t, n, delta, coin_seed, record, strategy.as_mut(), rng);
+            drop(adv);
+            self.apply_corrupt(outcome, t);
+        }
+        self.next_unprocessed = t + 1;
+        self.last_tick = t;
+        self.processed_any = true;
+    }
+
+    fn apply_honest(&mut self, outcome: BatchOutcome, t: Time) {
+        let BatchOutcome {
+            party,
+            events,
+            decode_failures,
+            transcript,
+            self_records,
+            frames,
+            timers,
+        } = outcome;
+        debug_assert_eq!(party, self.me);
+        self.metrics.events_processed += events;
+        self.metrics.decode_failures += decode_failures;
+        if self.record {
+            self.transcript.extend(transcript);
+        }
+        for (bits, seg) in self_records {
+            self.metrics.record_send(self.me, true, bits, seg);
+        }
+        self.flush_frames(frames, t);
+        for (delay, path, id) in timers {
+            self.push_timer(t + delay, path, id);
+        }
+    }
+
+    fn apply_corrupt(&mut self, outcome: CorruptOutcome, t: Time) {
+        let CorruptOutcome {
+            party,
+            events,
+            decode_failures,
+            transcript,
+            sends,
+            drops,
+            tampered,
+            wire_messages,
+            timers,
+        } = outcome;
+        debug_assert_eq!(party, self.me);
+        self.metrics.events_processed += events;
+        self.metrics.decode_failures += decode_failures;
+        if self.record {
+            self.transcript.extend(transcript);
+        }
+        self.metrics.adversary_drops += drops;
+        self.metrics.adversary_tampered += tampered;
+        self.metrics.corrupt_messages += wire_messages;
+        for CorruptSend { to, path, payload } in sends {
+            let bytes = Arc::new(encode_single(&path, &payload));
+            self.send_packet(to, t, false, bytes);
+        }
+        for (delay, path, id) in timers {
+            self.push_timer(t + delay, path, id);
+        }
+    }
+
+    /// The party thread body: init, epoch barrier, then the paced event loop
+    /// until the coordinator's `Stop`.
+    fn run(mut self, barrier: &Barrier, epoch: &OnceLock<Instant>) -> PartyDone<M> {
+        self.init();
+        barrier.wait();
+        if self.me == 0 {
+            // One tick of lead so tick 0's deadline is comfortably ahead.
+            let _ = epoch.set(Instant::now() + Duration::from_micros(self.tick_us));
+        }
+        barrier.wait();
+        self.start = *epoch.get().expect("epoch stamped by party 0");
+        loop {
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Inbound::Packet(p)) => self.receive(p),
+                    Ok(Inbound::Past { from, floor }) => {
+                        self.note_past(from, floor);
+                    }
+                    Ok(Inbound::Stop) => self.stopping = true,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.stopping = true;
+                        break;
+                    }
+                }
+            }
+            if self.stopping {
+                break;
+            }
+            let next = self.next_work();
+            self.update_promise(next);
+            match next {
+                None => {
+                    self.shared.idle[self.me].store(true, Ordering::SeqCst);
+                    match self.rx.recv() {
+                        Ok(Inbound::Packet(p)) => {
+                            self.shared.idle[self.me].store(false, Ordering::SeqCst);
+                            self.receive(p);
+                        }
+                        // A promise creates no work: stay marked idle so the
+                        // coordinator can declare quiescence through the
+                        // end-of-run promise exchange (floors creeping toward
+                        // the horizon cap) instead of waiting it out.
+                        Ok(Inbound::Past { from, floor }) => {
+                            self.note_past(from, floor);
+                        }
+                        Ok(Inbound::Stop) | Err(_) => {
+                            self.shared.idle[self.me].store(false, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                }
+                Some(t) if t > self.horizon => {
+                    // Mirror `Simulation::run_until`: work beyond the horizon
+                    // stays unprocessed.
+                    self.held.clear();
+                    self.timers.clear();
+                }
+                Some(t) => {
+                    let deadline = self.deadline_of(t);
+                    let now = Instant::now();
+                    if now < deadline {
+                        match self.rx.recv_timeout(deadline - now) {
+                            Ok(Inbound::Packet(p)) => self.receive(p),
+                            Ok(Inbound::Past { from, floor }) => {
+                                self.note_past(from, floor);
+                            }
+                            Ok(Inbound::Stop) => self.stopping = true,
+                            // The real timeout: tick `t`'s deadline elapsed
+                            // with no earlier-due bytes on the wire.
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => self.stopping = true,
+                        }
+                        continue;
+                    }
+                    // Conservative gate: tick `t` is due by the wall clock,
+                    // but only fires once every incoming link clock clears it
+                    // — i.e. no sender can still produce a packet that the
+                    // simulator would have scheduled at or before `t`. On a
+                    // healthy schedule floors run ahead of deadlines and this
+                    // costs nothing; under load it converts would-be late
+                    // packets into bounded back-pressure.
+                    // The grace clock measures *stalled* time: a laggard
+                    // grinding through a long compute burst keeps resetting
+                    // it with every promise it emits, so the gate only bails
+                    // on a genuinely dead peer, not on slow progress.
+                    let mut stalled_since = Instant::now();
+                    let trace_gate = std::env::var_os("MPC_TRACE_GATE").is_some();
+                    let mut traced = Instant::now();
+                    let quantum = Duration::from_micros((self.tick_us / 2).clamp(100, 1000));
+                    while self.lagging_link(t).is_some() && !self.stopping {
+                        if trace_gate && traced.elapsed() > Duration::from_secs(1) {
+                            traced = Instant::now();
+                            eprintln!(
+                                "gate: me={} t={} floors={:?} promised={} nup={} held={} timers={}",
+                                self.me,
+                                t,
+                                self.chan_floor,
+                                self.promised,
+                                self.next_unprocessed,
+                                self.held.len(),
+                                self.timers.len()
+                            );
+                        }
+                        if stalled_since.elapsed() > GATE_GRACE {
+                            break;
+                        }
+                        let progressed = match self.rx.recv_timeout(quantum) {
+                            Ok(Inbound::Packet(p)) => {
+                                self.receive(p);
+                                true
+                            }
+                            Ok(Inbound::Past { from, floor }) => self.note_past(from, floor),
+                            Ok(Inbound::Stop) => {
+                                self.stopping = true;
+                                false
+                            }
+                            Err(RecvTimeoutError::Timeout) => false,
+                            Err(RecvTimeoutError::Disconnected) => {
+                                self.stopping = true;
+                                false
+                            }
+                        };
+                        if progressed {
+                            stalled_since = Instant::now();
+                        }
+                        // A risen incoming clock can raise our own promise,
+                        // which a peer's gate may in turn be waiting on —
+                        // re-broadcast from inside the gate or mutually
+                        // gating parties would stall until the grace bail.
+                        let nw = self.next_work();
+                        self.update_promise(nw);
+                        // A packet taken during the gate may carry work due
+                        // *before* `t`. Keep gating on the stale `t` and the
+                        // promise basis pins at that earlier tick — which a
+                        // peer's own gate may be waiting to see cleared:
+                        // mutual deadlock until the grace bail. Re-enter the
+                        // outer loop so the gate re-forms on the true
+                        // earliest tick.
+                        if nw != Some(t) {
+                            break;
+                        }
+                    }
+                    // A packet taken during the gate may be due before `t`;
+                    // recompute rather than process out of order.
+                    if self.stopping || self.next_work() != Some(t) {
+                        continue;
+                    }
+                    self.process_tick(t);
+                }
+            }
+        }
+        PartyDone {
+            party: self.me,
+            protocol: self.protocol,
+            metrics: self.metrics,
+            transcript: self.transcript,
+            last_tick: self.last_tick,
+            processed_any: self.processed_any,
+        }
+    }
+}
+
+/// The threaded [`Transport`] backend. Construct with [`ThreadedNet::new`]
+/// (latency matrix derived from the [`NetConfig`]'s network kind and seed) or
+/// [`ThreadedNet::with_links`] (explicit matrix, e.g. the exact one handed to
+/// the simulator oracle), then drive it through the [`Transport`] trait.
+pub struct ThreadedNet<M> {
+    config: NetConfig,
+    corruption: CorruptionSet,
+    links: LinkDelays,
+    tick_us: u64,
+    parties: Vec<Option<Box<dyn Protocol<M>>>>,
+    strategy: Option<Box<dyn ByzantineStrategy>>,
+    record: bool,
+    transcript: Vec<TranscriptEntry>,
+    metrics: Metrics,
+    now: Time,
+    ran: bool,
+}
+
+impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
+    /// Creates a threaded network with the default latency matrix for the
+    /// configured network kind ([`LinkDelays::for_kind`]).
+    pub fn new(
+        config: NetConfig,
+        corruption: CorruptionSet,
+        parties: Vec<Box<dyn Protocol<M>>>,
+    ) -> Self {
+        let links = LinkDelays::for_kind(config.n, config.kind, config.delta, config.seed);
+        Self::with_links(config, corruption, links, parties)
+    }
+
+    /// Creates a threaded network with an explicit latency matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties.len() != config.n` or `links.n() != config.n`.
+    pub fn with_links(
+        config: NetConfig,
+        corruption: CorruptionSet,
+        links: LinkDelays,
+        parties: Vec<Box<dyn Protocol<M>>>,
+    ) -> Self {
+        assert_eq!(
+            parties.len(),
+            config.n,
+            "need exactly one root protocol per party"
+        );
+        assert_eq!(links.n(), config.n, "latency matrix size must match n");
+        let mut metrics = Metrics::new();
+        // One OS thread per party — the honest analogue of the simulator's
+        // worker-thread knob.
+        metrics.worker_threads = config.n as u64;
+        ThreadedNet {
+            tick_us: tick_micros_from_env(),
+            config,
+            corruption,
+            links,
+            parties: parties.into_iter().map(Some).collect(),
+            strategy: None,
+            record: false,
+            transcript: Vec::new(),
+            metrics,
+            now: 0,
+            ran: false,
+        }
+    }
+
+    /// Overrides the real duration of one logical tick (microseconds; `0`
+    /// keeps the `MPC_TICK_US` default). Call before running.
+    pub fn with_tick_micros(mut self, micros: u64) -> Self {
+        if micros > 0 {
+            self.tick_us = micros;
+        }
+        self
+    }
+
+    /// The latency matrix this network runs with.
+    pub fn links(&self) -> &LinkDelays {
+        &self.links
+    }
+
+    /// The real duration of one logical tick, in microseconds.
+    pub fn tick_micros(&self) -> u64 {
+        self.tick_us
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Downcasts party `i`'s root protocol to a concrete type for inspecting
+    /// outputs after the run.
+    pub fn party_as<T: 'static>(&self, i: PartyId) -> Option<&T> {
+        PartyView::party(self, i).as_any().downcast_ref::<T>()
+    }
+
+    /// Spawns the party threads, runs to quiescence (no held packet, no
+    /// pending timer, nothing in flight at any party, bounded by `horizon`
+    /// logical ticks and a hard wall-clock cap), joins, and folds the
+    /// per-party accounting. Subsequent calls are no-ops — a quiesced
+    /// threaded run has nothing left to resume.
+    pub fn run_net_to_quiescence(&mut self, horizon: Time) {
+        if self.ran {
+            return;
+        }
+        self.ran = true;
+        let n = self.config.n;
+        let tick_us = self.tick_us.max(1);
+        // Absorbs scheduling jitter between a sender's batch and the
+        // receivers' tick deadlines without eating a whole tick.
+        let guard = Duration::from_micros((tick_us / 4).max(50));
+        let record = self.record;
+        let horizon_cap = Duration::from_micros(tick_us.saturating_mul(horizon.saturating_add(16)))
+            + Duration::from_secs(2);
+        let shared = Shared {
+            in_flight: AtomicI64::new(0),
+            idle: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            activity: AtomicU64::new(0),
+        };
+        let adv = Mutex::new(AdvState {
+            strategy: self.strategy.take().unwrap_or_else(|| Box::new(Passive)),
+            rng: StdRng::seed_from_u64(self.config.adversary_seed()),
+        });
+        let barrier = Barrier::new(n);
+        let epoch: OnceLock<Instant> = OnceLock::new();
+        let mut txs: Vec<Sender<Inbound>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<Inbound>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        let protocols: Vec<Box<dyn Protocol<M>>> = self
+            .parties
+            .iter_mut()
+            .map(|slot| slot.take().expect("party state present outside a run"))
+            .collect();
+        let links = &self.links;
+        let corruption = &self.corruption;
+        let config = &self.config;
+        let results: Vec<PartyDone<M>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let adv = &adv;
+            let barrier = &barrier;
+            let epoch = &epoch;
+            let handles: Vec<_> = protocols
+                .into_iter()
+                .zip(rxs)
+                .enumerate()
+                .map(|(i, (protocol, rx))| {
+                    let txs = txs.clone();
+                    let rng = StdRng::seed_from_u64(config.party_rng_seed(i));
+                    let honest = corruption.is_honest(i);
+                    let (delta, coin_seed) = (config.delta, config.coin_seed());
+                    scope.spawn(move || {
+                        let runtime = PartyRuntime {
+                            me: i,
+                            n,
+                            delta,
+                            coin_seed,
+                            horizon,
+                            record,
+                            honest,
+                            tick_us,
+                            guard,
+                            start: Instant::now(), // re-stamped after the barrier
+                            links,
+                            protocol,
+                            rng,
+                            rx,
+                            txs,
+                            shared,
+                            adv,
+                            held: BinaryHeap::new(),
+                            timers: BinaryHeap::new(),
+                            tseq: 0,
+                            metrics: Metrics::new(),
+                            transcript: Vec::new(),
+                            next_unprocessed: 0,
+                            last_tick: 0,
+                            processed_any: false,
+                            order_tick: 0,
+                            order_counter: 0,
+                            stopping: false,
+                            // Initial link clocks: every peer starts at tick
+                            // 0, so nothing can arrive on a link before its
+                            // delay (init-time sends land exactly there).
+                            chan_floor: (0..n)
+                                .map(|s| if s == i { Time::MAX } else { links.get(s, i) })
+                                .collect(),
+                            promised: 0,
+                        };
+                        runtime.run(barrier, epoch)
+                    })
+                })
+                .collect();
+            // Coordinator: poll for quiescence, then broadcast Stop.
+            let poll = Duration::from_micros((tick_us / 2).clamp(100, 2000));
+            let wall_start = Instant::now();
+            loop {
+                std::thread::sleep(poll);
+                let a1 = shared.activity.load(Ordering::SeqCst);
+                let quiet = shared.in_flight.load(Ordering::SeqCst) == 0
+                    && shared.idle.iter().all(|f| f.load(Ordering::SeqCst));
+                let a2 = shared.activity.load(Ordering::SeqCst);
+                if (quiet && a1 == a2) || wall_start.elapsed() > horizon_cap {
+                    break;
+                }
+            }
+            for tx in &txs {
+                let _ = tx.send(Inbound::Stop);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("party thread panicked"))
+                .collect()
+        });
+        let mut merged = Metrics::new();
+        merged.worker_threads = n as u64;
+        let mut now = 0;
+        let mut transcript: Vec<TranscriptEntry> = Vec::new();
+        for done in results {
+            self.parties[done.party] = Some(done.protocol);
+            merged.merge(&done.metrics);
+            if done.processed_any {
+                now = now.max(done.last_tick);
+            }
+            transcript.extend(done.transcript);
+        }
+        // Stable by-tick sort over the party-ascending concatenation: each
+        // party's subsequence is exactly its processing order.
+        transcript.sort_by_key(|e| e.at);
+        self.metrics = merged;
+        self.now = now;
+        self.transcript = transcript;
+        self.strategy = Some(adv.into_inner().expect("adversary state poisoned").strategy);
+    }
+}
+
+impl<M: WireEncode + WireDecode + 'static> PartyView<M> for ThreadedNet<M> {
+    fn n(&self) -> usize {
+        self.config.n
+    }
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn party(&self, i: PartyId) -> &dyn Protocol<M> {
+        self.parties[i]
+            .as_deref()
+            .expect("party state present outside a run")
+    }
+}
+
+impl<M: WireEncode + WireDecode + 'static> Transport<M> for ThreadedNet<M> {
+    fn backend(&self) -> Backend {
+        Backend::Threaded
+    }
+    fn set_strategy(&mut self, strategy: Box<dyn ByzantineStrategy>) {
+        self.strategy = Some(strategy);
+    }
+    fn record_transcript(&mut self) {
+        self.record = true;
+    }
+    fn transcript(&self) -> &[TranscriptEntry] {
+        &self.transcript
+    }
+    fn run_until_done(
+        &mut self,
+        horizon: Time,
+        pred: &mut dyn FnMut(&dyn PartyView<M>) -> bool,
+    ) -> bool {
+        self.run_net_to_quiescence(horizon);
+        pred(self)
+    }
+    fn run_to_quiescence(&mut self, horizon: Time) {
+        self.run_net_to_quiescence(horizon);
+    }
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+    fn corruption(&self) -> &CorruptionSet {
+        &self.corruption
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::GarbleBytes;
+    use crate::simulation::{NetworkKind, Simulation};
+    use crate::wire::WireError;
+    use std::any::Any;
+
+    /// Ping-pong with a deadline: party 0 broadcasts `Ping` at init and arms
+    /// a `2Δ` timer; everyone answers `Pong` to the sender; when the timer
+    /// fires, party 0 freezes the count of pongs that beat the deadline —
+    /// the toy analogue of the sync→async fallback decision.
+    #[derive(Debug, Default)]
+    struct DeadlinePing {
+        pongs: usize,
+        at_deadline: Option<usize>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl WireEncode for Msg {
+        fn encode_into(&self, out: &mut Vec<u8>) {
+            out.push(match self {
+                Msg::Ping => 0,
+                Msg::Pong => 1,
+            });
+        }
+    }
+
+    impl WireDecode for Msg {
+        fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+            match r.u8()? {
+                0 => Ok(Msg::Ping),
+                1 => Ok(Msg::Pong),
+                tag => Err(WireError::InvalidTag {
+                    tag,
+                    context: "threaded test Msg",
+                }),
+            }
+        }
+    }
+
+    impl Protocol<Msg> for DeadlinePing {
+        fn init(&mut self, ctx: &mut Context<'_, Msg>) {
+            if ctx.me == 0 {
+                ctx.broadcast(Msg::Ping);
+                ctx.set_timer(2 * ctx.delta, 7);
+            }
+        }
+        fn on_message(
+            &mut self,
+            ctx: &mut Context<'_, Msg>,
+            from: PartyId,
+            _path: &[u32],
+            msg: Msg,
+        ) {
+            match msg {
+                Msg::Ping => ctx.send(from, Msg::Pong),
+                Msg::Pong => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, _path: &[u32], _id: u64) {
+            self.at_deadline = Some(self.pongs);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn parties(n: usize) -> Vec<Box<dyn Protocol<Msg>>> {
+        (0..n)
+            .map(|_| Box::new(DeadlinePing::default()) as Box<dyn Protocol<Msg>>)
+            .collect()
+    }
+
+    /// Runs the same configuration on the simulator oracle and the threaded
+    /// backend and asserts output, metric, and per-party transcript
+    /// conformance.
+    fn assert_conformance(
+        kind: NetworkKind,
+        seed: u64,
+        corruption: CorruptionSet,
+        strategy: impl Fn() -> Box<dyn ByzantineStrategy>,
+    ) {
+        let n = 4;
+        let horizon = 10_000;
+        let cfg = NetConfig::for_kind(n, kind)
+            .with_seed(seed)
+            .with_frames(true);
+        let links = LinkDelays::for_kind(n, kind, cfg.delta, seed);
+
+        let mut sim = Simulation::with_scheduler(
+            cfg.clone(),
+            corruption.clone(),
+            Box::new(links.clone()),
+            parties(n),
+        );
+        sim.set_strategy(strategy());
+        sim.record_transcript();
+        sim.run_to_quiescence(horizon);
+
+        let mut th = ThreadedNet::with_links(cfg, corruption.clone(), links, parties(n))
+            .with_tick_micros(300);
+        Transport::set_strategy(&mut th, strategy());
+        Transport::record_transcript(&mut th);
+        th.run_net_to_quiescence(horizon);
+
+        for i in 0..n {
+            let s = sim.party_as::<DeadlinePing>(i).unwrap();
+            let t = th.party_as::<DeadlinePing>(i).unwrap();
+            assert_eq!(s.pongs, t.pongs, "party {i} pong count (seed {seed})");
+            assert_eq!(
+                s.at_deadline, t.at_deadline,
+                "party {i} deadline snapshot (seed {seed})"
+            );
+        }
+        assert_eq!(
+            sim.metrics(),
+            Transport::metrics(&th),
+            "metrics fingerprint (seed {seed})"
+        );
+        for i in 0..n {
+            let s: Vec<_> = sim.transcript().iter().filter(|e| e.party == i).collect();
+            let t: Vec<_> = Transport::transcript(&th)
+                .iter()
+                .filter(|e| e.party == i)
+                .collect();
+            assert_eq!(s, t, "party {i} transcript projection (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn threaded_matches_simulator_sync_honest() {
+        for seed in [1, 7] {
+            assert_conformance(
+                NetworkKind::Synchronous,
+                seed,
+                CorruptionSet::none(),
+                || Box::new(Passive),
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_matches_simulator_async_honest() {
+        assert_conformance(NetworkKind::Asynchronous, 11, CorruptionSet::none(), || {
+            Box::new(Passive)
+        });
+    }
+
+    #[test]
+    fn threaded_matches_simulator_with_garbling_corrupt_sender() {
+        assert_conformance(
+            NetworkKind::Synchronous,
+            3,
+            CorruptionSet::new(vec![3]),
+            || Box::new(GarbleBytes),
+        );
+    }
+
+    #[test]
+    fn threaded_timers_are_real_timeouts() {
+        let n = 4;
+        let cfg = NetConfig::synchronous(n).with_seed(5).with_frames(true);
+        let links = LinkDelays::for_kind(n, cfg.kind, cfg.delta, cfg.seed);
+        let mut th = ThreadedNet::with_links(cfg, CorruptionSet::none(), links, parties(n))
+            .with_tick_micros(300);
+        th.run_net_to_quiescence(10_000);
+        // Party 0's 2Δ deadline fired via a real recv_timeout expiry.
+        assert_eq!(Transport::<Msg>::metrics(&th).timeouts_fired, 1);
+        assert_eq!(th.party_as::<DeadlinePing>(0).unwrap().at_deadline, Some(n));
+    }
+}

@@ -226,7 +226,7 @@ impl Protocol<Msg> for Aba {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_net::{CorruptionSet, NetConfig, NetworkKind, Simulation};
+    use mpc_net::{party_as, CorruptionSet, NetConfig, NetworkKind, PartyView};
 
     fn run(
         n: usize,
@@ -245,18 +245,19 @@ mod tests {
             NetworkKind::Asynchronous => NetConfig::asynchronous(n),
         }
         .with_seed(seed);
-        let mut sim = Simulation::new(cfg, corrupt.clone(), parties);
-        let done = sim.run_until(10_000_000, |s| {
+        let mut net = crate::testnet::transport_for(cfg, corrupt.clone(), parties);
+        let done = net.run_until_done(10_000_000, &mut |view| {
             (0..n)
                 .filter(|&i| corrupt.is_honest(i))
-                .all(|i| s.party_as::<Aba>(i).unwrap().output.is_some())
+                .all(|i| party_as::<Aba, Msg>(view, i).unwrap().output.is_some())
         });
         assert!(done, "ABA did not terminate");
+        let view: &dyn PartyView<Msg> = net.as_ref();
         let outs = (0..n)
             .filter(|&i| corrupt.is_honest(i))
-            .map(|i| sim.party_as::<Aba>(i).unwrap().output.unwrap())
+            .map(|i| party_as::<Aba, Msg>(view, i).unwrap().output.unwrap())
             .collect();
-        (outs, sim.now())
+        (outs, view.now())
     }
 
     #[test]

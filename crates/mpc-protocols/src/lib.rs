@@ -34,6 +34,8 @@ pub mod msg;
 pub mod params;
 pub mod sba;
 pub mod star;
+#[cfg(test)]
+pub(crate) mod testnet;
 pub mod voteboard;
 pub mod vss;
 pub mod wps;

@@ -206,7 +206,7 @@ mod tests {
     use super::*;
     use crate::msg::BcValue;
     use mpc_algebra::Fp;
-    use mpc_net::{CorruptionSet, NetConfig, Simulation};
+    use mpc_net::{party_as, CorruptionSet, NetConfig, PartyView, Simulation};
 
     fn value(x: u64) -> SbaValue {
         Some(BcValue::Value(vec![Fp::from_u64(x)]))
@@ -224,14 +224,21 @@ mod tests {
             .map(|v| Box::new(Sba::new(n, t, v)) as Box<dyn Protocol<Msg>>)
             .collect();
         let cfg = NetConfig::synchronous(n).with_seed(seed);
-        let mut sim = Simulation::new(cfg, corrupt.clone(), parties);
-        let done = sim.run_until(100_000, |s| {
-            (0..n).all(|i| s.party_as::<Sba>(i).unwrap().output.is_some())
+        let mut net = crate::testnet::transport_for(cfg, corrupt.clone(), parties);
+        let done = net.run_until_done(100_000, &mut |view| {
+            (0..n).all(|i| party_as::<Sba, Msg>(view, i).unwrap().output.is_some())
         });
         assert!(done, "SBA must have guaranteed liveness");
+        let view: &dyn PartyView<Msg> = net.as_ref();
         (0..n)
             .filter(|&i| corrupt.is_honest(i))
-            .map(|i| sim.party_as::<Sba>(i).unwrap().output.clone().unwrap())
+            .map(|i| {
+                party_as::<Sba, Msg>(view, i)
+                    .unwrap()
+                    .output
+                    .clone()
+                    .unwrap()
+            })
             .collect()
     }
 

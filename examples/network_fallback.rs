@@ -1,5 +1,5 @@
-//! The headline property of the paper, demonstrated end to end: the *same*
-//! protocol code is executed
+//! The headline property of the paper, demonstrated end to end on *both*
+//! transport backends: the *same* protocol code is executed
 //!
 //! 1. over a synchronous network with the maximum tolerable `t_s` silent
 //!    corruptions,
@@ -10,15 +10,50 @@
 //! and in both cases every honest party terminates with the same correct
 //! output — without ever being told which network it was running on.
 //!
+//! Each scenario runs twice: once on the deterministic discrete-event
+//! simulator, once on the threaded backend where every party is an OS thread
+//! exchanging wire bytes over channels and every `Δ`-timer is a real
+//! `recv_timeout` deadline. The frozen latency matrix is shared, so the two
+//! runs must agree byte for byte — the simulator acts as the conformance
+//! oracle for the real runtime, and on the threaded side the
+//! synchronous→asynchronous fallback is triggered by genuine wall-clock
+//! timeouts.
+//!
 //! Run with `cargo run --example network_fallback`.
 
-use bobw_mpc::core::{Circuit, MpcBuilder};
+use bobw_mpc::core::{Circuit, MpcBuilder, MpcRunResult};
 use bobw_mpc::net::scheduler::SkewedAsyncScheduler;
-use bobw_mpc::net::NetworkKind;
+use bobw_mpc::net::{Backend, LinkDelays, NetConfig, NetworkKind};
 use bobw_mpc::protocols::Params;
+
+fn run_both(label: &str, build: &dyn Fn(Backend) -> MpcBuilder, circuit: &Circuit) -> MpcRunResult {
+    let sim = build(Backend::Simulator)
+        .run(circuit)
+        .expect("simulator run completes");
+    let threaded = build(Backend::Threaded)
+        .run(circuit)
+        .expect("threaded run completes");
+    assert_eq!(
+        sim.outputs, threaded.outputs,
+        "{label}: backends must produce byte-identical per-party outputs"
+    );
+    assert_eq!(
+        sim.metrics.honest_bits_by_party, threaded.metrics.honest_bits_by_party,
+        "{label}: backends must account identical per-party honest bits"
+    );
+    println!(
+        "  {label:<11} output {:>4} on both backends ({} honest bits; threaded fired {} real timeouts)",
+        sim.output.as_u64(),
+        sim.metrics.honest_bits,
+        threaded.metrics.timeouts_fired
+    );
+    threaded
+}
 
 fn main() {
     let n = 5;
+    let seed = 7;
+    let delta = NetConfig::DEFAULT_DELTA;
     let params = Params::max_thresholds(n, 10);
     println!(
         "n = {n}: best-of-both-worlds thresholds t_s = {}, t_a = {}",
@@ -34,32 +69,67 @@ fn main() {
     let inputs = [6u64, 7, 8, 9, 10];
     let expected = 6 * 7 + 8 * 9 + 10;
 
-    // (1) synchronous network, t_s silent corruptions
-    let sync = MpcBuilder::new(n, params.ts, params.ta)
-        .network(NetworkKind::Synchronous)
-        .inputs(&inputs)
-        .corrupt(&[n - 1])
-        .run(&circuit)
-        .expect("synchronous run completes");
+    // (1) synchronous network, t_s silent corruptions. Both backends run the
+    // same frozen latency matrix: the simulator takes it as its scheduler,
+    // the threaded backend stamps it onto packets.
+    println!("synchronous network, {} silent corruption(s):", params.ts);
+    let sync_links = LinkDelays::for_kind(n, NetworkKind::Synchronous, delta, seed);
+    let sync = run_both(
+        "sync",
+        &|backend| {
+            // `drain` runs both backends to full quiescence (the threaded
+            // runtime has no global "output reached" view to stop at), so
+            // the communication totals are comparable.
+            let b = MpcBuilder::new(n, params.ts, params.ta)
+                .network(NetworkKind::Synchronous)
+                .seed(seed)
+                .inputs(&inputs)
+                .corrupt(&[n - 1])
+                .drain(true)
+                .transport(backend);
+            match backend {
+                Backend::Simulator => b.scheduler(Box::new(sync_links.clone())),
+                Backend::Threaded => b.link_delays(sync_links.clone()),
+            }
+        },
+        &circuit,
+    );
     println!(
-        "synchronous  + {} corruption(s): output {} (expected with the crashed party's input zeroed: {})",
-        params.ts,
-        sync.output.as_u64(),
+        "  (expected with the crashed party's input zeroed: {})",
         6 * 7 + 8 * 9
     );
 
-    // (2) asynchronous network: delay party 0's messages way beyond Δ
-    let asynch = MpcBuilder::new(n, params.ts, params.ta)
-        .network(NetworkKind::Asynchronous)
-        .scheduler(Box::new(SkewedAsyncScheduler {
+    // (2) asynchronous network: delay party 0's messages way beyond Δ. On
+    // the threaded backend the honest parties' Δ-deadlines are *real*
+    // recv_timeout expiries that elapse before the slow party's bytes
+    // arrive — the fallback path is taken because of wall-clock time.
+    println!("asynchronous network, adversarial delays on party 0:");
+    let async_links = LinkDelays::sampled_from(
+        n,
+        seed,
+        &mut SkewedAsyncScheduler {
             slowed_senders: vec![0],
-            lag: 200, // 20× the assumed Δ
+            lag: 20 * delta,
             fast: 3,
-        }))
-        .horizon_factor(64)
-        .inputs(&inputs)
-        .run(&circuit)
-        .expect("asynchronous run completes");
+        },
+    );
+    let asynch = run_both(
+        "async",
+        &|backend| {
+            let b = MpcBuilder::new(n, params.ts, params.ta)
+                .network(NetworkKind::Asynchronous)
+                .seed(seed)
+                .horizon_factor(64)
+                .inputs(&inputs)
+                .drain(true)
+                .transport(backend);
+            match backend {
+                Backend::Simulator => b.scheduler(Box::new(async_links.clone())),
+                Backend::Threaded => b.link_delays(async_links.clone()),
+            }
+        },
+        &circuit,
+    );
     // In an asynchronous network the inputs of up to t_a slow-looking parties
     // may be excluded from the common subset; the output is f over the
     // included inputs with the rest zeroed (Theorem 7.1).
@@ -74,10 +144,8 @@ fn main() {
         .collect();
     let expected_async = zeroed[0] * zeroed[1] + zeroed[2] * zeroed[3] + zeroed[4];
     println!(
-        "asynchronous + adversarial delays: output {} (inputs included: {:?}, expected on those: {}, all-inputs value would be {expected})",
-        asynch.output.as_u64(),
-        asynch.input_subset,
-        expected_async
+        "  (inputs included: {:?}, expected on those: {expected_async}, all-inputs value would be {expected})",
+        asynch.input_subset
     );
     println!(
         "completion times — sync: {} ticks, async: {} ticks (the async run pays for the delayed party)",

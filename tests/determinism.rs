@@ -11,8 +11,8 @@
 use bobw_mpc::algebra::Fp;
 use bobw_mpc::core::{Circuit, MpcBuilder};
 use bobw_mpc::net::{
-    ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, GarbleBytes, Metrics, NetConfig,
-    NetworkKind, Passive, Protocol, Simulation, Time, TranscriptEntry, TranscriptEvent,
+    Backend, ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, GarbleBytes, Metrics,
+    NetConfig, NetworkKind, Passive, Protocol, Simulation, Time, TranscriptEntry, TranscriptEvent,
     UniformDelay, WireEncode,
 };
 use bobw_mpc::protocols::bc::Bc;
@@ -327,6 +327,11 @@ fn full_mpc_metrics_bit_identical_to_pre_refactor_golden() {
                 .threads(threads)
                 .frames(false)
                 .per_gate_openings(true)
+                // The golden pins the simulator's exact completion tick and
+                // event count, so the backend is explicit: under
+                // MPC_TRANSPORT=threaded the run would stop at a different
+                // (equally correct) quiescence tick.
+                .transport(Backend::Simulator)
                 .run(&c)
                 .expect("run completes");
             let label = format!("{kind:?} threads={threads}");
@@ -375,6 +380,7 @@ fn full_mpc_metrics_golden_batched() {
                 .inputs(&[3, 5, 7, 11])
                 .threads(threads)
                 .frames(true)
+                .transport(Backend::Simulator)
                 .run(&c)
                 .expect("run completes");
             let label = format!("batched {kind:?} threads={threads}");
