@@ -1,0 +1,174 @@
+//! `bench-compare` — diffs two `BENCH_*.json` series files.
+//!
+//! Usage: `compare <baseline.json> <candidate.json> [--max-regress PCT]`
+//!
+//! Joins the two files' records on `(experiment, n, ell)` and prints, for
+//! every numeric scalar field, the baseline value, the candidate value and
+//! the relative change. With `--max-regress PCT` the exit code is non-zero
+//! when any *cost* field (`honest_bits`, `honest_messages`, `events`)
+//! regressed by more than `PCT` percent — wall-clock fields are reported but
+//! never gate, they depend on the machine.
+//!
+//! The parser covers exactly the JSON subset [`bench::Measurement::to_json`]
+//! emits (flat objects of numbers, strings and numeric arrays inside one
+//! array) — no external dependencies.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One record: scalar fields plus the identifying key.
+#[derive(Debug, Default, Clone)]
+struct Record {
+    fields: BTreeMap<String, f64>,
+}
+
+/// Fields whose growth counts as a regression (communication/event costs;
+/// deterministic across machines).
+const GATED: &[&str] = &["honest_bits", "honest_messages", "events"];
+
+/// Minimal parser for the flat record arrays `JsonReport` writes. Returns
+/// `(key → record)` where the key is `experiment|n|ell`.
+fn parse(text: &str) -> Result<BTreeMap<String, Record>, String> {
+    let mut out = BTreeMap::new();
+    // Split on top-level objects: records never nest objects.
+    for (i, obj) in text.split('{').skip(1).enumerate() {
+        let body = obj
+            .split('}')
+            .next()
+            .ok_or_else(|| format!("record {i}: unterminated object"))?;
+        let mut rec = Record::default();
+        let mut experiment = String::new();
+        for field in split_top_level_fields(body) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("record {i}: field without ':' ({field})"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if let Some(stripped) = value.strip_prefix('"') {
+                if key == "experiment" {
+                    experiment = stripped.trim_end_matches('"').to_string();
+                }
+            } else if value.starts_with('[') {
+                // Numeric arrays: fold to a sum (e.g. total opened values) —
+                // enough for regression gating without schema knowledge.
+                let sum: f64 = value
+                    .trim_matches(|c| c == '[' || c == ']')
+                    .split(',')
+                    .filter(|s| !s.trim().is_empty())
+                    .map(|s| s.trim().parse::<f64>().unwrap_or(0.0))
+                    .sum();
+                rec.fields.insert(format!("{key}_total"), sum);
+            } else if let Ok(v) = value.parse::<f64>() {
+                rec.fields.insert(key, v);
+            }
+        }
+        let n = rec.fields.get("n").copied().unwrap_or(0.0);
+        let ell = rec.fields.get("ell").copied().unwrap_or(0.0);
+        if experiment.is_empty() {
+            return Err(format!("record {i}: missing experiment key"));
+        }
+        out.insert(format!("{experiment}|{n}|{ell}"), rec);
+    }
+    Ok(out)
+}
+
+/// Splits an object body on commas that are not inside an array.
+fn split_top_level_fields(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in body.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        fields.push(&body[start..]);
+    }
+    fields
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_regress: Option<f64> = None;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regress" {
+            let Some(pct) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("--max-regress needs a numeric percentage");
+                return ExitCode::from(2);
+            };
+            max_regress = Some(pct);
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: compare <baseline.json> <candidate.json> [--max-regress PCT]");
+        return ExitCode::from(2);
+    }
+    let read = |p: &str| -> Result<BTreeMap<String, Record>, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let (base, cand) = match (read(&paths[0]), read(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = Vec::new();
+    println!(
+        "{:<40} {:<22} {:>14} {:>14} {:>9}",
+        "series (experiment|n|ell)", "field", "baseline", "candidate", "change"
+    );
+    for (key, b) in &base {
+        let Some(c) = cand.get(key) else {
+            println!("{key:<40} -- missing from candidate --");
+            continue;
+        };
+        for (field, &bv) in &b.fields {
+            if field == "n" || field == "ell" {
+                continue;
+            }
+            let Some(&cv) = c.fields.get(field) else {
+                continue;
+            };
+            let change = if bv != 0.0 {
+                (cv - bv) / bv * 100.0
+            } else if cv == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+            println!("{key:<40} {field:<22} {bv:>14.1} {cv:>14.1} {change:>+8.2}%");
+            if let Some(limit) = max_regress {
+                if GATED.contains(&field.as_str()) && change > limit {
+                    regressions.push(format!("{key} {field}: {bv} → {cv} ({change:+.2}%)"));
+                }
+            }
+        }
+    }
+    for key in cand.keys() {
+        if !base.contains_key(key) {
+            println!("{key:<40} -- new in candidate --");
+        }
+    }
+    if !regressions.is_empty() {
+        eprintln!("\nregressions beyond --max-regress:");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -53,6 +53,11 @@ pub struct Measurement {
     /// Timer expiries that were real `recv_timeout` deadlines (threaded
     /// backend only; the simulator reports 0).
     pub timeouts_fired: u64,
+    /// Effective packed-evaluation width `ℓ` of the run (0 = scalar engine).
+    pub packed_width: u64,
+    /// Publicly opened values per multiplication layer (first honest party;
+    /// empty on the per-gate reference path).
+    pub values_opened_by_layer: Vec<u64>,
 }
 
 impl Measurement {
@@ -70,6 +75,8 @@ impl Measurement {
             worker_threads: metrics.worker_threads,
             batch_width_hist: metrics.batch_width_hist.clone(),
             timeouts_fired: metrics.timeouts_fired,
+            packed_width: metrics.packed_width,
+            values_opened_by_layer: metrics.values_opened_by_layer.clone(),
         }
     }
 
@@ -82,11 +89,18 @@ impl Measurement {
             .map(|c| c.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        let opened = self
+            .values_opened_by_layer
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"experiment\":\"{experiment}\",\"n\":{n},\"ell\":{ell},\
              \"honest_bits\":{},\"honest_messages\":{},\"completed_at\":{},\
              \"wall_ms\":{:.3},\"events\":{},\"frames\":{},\"max_queue_depth\":{},\
-             \"threads\":{},\"batch_width_hist\":[{hist}]}}",
+             \"threads\":{},\"packed_width\":{},\"values_opened\":[{opened}],\
+             \"batch_width_hist\":[{hist}]}}",
             self.honest_bits,
             self.honest_messages,
             self.completed_at,
@@ -95,6 +109,7 @@ impl Measurement {
             self.frames_sent,
             self.max_queue_depth,
             self.worker_threads,
+            self.packed_width,
         )
     }
 }
@@ -436,6 +451,38 @@ pub fn run_cireval_transport(
     let m = Measurement::capture(&result.metrics, result.finished_at, start);
     let by_party = result.metrics.honest_bits_by_party.clone();
     (m, result.output, by_party)
+}
+
+/// [`run_cireval`] on the packed (Franklin–Yung SIMD) engine at width `ell`
+/// (`0` = scalar baseline), on an explicit transport backend. Thresholds are
+/// pinned at `t_s = t_a = 1` rather than `Params::max_thresholds` so the
+/// packing-width sweep `ℓ ∈ {1, …, n − 3}` stays feasible at every `n` —
+/// the E14 experiment varies `ℓ` at fixed resilience.
+pub fn run_cireval_packed(
+    n: usize,
+    circuit: &Circuit,
+    kind: NetworkKind,
+    seed: u64,
+    ell: usize,
+    backend: Backend,
+) -> (Measurement, Fp) {
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
+    let start = Instant::now();
+    // The threaded backend's column-distinct link sampler needs
+    // `Δ − 2 ≥ n − 1`; grow Δ with n so the sweep's larger party counts run
+    // on both backends.
+    let delta = (n as Time + 2).max(NetConfig::DEFAULT_DELTA);
+    let result = MpcBuilder::new(n, 1, 1)
+        .network(kind)
+        .delta(delta)
+        .seed(seed)
+        .inputs(&inputs)
+        .packing(ell)
+        .transport(backend)
+        .run(circuit)
+        .expect("benchmark run must complete");
+    let m = Measurement::capture(&result.metrics, result.finished_at, start);
+    (m, result.output)
 }
 
 /// Runs a full evaluation on an explicitly fast asynchronous network

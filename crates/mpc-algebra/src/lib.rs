@@ -26,6 +26,7 @@
 pub mod bivariate;
 pub mod domain;
 pub mod field;
+pub mod packed;
 pub mod poly;
 pub mod rs;
 pub mod shamir;
@@ -33,6 +34,7 @@ pub mod shamir;
 pub use bivariate::SymmetricBivariate;
 pub use domain::{EvalDomain, LagrangeBasis};
 pub use field::{Fp, MODULUS};
+pub use packed::{PackedDomain, PackedSharing};
 pub use poly::Polynomial;
 
 /// Publicly known, distinct, non-zero evaluation points used throughout the
@@ -65,11 +67,20 @@ pub mod evaluation_points {
     pub fn alphas(n: usize) -> Vec<Fp> {
         (0..n).map(alpha).collect()
     }
+
+    /// `e_k` — the `k`-th *secret-slot* point of a packed sharing
+    /// ([`crate::packed`]): `e_k = −(k + 1)`, i.e. the negative counterpart
+    /// of the party points. Slots are distinct from zero, from every `α_i`
+    /// and from every `β_j` as long as `2n + ℓ < |F|` (always true here).
+    #[inline]
+    pub fn slot(k: usize) -> Fp {
+        -Fp::from_u64(k as u64 + 1)
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::evaluation_points::{alpha, alphas, beta};
+    use super::evaluation_points::{alpha, alphas, beta, slot};
     use super::Fp;
 
     #[test]
@@ -92,6 +103,22 @@ mod tests {
             assert_ne!(b, Fp::ZERO);
             for i in 0..n {
                 assert_ne!(b, alpha(i));
+            }
+        }
+    }
+
+    #[test]
+    fn slots_disjoint_from_alphas_betas_and_zero() {
+        let n = 16;
+        for k in 0..n {
+            let e = slot(k);
+            assert_ne!(e, Fp::ZERO);
+            for i in 0..n {
+                assert_ne!(e, alpha(i));
+                assert_ne!(e, beta(n, i));
+            }
+            for k2 in k + 1..n {
+                assert_ne!(e, slot(k2));
             }
         }
     }

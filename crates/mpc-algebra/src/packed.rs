@@ -1,0 +1,292 @@
+//! Franklin–Yung packed secret sharing: `ℓ` secrets per polynomial.
+//!
+//! A *packed* `(d, ℓ)`-sharing embeds `ℓ` secrets `v_0..v_{ℓ−1}` into a
+//! single polynomial `F` of degree at most `d + ℓ − 1`, with `F(e_k) = v_k`
+//! at the dedicated *secret-slot* points `e_k`
+//! ([`crate::evaluation_points::slot`], chosen negative so they never collide
+//! with the party points `α_i`, the auxiliary `β_j`, or `0`). Party `i`'s
+//! share is still `F(α_i)`, and the sharing stays linear: adding two packed
+//! sharings adds the secrets slot-wise, so one opening amortises over `ℓ`
+//! values — the SIMD effect exploited by the packed circuit engine in
+//! `mpc-core`.
+//!
+//! Degree/resilience budget: a base degree `d = t_s` sharing becomes degree
+//! `t_s + ℓ − 1` when packed, so robust (OEC) reconstruction against `t_s`
+//! wrong shares needs `n ≥ (t_s + ℓ − 1) + 2·t_s + 1`, i.e. `ℓ ≤ n − 3·t_s`
+//! (`mpc_core::thresholds::max_packing_width`). Privacy degrades gracefully:
+//! any `t_s` shares of a degree-`t_s + ℓ − 1` packed sharing with uniformly
+//! random masking still reveal nothing about the slot values.
+//!
+//! [`PackedDomain`] caches, per `(n, ℓ)`, everything recombination needs —
+//! the slot points, a [`LagrangeBasis`] over them, and the slot-indicator
+//! matrix `L_k(α_i)` used to *pack* per-slot sharings into one packed
+//! sharing by a local linear combination. Cached process-wide like
+//! [`crate::EvalDomain`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rand::Rng;
+
+use crate::domain::{EvalDomain, LagrangeBasis};
+use crate::evaluation_points::slot;
+use crate::field::Fp;
+use crate::poly::{master_polynomial, Polynomial};
+use crate::rs;
+
+/// A dealer-side packed sharing: the packed polynomial plus all `n` shares.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedSharing {
+    /// The packed polynomial with `F(e_k) = values[k]`.
+    pub polynomial: Polynomial,
+    /// `shares[i]` is party `i`'s share `F(α_i)`.
+    pub shares: Vec<Fp>,
+}
+
+/// Cached per-`(n, ℓ)` machinery for packed sharings: slot points, the
+/// Lagrange basis over them, and the slot-indicator evaluations `L_k(α_i)`.
+#[derive(Debug)]
+pub struct PackedDomain {
+    n: usize,
+    ell: usize,
+    slots: Vec<Fp>,
+    slot_basis: LagrangeBasis,
+    /// Row-major `n × ℓ` matrix: entry `(i, k)` is `L_k(α_i)`, where `L_k`
+    /// is the degree-`ℓ−1` slot indicator (`L_k(e_j) = δ_{kj}`).
+    pack_rows: Vec<Fp>,
+}
+
+impl PackedDomain {
+    /// Builds the packed domain for `n` parties and packing width `ell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0`.
+    pub fn new(n: usize, ell: usize) -> Self {
+        assert!(ell > 0, "packing width must be at least 1");
+        let slots: Vec<Fp> = (0..ell).map(slot).collect();
+        let slot_basis = LagrangeBasis::new(slots.clone());
+        let party = EvalDomain::get(n);
+        let mut pack_rows = Vec::with_capacity(n * ell);
+        for &a in party.alphas() {
+            pack_rows.extend(slot_basis.lambda_at(a));
+        }
+        PackedDomain {
+            n,
+            ell,
+            slots,
+            slot_basis,
+            pack_rows,
+        }
+    }
+
+    /// Returns the process-wide cached domain for `(n, ell)`.
+    pub fn get(n: usize, ell: usize) -> Arc<PackedDomain> {
+        type Cache = Mutex<HashMap<(usize, usize), Arc<PackedDomain>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("packed domain cache poisoned");
+        Arc::clone(
+            map.entry((n, ell))
+                .or_insert_with(|| Arc::new(PackedDomain::new(n, ell))),
+        )
+    }
+
+    /// Number of parties `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Packing width `ℓ`.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// The slot points `e_0..e_{ℓ−1}`.
+    pub fn slots(&self) -> &[Fp] {
+        &self.slots
+    }
+
+    /// The Lagrange basis over the slot points.
+    pub fn slot_basis(&self) -> &LagrangeBasis {
+        &self.slot_basis
+    }
+
+    /// Party `i`'s packing row: `[L_0(α_i), …, L_{ℓ−1}(α_i)]`.
+    pub fn pack_row(&self, i: usize) -> &[Fp] {
+        &self.pack_rows[i * self.ell..(i + 1) * self.ell]
+    }
+
+    /// Packs per-slot shares into party `i`'s packed share:
+    /// `Σ_k L_k(α_i) · slot_shares[k]`.
+    ///
+    /// If `slot_shares[k]` is `f_k(α_i)` for a slot-positioned sharing
+    /// `f_k(e_k) = v_k` of degree `d`, the result is party `i`'s share of a
+    /// degree-`d + ℓ − 1` packed sharing of `(v_0, …, v_{ℓ−1})` — a purely
+    /// local linear combination, no interaction.
+    pub fn pack_share(&self, i: usize, slot_shares: &[Fp]) -> Fp {
+        assert_eq!(slot_shares.len(), self.ell, "slot share count mismatch");
+        self.pack_row(i)
+            .iter()
+            .zip(slot_shares)
+            .map(|(&l, &s)| l * s)
+            .sum()
+    }
+
+    /// Deals a fresh packed sharing of `values` with base degree `ts`: the
+    /// polynomial `F(x) = I(x) + Z(x)·R(x)` where `I` interpolates the
+    /// values at the slots, `Z(x) = ∏_k (x − e_k)` vanishes on every slot,
+    /// and `R` is uniformly random of degree `ts − 1` (the zero polynomial
+    /// when `ts = 0`). `deg F ≤ ts + ℓ − 1` and `F(e_k) = values[k]`.
+    pub fn share<R: Rng + ?Sized>(&self, rng: &mut R, values: &[Fp], ts: usize) -> PackedSharing {
+        assert_eq!(values.len(), self.ell, "value count must equal ℓ");
+        let interp = self.slot_basis.interpolate(values);
+        let polynomial = if ts == 0 {
+            interp
+        } else {
+            let vanish = Polynomial::from_coeffs(master_polynomial(self.slots.iter().copied()));
+            let mask = Polynomial::random(rng, ts - 1);
+            interp.add(&vanish.mul(&mask))
+        };
+        let party = EvalDomain::get(self.n);
+        let shares = party
+            .alphas()
+            .iter()
+            .map(|&a| polynomial.evaluate(a))
+            .collect();
+        PackedSharing { polynomial, shares }
+    }
+
+    /// Reconstructs the `ℓ` slot values from error-free shares of a packed
+    /// sharing of total degree ≤ `degree` (`= ts + ℓ − 1`).
+    ///
+    /// `shares` maps 0-indexed party ids to shares. Returns `None` if fewer
+    /// than `degree + 1` shares are provided or the shares are inconsistent.
+    pub fn reconstruct(&self, degree: usize, shares: &[(usize, Fp)]) -> Option<Vec<Fp>> {
+        let f = crate::shamir::reconstruct_polynomial(degree, shares)?;
+        Some(self.slots.iter().map(|&e| f.evaluate(e)).collect())
+    }
+
+    /// Robustly reconstructs the `ℓ` slot values from shares of which at
+    /// most `t` may be corrupt, via online error correction
+    /// ([`rs::oec_decode`]). `degree` is the total packed degree
+    /// (`ts + ℓ − 1`); decoding needs `≥ degree + t + 1` shares.
+    pub fn reconstruct_robust(
+        &self,
+        degree: usize,
+        t: usize,
+        shares: &[(usize, Fp)],
+    ) -> Option<Vec<Fp>> {
+        let pts: Vec<(Fp, Fp)> = shares
+            .iter()
+            .map(|&(i, s)| (crate::evaluation_points::alpha(i), s))
+            .collect();
+        let f = rs::oec_decode(degree, t, &pts)?;
+        Some(self.slots.iter().map(|&e| f.evaluate(e)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation_points::alpha;
+    use crate::shamir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fp(v: u64) -> Fp {
+        Fp::from_u64(v)
+    }
+
+    #[test]
+    fn packed_share_positions_values_at_slots() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let (n, ell, ts) = (7, 4, 1);
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = (0..ell as u64).map(|v| fp(100 + v)).collect();
+        let s = dom.share(&mut rng, &values, ts);
+        assert!(s.polynomial.degree() < ts + ell);
+        for (k, &v) in values.iter().enumerate() {
+            assert_eq!(s.polynomial.evaluate(slot(k)), v);
+        }
+        for (i, &sh) in s.shares.iter().enumerate() {
+            assert_eq!(sh, s.polynomial.evaluate(alpha(i)));
+        }
+    }
+
+    #[test]
+    fn packed_share_with_zero_base_degree_is_pure_interpolation() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let dom = PackedDomain::get(5, 2);
+        let values = vec![fp(8), fp(9)];
+        let s = dom.share(&mut rng, &values, 0);
+        assert!(s.polynomial.degree() <= 1);
+        assert_eq!(
+            dom.reconstruct(1, &[(0, s.shares[0]), (1, s.shares[1])]),
+            Some(values)
+        );
+    }
+
+    #[test]
+    fn reconstruct_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let (n, ell, ts) = (10, 3, 2);
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = (0..ell as u64).map(|v| fp(7000 + v * 13)).collect();
+        let s = dom.share(&mut rng, &values, ts);
+        let d = ts + ell - 1;
+        let pts: Vec<(usize, Fp)> = (0..d + 1).map(|i| (i, s.shares[i])).collect();
+        assert_eq!(dom.reconstruct(d, &pts), Some(values));
+    }
+
+    #[test]
+    fn robust_reconstruct_corrects_errors() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let (ts, ell) = (2, 3);
+        // ℓ ≤ n − 3·ts  ⇒  n ≥ 9; use n = 10 for one spare share.
+        let n = 10;
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = (0..ell as u64).map(|v| fp(31 + v)).collect();
+        let s = dom.share(&mut rng, &values, ts);
+        let d = ts + ell - 1;
+        let mut pts: Vec<(usize, Fp)> = (0..n).map(|i| (i, s.shares[i])).collect();
+        pts[2].1 += fp(5);
+        pts[7].1 += fp(11);
+        assert_eq!(dom.reconstruct_robust(d, ts, &pts), Some(values));
+    }
+
+    #[test]
+    fn pack_share_recombines_slot_positioned_sharings() {
+        // Deal ℓ independent slot-positioned sharings f_k (f_k(e_k) = v_k,
+        // degree ts), pack locally, and check the packed shares lie on a
+        // degree-(ts+ℓ−1) polynomial with the right slot values.
+        let mut rng = StdRng::seed_from_u64(54);
+        let (n, ell, ts) = (8, 3, 1);
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = (0..ell as u64).map(|v| fp(900 + v)).collect();
+        let slot_sharings: Vec<shamir::Sharing> = (0..ell)
+            .map(|k| shamir::share_at(&mut rng, values[k], slot(k), ts, n))
+            .collect();
+        let packed: Vec<(usize, Fp)> = (0..n)
+            .map(|i| {
+                let slot_shares: Vec<Fp> = slot_sharings.iter().map(|s| s.shares[i]).collect();
+                (i, dom.pack_share(i, &slot_shares))
+            })
+            .collect();
+        let d = ts + ell - 1;
+        assert_eq!(dom.reconstruct(d, &packed), Some(values));
+    }
+
+    #[test]
+    fn pack_rows_are_slot_indicators() {
+        let dom = PackedDomain::new(6, 4);
+        // L_k(e_j) = δ_kj by construction; check via lambda_at on slots.
+        for (j, &e) in dom.slots().iter().enumerate() {
+            let lam = dom.slot_basis().lambda_at(e);
+            for (k, &l) in lam.iter().enumerate() {
+                let expect = if j == k { Fp::ONE } else { Fp::ZERO };
+                assert_eq!(l, expect);
+            }
+        }
+    }
+}

@@ -45,6 +45,37 @@ pub fn share<R: Rng + ?Sized>(rng: &mut R, secret: Fp, degree: usize, n: usize) 
     Sharing { polynomial, shares }
 }
 
+/// Produces a fresh random `degree`-sharing of `value` *positioned at* an
+/// arbitrary public point: `f(position) = value` instead of the standard
+/// `f(0) = value`.
+///
+/// This is the building block of the packed engine's slot-positioned
+/// sharings ([`crate::packed`]): a block dealer shares each triple component
+/// at the secret-slot points `e_k` (and, for output-cone gates, additionally
+/// at `0`) so that slot-Lagrange recombination yields packed sharings
+/// without any interaction. Sampling `f = r + (value − r(position))` for a
+/// uniformly random degree-`degree` polynomial `r` gives the uniform
+/// distribution over all degree-≤`degree` polynomials through
+/// `(position, value)` — every such `f` has exactly `|F|` preimages `r`.
+pub fn share_at<R: Rng + ?Sized>(
+    rng: &mut R,
+    value: Fp,
+    position: Fp,
+    degree: usize,
+    n: usize,
+) -> Sharing {
+    let r = Polynomial::random(rng, degree);
+    let shift = value - r.evaluate(position);
+    let polynomial = r.add(&Polynomial::constant(shift));
+    let domain = EvalDomain::get(n);
+    let shares = domain
+        .alphas()
+        .iter()
+        .map(|&a| polynomial.evaluate(a))
+        .collect();
+    Sharing { polynomial, shares }
+}
+
 /// Deterministic "default" sharing of a public constant: the constant
 /// polynomial, i.e. every share equals the constant. Used by the paper
 /// whenever parties adopt a default `t_s`-sharing of 0 (e.g. for parties
@@ -176,6 +207,20 @@ mod tests {
         pts[1].1 += fp(13);
         pts[4].1 += fp(21);
         assert_eq!(reconstruct_robust(t, t, &pts).unwrap(), fp(777));
+    }
+
+    #[test]
+    fn share_at_positions_value_at_requested_point() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let n = 7;
+        let d = 2;
+        let pos = -fp(3);
+        let s = share_at(&mut rng, fp(4242), pos, d, n);
+        assert!(s.polynomial.degree() <= d);
+        assert_eq!(s.polynomial.evaluate(pos), fp(4242));
+        for (i, &sh) in s.shares.iter().enumerate() {
+            assert_eq!(sh, s.polynomial.evaluate(alpha(i)));
+        }
     }
 
     #[test]

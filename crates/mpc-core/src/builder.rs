@@ -66,6 +66,7 @@ pub struct MpcBuilder {
     threads: Option<usize>,
     frames: Option<bool>,
     per_gate_openings: bool,
+    packing: Option<usize>,
     transport: Option<Backend>,
     link_delays: Option<LinkDelays>,
     tick_micros: Option<u64>,
@@ -107,6 +108,7 @@ impl MpcBuilder {
             threads: None,
             frames: None,
             per_gate_openings: false,
+            packing: None,
             transport: None,
             link_delays: None,
             tick_micros: None,
@@ -209,6 +211,34 @@ impl MpcBuilder {
         self
     }
 
+    /// Sets the packed (Franklin–Yung SIMD) evaluation width `ℓ`: each
+    /// multiplication layer is evaluated in blocks of `ℓ` gates sharing one
+    /// Beaver opening. `0` (the default) keeps the scalar engine and the
+    /// run's transcript bit-identical to previous versions. Widths above the
+    /// feasibility bound `n − 3·t_s`
+    /// ([`crate::thresholds::max_packing_width`]) are clamped to it. When
+    /// unset, the `MPC_PACKING` environment variable applies.
+    pub fn packing(mut self, ell: usize) -> Self {
+        self.packing = Some(ell);
+        self
+    }
+
+    /// The effective packing width this builder will run with: the explicit
+    /// [`MpcBuilder::packing`] setting, else `MPC_PACKING`, else 0 (scalar),
+    /// clamped to [`crate::thresholds::max_packing_width`].
+    pub fn effective_packing(&self) -> usize {
+        let requested = self.packing.unwrap_or_else(|| {
+            std::env::var("MPC_PACKING")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0)
+        });
+        requested.min(crate::thresholds::max_packing_width(
+            self.params.n,
+            self.params.ts,
+        ))
+    }
+
     /// Selects the backend the run executes on: the deterministic simulator
     /// or the real threaded runtime. Defaults to the `MPC_TRANSPORT`
     /// environment variable (see [`Backend::from_env`]), i.e. the simulator
@@ -262,6 +292,7 @@ impl MpcBuilder {
         let n = params.n;
         let corrupt = self.corrupt.clone();
         let wire_level = self.strategy.is_some();
+        let packing = self.effective_packing();
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
             .map(|i| {
                 if corrupt.is_corrupt(i) && !wire_level {
@@ -269,6 +300,7 @@ impl MpcBuilder {
                 } else {
                     let mut party = CirEval::new(params, circuit.clone(), self.inputs[i]);
                     party.set_per_gate_openings(self.per_gate_openings);
+                    party.set_packing(packing);
                     Box::new(party) as Box<dyn Protocol<Msg>>
                 }
             })
@@ -345,12 +377,20 @@ impl MpcBuilder {
                 mpc_net::party_as::<CirEval, Msg>(view, i).and_then(|p| p.input_subset.clone())
             })
             .unwrap_or_default();
+        let mut metrics = net.metrics().clone();
+        metrics.packed_width = packing as u64;
+        metrics.values_opened_by_layer = (0..n)
+            .filter(|&i| corrupt.is_honest(i))
+            .find_map(|i| {
+                mpc_net::party_as::<CirEval, Msg>(view, i).map(|p| p.values_opened_by_layer.clone())
+            })
+            .unwrap_or_default();
         Ok(MpcRunResult {
             output: honest_outputs[0],
             outputs,
             input_subset,
             finished_at: view.now(),
-            metrics: net.metrics().clone(),
+            metrics,
         })
     }
 }

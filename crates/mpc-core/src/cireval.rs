@@ -41,15 +41,17 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use mpc_algebra::evaluation_points::{alpha, beta};
-use mpc_algebra::{EvalDomain, Fp, Polynomial};
+use mpc_algebra::{shamir, EvalDomain, Fp, PackedDomain, Polynomial};
 use mpc_net::{Context, PartyId, PathSlice, Protocol, Time};
 use mpc_protocols::acs::Acs;
 use mpc_protocols::{Msg, Params};
 
 use crate::circuit::{Circuit, Gate};
 use crate::openings::OpeningManager;
+use crate::packing::{point, BasisElem, LinComb, PackedPlan, Pos};
 use crate::triples::{
-    beaver_masked_shares, beaver_output_share, interpolate_share_with, TripleShare,
+    beaver_masked_shares, beaver_output_share, interpolate_share_with, packed_z_form_share,
+    TripleShare,
 };
 
 const SEG_ACS_INPUT: u32 = 0;
@@ -62,12 +64,20 @@ const TAG_SUSPECT: u32 = 4 << 28;
 const TAG_EXTRACT: u32 = 5 << 28;
 const TAG_CIRCUIT: u32 = 6 << 28;
 const TAG_OUTPUT: u32 = 7 << 28;
+const TAG_PACKED: u32 = 8 << 28;
+
+/// One party's shares of a block-slot triple `(a, b, c)`, per dealt position.
+type TripleForms = BTreeMap<Pos, (Fp, Fp, Fp)>;
 
 /// Progress of one `Π_CirEval` run (coarse phases; each phase is driven by
 /// message arrival, not timers).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Phase {
     AwaitAcs,
+    /// Packed mode only: awaiting every assigned dealer's
+    /// [`Msg::PackedDeal`] payload (replaces the whole
+    /// Transform…Extract preprocessing pipeline).
+    PackedDeal,
     Transform,
     VerifyBeaver,
     Gamma,
@@ -130,6 +140,38 @@ pub struct CirEval {
     per_gate_openings: bool,
     /// Per-gate mode bookkeeping: whether gate `g`'s opening was issued.
     mul_opened: Vec<bool>,
+    // ------------------------------------------------------------------
+    // packed (SIMD) evaluation path — active when `packing > 0`
+    // ------------------------------------------------------------------
+    /// Packing width `ℓ` (0 = scalar engine; set via [`CirEval::set_packing`]).
+    packing: usize,
+    /// The static block plan (packed mode only).
+    plan: Option<Arc<PackedPlan>>,
+    /// Slot-point domain cache (packed mode only).
+    pdomain: Option<Arc<PackedDomain>>,
+    /// Raw `PackedDeal` payloads buffered until `CS₁` is known.
+    deal_buf: BTreeMap<PartyId, Vec<Fp>>,
+    /// Senders whose deal parsed successfully / was rejected (wrong length).
+    deals_ok: HashSet<PartyId>,
+    deals_dead: HashSet<PartyId>,
+    /// `CS₁`, sorted — the canonical order behind dealer assignment and the
+    /// deal payload layout.
+    cs1_sorted: Vec<PartyId>,
+    /// My slot-positioned shares of party `j`'s input, by position.
+    input_forms: Vec<BTreeMap<Pos, Fp>>,
+    /// My shares of block/slot triples `(a, b, c)`, per dealt position.
+    triple_forms: HashMap<(usize, usize), TripleForms>,
+    /// My shares of resolved multiplication outputs, per dealt position.
+    z_forms: HashMap<usize, BTreeMap<Pos, Fp>>,
+    /// Next unresolved multiplication layer of the packed driver.
+    packed_layer: usize,
+    /// Whether the current packed layer's `[D, E]` openings went out.
+    packed_issued: bool,
+    /// Effective packing width (0 when scalar) — exported into `Metrics`.
+    pub packed_width: usize,
+    /// Publicly opened value count per multiplication layer (layer-batched
+    /// scalar and packed paths; the per-gate reference path leaves it empty).
+    pub values_opened_by_layer: Vec<u64>,
     /// `(ready, y)` votes per candidate output (deterministic iteration
     /// order — `Fp` is `Ord`).
     ready_counts: BTreeMap<Fp, HashSet<PartyId>>,
@@ -192,6 +234,20 @@ impl CirEval {
             layer_issued: false,
             per_gate_openings: false,
             mul_opened: vec![false; n_gates],
+            packing: 0,
+            plan: None,
+            pdomain: None,
+            deal_buf: BTreeMap::new(),
+            deals_ok: HashSet::new(),
+            deals_dead: HashSet::new(),
+            cs1_sorted: Vec::new(),
+            input_forms: Vec::new(),
+            triple_forms: HashMap::new(),
+            z_forms: HashMap::new(),
+            packed_layer: 0,
+            packed_issued: false,
+            packed_width: 0,
+            values_opened_by_layer: Vec::new(),
             ready_counts: BTreeMap::new(),
             sent_ready: false,
             output: None,
@@ -207,6 +263,31 @@ impl CirEval {
     /// are part of the implicit protocol agreement.
     pub fn set_per_gate_openings(&mut self, per_gate: bool) {
         self.per_gate_openings = per_gate;
+    }
+
+    /// Switches this party to the packed (Franklin–Yung SIMD) evaluation
+    /// engine at width `ell ≥ 1`; `0` keeps the scalar engine. Every party
+    /// of a run must use the same width (the block plan and opening tags are
+    /// part of the implicit protocol agreement), and `ell` must satisfy
+    /// `ell ≤ n − 3·t_s` ([`crate::thresholds::max_packing_width`]) for the
+    /// degree-`t_s + ℓ − 1` packed openings to stay OEC-decodable —
+    /// [`crate::MpcBuilder`] clamps the requested width accordingly.
+    pub fn set_packing(&mut self, ell: usize) {
+        self.packing = ell;
+        self.packed_width = ell;
+        if ell > 0 {
+            assert!(
+                ell <= crate::thresholds::max_packing_width(self.params.n, self.params.ts),
+                "packing width exceeds the OEC feasibility bound n - 3*ts"
+            );
+            self.plan = Some(Arc::new(PackedPlan::new(&self.circuit, ell)));
+            self.pdomain = Some(PackedDomain::get(self.params.n, ell));
+            self.input_forms = vec![BTreeMap::new(); self.params.n];
+        } else {
+            self.plan = None;
+            self.pdomain = None;
+            self.input_forms = Vec::new();
+        }
     }
 
     fn raw_per_dealer(&self) -> usize {
@@ -300,11 +381,13 @@ impl CirEval {
             let before = self.phase;
             match self.phase {
                 Phase::AwaitAcs => self.drive_await_acs(ctx),
+                Phase::PackedDeal => self.drive_packed_deal(ctx),
                 Phase::Transform => self.drive_transform(ctx),
                 Phase::VerifyBeaver => self.drive_verify(ctx),
                 Phase::Gamma => self.drive_gamma(ctx),
                 Phase::Suspect => self.drive_suspect(ctx),
                 Phase::Extract => self.drive_extract(ctx),
+                Phase::Circuit if self.packing > 0 => self.drive_packed_circuit(ctx),
                 Phase::Circuit => self.drive_circuit(ctx),
                 Phase::OpenOutput => self.drive_open_output(ctx),
                 Phase::Ready => self.drive_ready(ctx),
@@ -317,6 +400,31 @@ impl CirEval {
     }
 
     fn drive_await_acs(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.packing > 0 {
+            // Packed mode runs on ACS #1 alone: triples arrive as
+            // slot-positioned point-to-point deals, so the whole
+            // transform/verify/extract pipeline (and its ACS) is skipped.
+            let Some(acs1) = &self.acs_input else { return };
+            if !acs1.ready() {
+                return;
+            }
+            let mut cs1 = acs1.common_subset.clone().expect("ready implies CS");
+            cs1.sort_unstable();
+            self.input_subset = Some(cs1.clone());
+            self.input_shares = (0..self.params.n)
+                .map(|j| {
+                    if cs1.contains(&j) {
+                        acs1.shares_from(j).expect("in CS")[0]
+                    } else {
+                        Fp::ZERO
+                    }
+                })
+                .collect();
+            self.cs1_sorted = cs1;
+            self.phase = Phase::PackedDeal;
+            self.issue_packed_deals(ctx);
+            return;
+        }
         let (Some(acs1), Some(acs2)) = (&self.acs_input, &self.acs_triples) else {
             return;
         };
@@ -362,6 +470,202 @@ impl CirEval {
         self.issue_transform(ctx);
     }
 
+    // ------------------------------------------------------------------
+    // packed (SIMD) evaluation path
+    // ------------------------------------------------------------------
+
+    /// Deals this party's slot-positioned sharings: its input at every
+    /// consumed slot position (members of `CS₁` only) and one fresh triple
+    /// `(a, b, c = a·b)` per slot of each assigned block, shared at *every*
+    /// position of that slot's position set. One `(a, b, c)` is drawn per
+    /// slot and re-shared per position — the positions must carry the same
+    /// secrets for the z-form identity ([`packed_z_form_share`]) to hold.
+    fn issue_packed_deals(&mut self, ctx: &mut Context<'_, Msg>) {
+        let plan = self.plan.clone().expect("packed mode has a plan");
+        let cs1 = self.cs1_sorted.clone();
+        let n = self.params.n;
+        let ts = self.ts();
+        let me = ctx.me;
+        let mut payloads: Vec<Vec<Fp>> = vec![Vec::new(); n];
+        if cs1.contains(&me) {
+            for &pos in &plan.input_positions[me] {
+                let s = shamir::share_at(ctx.rng(), self.my_input, point(pos), ts, n);
+                for (p, share) in payloads.iter_mut().zip(&s.shares) {
+                    p.push(*share);
+                }
+            }
+        }
+        for blk in plan.blocks_of(me, &cs1) {
+            for k in 0..plan.ell {
+                let a = Fp::random(ctx.rng());
+                let b = Fp::random(ctx.rng());
+                let c = a * b;
+                for &pos in &plan.positions[blk][k] {
+                    for v in [a, b, c] {
+                        let s = shamir::share_at(ctx.rng(), v, point(pos), ts, n);
+                        for (p, share) in payloads.iter_mut().zip(&s.shares) {
+                            p.push(*share);
+                        }
+                    }
+                }
+            }
+        }
+        let mine = std::mem::take(&mut payloads[me]);
+        self.parse_deal(me, mine);
+        for (i, payload) in payloads.into_iter().enumerate() {
+            if i != me && !payload.is_empty() {
+                ctx.send(i, Msg::PackedDeal(payload));
+            }
+        }
+    }
+
+    /// Parses one sender's deal payload against the canonical layout. A
+    /// payload whose length does not match [`PackedPlan::expected_deal_len`]
+    /// is rejected and the sender marked Byzantine.
+    fn parse_deal(&mut self, from: PartyId, values: Vec<Fp>) {
+        let plan = self.plan.clone().expect("packed mode has a plan");
+        if values.len() != plan.expected_deal_len(from, &self.cs1_sorted) {
+            self.deals_dead.insert(from);
+            return;
+        }
+        let mut it = values.into_iter();
+        if self.cs1_sorted.contains(&from) {
+            for &pos in &plan.input_positions[from] {
+                self.input_forms[from].insert(pos, it.next().expect("length checked"));
+            }
+        }
+        for blk in plan.blocks_of(from, &self.cs1_sorted) {
+            for k in 0..plan.ell {
+                let forms = self.triple_forms.entry((blk, k)).or_default();
+                for &pos in &plan.positions[blk][k] {
+                    let fa = it.next().expect("length checked");
+                    let fb = it.next().expect("length checked");
+                    let fc = it.next().expect("length checked");
+                    forms.insert(pos, (fa, fb, fc));
+                }
+            }
+        }
+        self.deals_ok.insert(from);
+    }
+
+    /// Parses any deals buffered before `CS₁` was known and advances to the
+    /// circuit once every sender with a non-empty expected payload has
+    /// delivered a well-formed one.
+    fn drive_packed_deal(&mut self, ctx: &mut Context<'_, Msg>) {
+        let _ = ctx;
+        let buffered: Vec<(PartyId, Vec<Fp>)> =
+            std::mem::take(&mut self.deal_buf).into_iter().collect();
+        for (from, values) in buffered {
+            if !self.deals_ok.contains(&from) && !self.deals_dead.contains(&from) {
+                self.parse_deal(from, values);
+            }
+        }
+        let plan = self.plan.as_ref().expect("packed mode has a plan");
+        let complete = (0..self.params.n)
+            .filter(|&s| plan.expected_deal_len(s, &self.cs1_sorted) > 0)
+            .all(|s| self.deals_ok.contains(&s));
+        if complete {
+            self.phase = Phase::Circuit;
+        }
+    }
+
+    /// My share of the wire value `combo` positioned at `pos`, assembled
+    /// locally from the basis forms (sharing is linear). A missing input
+    /// form means the input's owner is outside `CS₁`: everyone substitutes
+    /// the all-zero sharing (a valid sharing of `0` at every position).
+    fn combo_share_at(&self, combo: &LinComb, pos: Pos) -> Fp {
+        let mut acc = combo.constant;
+        for (&elem, &coeff) in &combo.terms {
+            let share = match (elem, pos) {
+                (BasisElem::Input(j), Pos::Zero) => self.input_shares[j],
+                (BasisElem::Input(j), _) => {
+                    self.input_forms[j].get(&pos).copied().unwrap_or(Fp::ZERO)
+                }
+                (BasisElem::MulOut(g), _) => self.z_forms[&g][&pos],
+            };
+            acc += coeff * share;
+        }
+        acc
+    }
+
+    /// Packed circuit driver: one `[D, E]` opening per ℓ-gate block per
+    /// layer. `D(x) = Σ_k L_k(x)·(X_k(x) − A_k(x))` over the slot Lagrange
+    /// basis has degree `t_s + ℓ − 1` and carries `d_k = x_k − a_k` at slot
+    /// point `e_k`; one robust opening therefore unpacks all `ℓ` masked
+    /// differences at once. Outputs are re-positioned locally at degree
+    /// `t_s` via the z-form identity, so the opened degree never compounds.
+    fn drive_packed_circuit(&mut self, ctx: &mut Context<'_, Msg>) {
+        let plan = self.plan.clone().expect("packed mode has a plan");
+        let pdom = self.pdomain.clone().expect("packed mode has a domain");
+        let ts = self.ts();
+        let ell = plan.ell;
+        let me = ctx.me;
+        loop {
+            if self.packed_layer >= plan.layers.len() {
+                let share =
+                    self.combo_share_at(&plan.wire_combos[self.circuit.output().0], Pos::Zero);
+                self.phase = Phase::OpenOutput;
+                self.openings.open(ctx, TAG_OUTPUT, vec![share]);
+                return;
+            }
+            let blocks = &plan.layers[self.packed_layer];
+            if !self.packed_issued {
+                self.packed_issued = true;
+                self.values_opened_by_layer.push(2 * blocks.len() as u64);
+                for blk in blocks {
+                    let row = pdom.pack_row(me).to_vec();
+                    let (mut d_sh, mut e_sh) = (Fp::ZERO, Fp::ZERO);
+                    for (k, &lk) in row.iter().enumerate() {
+                        let (x, y) = match blk.slots[k] {
+                            Some(g) => {
+                                let Gate::Mul(a, b) = self.circuit.gates()[g] else {
+                                    unreachable!("packed blocks only hold Mul gates")
+                                };
+                                (
+                                    self.combo_share_at(&plan.wire_combos[a.0], Pos::Slot(k)),
+                                    self.combo_share_at(&plan.wire_combos[b.0], Pos::Slot(k)),
+                                )
+                            }
+                            // Padding slots multiply 0·0 under the dealt
+                            // random triple, keeping the masks uniform.
+                            None => (Fp::ZERO, Fp::ZERO),
+                        };
+                        let (fa, fb, _) = self.triple_forms[&(blk.index, k)][&Pos::Slot(k)];
+                        d_sh += lk * (x - fa);
+                        e_sh += lk * (y - fb);
+                    }
+                    self.openings
+                        .open(ctx, TAG_PACKED + blk.index as u32, vec![d_sh, e_sh]);
+                }
+            }
+            let degree = ts + ell - 1;
+            let mut opened = Vec::with_capacity(blocks.len());
+            for blk in blocks {
+                let Some(de) = self
+                    .openings
+                    .try_reconstruct_at(TAG_PACKED + blk.index as u32, 2, degree, ts, pdom.slots())
+                    .map(<[Fp]>::to_vec)
+                else {
+                    return;
+                };
+                opened.push(de);
+            }
+            for (blk, de) in blocks.iter().zip(&opened) {
+                for k in 0..ell {
+                    let Some(g) = blk.slots[k] else { continue };
+                    let (d, e) = (de[k], de[ell + k]);
+                    let forms = self.triple_forms[&(blk.index, k)].clone();
+                    let entry = self.z_forms.entry(g).or_default();
+                    for (pos, (fa, fb, fc)) in forms {
+                        entry.insert(pos, packed_z_form_share(d, e, fa, fb, fc));
+                    }
+                }
+            }
+            self.packed_layer += 1;
+            self.packed_issued = false;
+        }
+    }
+
     fn issue_transform(&mut self, ctx: &mut Context<'_, Msg>) {
         let ts = self.ts();
         for dpos in 0..self.dealers.len() {
@@ -384,13 +688,13 @@ impl CirEval {
             for batch in 0..self.batches {
                 for i in ts + 1..self.raw_per_dealer() {
                     let tag = TAG_TRANSFORM + self.transform_idx(dpos, batch, i);
-                    let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                    let Some(&[d, e]) = self.openings.try_reconstruct(tag, 2, ts, ts) else {
                         return;
                     };
                     let triple = self.raw_triple(dpos, batch, i);
                     self.z_high
                         .entry((dpos, batch, i))
-                        .or_insert_with(|| beaver_output_share(de[0], de[1], &triple));
+                        .or_insert_with(|| beaver_output_share(d, e, &triple));
                 }
             }
         }
@@ -421,11 +725,11 @@ impl CirEval {
             for batch in 0..self.batches {
                 for (spos, &sup) in self.supervisors.clone().iter().enumerate() {
                     let tag = TAG_VERIFY + self.verify_idx(dpos, batch, spos);
-                    let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                    let Some(&[d, e]) = self.openings.try_reconstruct(tag, 2, ts, ts) else {
                         return;
                     };
                     let vt = self.verification_triple(sup, batch, dealer_party);
-                    let z_prime = beaver_output_share(de[0], de[1], &vt);
+                    let z_prime = beaver_output_share(d, e, &vt);
                     let z = self.dealer_z_share(dpos, batch, alpha(sup));
                     gammas.push((dpos, batch, spos, z - z_prime));
                 }
@@ -448,10 +752,10 @@ impl CirEval {
                     // γ is a linear combination of t_s-shared values, hence
                     // itself t_s-shared (the degree 2·t_s of Z(·) lives in the
                     // evaluation-point variable, not the sharing polynomial).
-                    let Some(g) = self.openings.try_reconstruct(tag, 1, ts, ts).cloned() else {
+                    let Some(&[g]) = self.openings.try_reconstruct(tag, 1, ts, ts) else {
                         return;
                     };
-                    if !g[0].is_zero() {
+                    if !g.is_zero() {
                         suspects.push((dpos, batch, spos));
                     }
                 }
@@ -479,10 +783,10 @@ impl CirEval {
                         continue;
                     }
                     let tag = TAG_SUSPECT + self.verify_idx(dpos, batch, spos);
-                    let Some(xyz) = self.openings.try_reconstruct(tag, 3, ts, ts).cloned() else {
+                    let Some(&[x, y, z]) = self.openings.try_reconstruct(tag, 3, ts, ts) else {
                         return;
                     };
-                    if xyz[0] * xyz[1] != xyz[2] {
+                    if x * y != z {
                         self.flagged.insert((dpos, batch));
                     }
                 }
@@ -552,13 +856,13 @@ impl CirEval {
         for batch in 0..self.batches {
             for p in self.d_ext + 1..2 * self.d_ext + 1 {
                 let tag = TAG_EXTRACT + self.extract_idx(batch, p);
-                let Some(de) = self.openings.try_reconstruct(tag, 2, ts, ts).cloned() else {
+                let Some(&[d, e]) = self.openings.try_reconstruct(tag, 2, ts, ts) else {
                     return;
                 };
                 let triple = self.verified[&(p, batch)];
                 self.ext_z
                     .entry((batch, p))
-                    .or_insert_with(|| beaver_output_share(de[0], de[1], &triple));
+                    .or_insert_with(|| beaver_output_share(d, e, &triple));
             }
         }
         // extract d + 1 - t_s fresh triples per batch
@@ -634,6 +938,7 @@ impl CirEval {
             let gates = &self.mul_layers[self.next_mul_layer];
             if !self.layer_issued {
                 self.layer_issued = true;
+                self.values_opened_by_layer.push(2 * gates.len() as u64);
                 // Every input of a layer-(l+1) multiplication depends only on
                 // multiplications of layers ≤ l, so after the propagation
                 // pass all of them are resolved and the whole layer's
@@ -655,7 +960,7 @@ impl CirEval {
             let Some(de) = self
                 .openings
                 .try_reconstruct(tag, 2 * gates.len(), ts, ts)
-                .cloned()
+                .map(<[Fp]>::to_vec)
             else {
                 return;
             };
@@ -707,7 +1012,6 @@ impl CirEval {
                         }
                         self.openings
                             .try_reconstruct(tag, 2, ts, ts)
-                            .cloned()
                             .map(|de| beaver_output_share(de[0], de[1], &triple))
                     }
                 };
@@ -725,17 +1029,13 @@ impl CirEval {
 
     fn drive_open_output(&mut self, ctx: &mut Context<'_, Msg>) {
         let ts = self.ts();
-        let Some(y) = self
-            .openings
-            .try_reconstruct(TAG_OUTPUT, 1, ts, ts)
-            .cloned()
-        else {
+        let Some(&[y]) = self.openings.try_reconstruct(TAG_OUTPUT, 1, ts, ts) else {
             return;
         };
         self.phase = Phase::Ready;
         if !self.sent_ready {
             self.sent_ready = true;
-            ctx.broadcast(Msg::Ready(vec![y[0]]));
+            ctx.broadcast(Msg::Ready(vec![y]));
         }
         self.drive_ready(ctx);
     }
@@ -778,6 +1078,11 @@ impl Protocol<Msg> for CirEval {
         let mut acs1 = Acs::new(self.params, vec![input_poly]);
         ctx.scoped(SEG_ACS_INPUT, |ctx| acs1.init(ctx));
         self.acs_input = Some(acs1);
+        // Packed mode: triples are dealt point-to-point after CS₁ is known —
+        // no second ACS instance at all.
+        if self.packing > 0 {
+            return;
+        }
         // ACS #2: share my raw triples and verification triples
         let mut polys = Vec::with_capacity(self.triple_polys_len());
         for _ in 0..self.batches {
@@ -829,6 +1134,12 @@ impl Protocol<Msg> for CirEval {
             }
             None => match msg {
                 Msg::Open { tag, values } => self.openings.on_open(from, tag, values),
+                // Buffered raw until CS₁ fixes the expected layout; parsed
+                // by `drive_packed_deal`. First payload per sender wins
+                // (honest dealers send exactly one).
+                Msg::PackedDeal(values) if self.packing > 0 => {
+                    self.deal_buf.entry(from).or_insert(values);
+                }
                 Msg::Ready(values) => {
                     if let Some(&y) = values.first() {
                         self.ready_counts.entry(y).or_default().insert(from);
@@ -1007,6 +1318,115 @@ mod tests {
             assert_eq!(p.output.unwrap().as_u64(), 0);
             assert!(!p.input_subset.as_ref().unwrap().contains(&3));
         }
+    }
+
+    /// Like [`run_circuit`] but with every party on the packed engine.
+    fn run_circuit_packed(
+        params: Params,
+        circuit: &Circuit,
+        inputs: &[u64],
+        ell: usize,
+        sync: bool,
+        seed: u64,
+    ) -> Vec<Option<Fp>> {
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .iter()
+            .map(|&x| {
+                let mut p = CirEval::new(params, circuit.clone(), Fp::from_u64(x));
+                p.set_packing(ell);
+                Box::new(p) as Box<dyn Protocol<Msg>>
+            })
+            .collect();
+        let cfg = if sync {
+            NetConfig::synchronous(params.n)
+        } else {
+            NetConfig::asynchronous(params.n)
+        }
+        .with_seed(seed);
+        let mut sim = Simulation::new(cfg, CorruptionSet::none(), parties);
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
+        let done = sim.run_until(horizon, |s| {
+            (0..params.n).all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        });
+        assert!(done, "packed evaluation did not finish before the horizon");
+        (0..params.n)
+            .map(|i| sim.party_as::<CirEval>(i).unwrap().output)
+            .collect()
+    }
+
+    #[test]
+    fn packed_engine_matches_cleartext_two_layers() {
+        // Two multiplication layers, enough gates per layer to exercise both
+        // real and padding slots at ℓ = 2 and ℓ = 4.
+        let params = Params::new(7, 1, 1, 10);
+        let mut circuit = Circuit::new(7);
+        let m: Vec<_> = (0..3)
+            .map(|i| circuit.mul(circuit.input(2 * i), circuit.input(2 * i + 1)))
+            .collect();
+        let s01 = circuit.add(m[0], m[1]);
+        let top = circuit.mul(s01, m[2]);
+        let out = circuit.add(top, circuit.input(6));
+        circuit.set_output(out);
+        let inputs = [3u64, 5, 7, 11, 13, 17, 19];
+        let expected = (3 * 5 + 7 * 11) * (13 * 17) + 19;
+        for ell in [1, 2, 4] {
+            for sync in [true, false] {
+                let outs =
+                    run_circuit_packed(params, &circuit, &inputs, ell, sync, 40 + ell as u64);
+                for o in outs {
+                    assert_eq!(o.unwrap().as_u64(), expected, "ell={ell} sync={sync}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_engine_linear_circuit_and_metrics_fields() {
+        let params = Params::new(7, 1, 1, 10);
+        let circuit = Circuit::sum_of_inputs(7);
+        let inputs = [1u64, 2, 3, 4, 5, 6, 7];
+        let outs = run_circuit_packed(params, &circuit, &inputs, 4, true, 50);
+        for o in outs {
+            assert_eq!(o.unwrap().as_u64(), 28);
+        }
+    }
+
+    #[test]
+    fn packed_engine_opens_fewer_values_per_layer() {
+        // One layer of 8 multiplications: scalar opens 16 values, ℓ = 4
+        // packs them into 2 blocks of 2 opened values each.
+        let params = Params::new(7, 1, 1, 10);
+        let mut circuit = Circuit::new(7);
+        let mut acc = circuit.mul(circuit.input(0), circuit.input(1));
+        for _ in 0..7 {
+            let m = circuit.mul(circuit.input(2), circuit.input(3));
+            let s = circuit.add(acc, m);
+            acc = s;
+        }
+        circuit.set_output(acc);
+        // ^ all 8 muls live in layer 0 (inputs only), then linear gates.
+        let inputs = [2u64, 3, 4, 5, 1, 1, 1];
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .iter()
+            .map(|&x| {
+                let mut p = CirEval::new(params, circuit.clone(), Fp::from_u64(x));
+                p.set_packing(4);
+                Box::new(p) as Box<dyn Protocol<Msg>>
+            })
+            .collect();
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n).with_seed(60),
+            CorruptionSet::none(),
+            parties,
+        );
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
+        assert!(sim.run_until(horizon, |s| {
+            (0..params.n).all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        }));
+        let p = sim.party_as::<CirEval>(0).unwrap();
+        assert_eq!(p.output.unwrap().as_u64(), 2 * 3 + 7 * (4 * 5));
+        assert_eq!(p.packed_width, 4);
+        assert_eq!(p.values_opened_by_layer, vec![4]); // 2 blocks × [D, E]
     }
 
     #[test]

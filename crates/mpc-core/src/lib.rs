@@ -9,6 +9,9 @@
 //! * [`cireval`] — `Π_CirEval` (Fig 11): input sharing via `Π_ACS`, the
 //!   triple-generation preprocessing phase (`Π_TripSh`/`Π_PreProcessing`,
 //!   Figs 8, 10), shared circuit evaluation and the termination phase.
+//! * [`packing`] — the static plan behind the packed (Franklin–Yung) SIMD
+//!   evaluation path: width-`ℓ` gate blocks, slot-position sets and the
+//!   canonical deal layout.
 //! * [`builder`] — [`MpcBuilder`], the one-call API used by the examples and
 //!   experiments.
 
@@ -19,9 +22,11 @@ pub mod builder;
 pub mod circuit;
 pub mod cireval;
 pub mod openings;
+pub mod packing;
 pub mod thresholds;
 pub mod triples;
 
 pub use builder::{MpcBuilder, MpcRunResult};
 pub use circuit::{Circuit, Gate, Wire};
 pub use cireval::CirEval;
+pub use packing::PackedPlan;

@@ -5,11 +5,19 @@
 //! party sends its share to everyone and applies `OEC(t_s, t_s, P)` on what it
 //! receives. [`OpeningManager`] tracks any number of such reconstructions in
 //! parallel, keyed by a deterministic tag agreed implicitly by all parties.
+//!
+//! Two reconstruction flavours share the machinery: the classic
+//! [`OpeningManager::try_reconstruct`] recovers each value's secret at `0`
+//! (constant term), while [`OpeningManager::try_reconstruct_at`] recovers the
+//! full decoded polynomials evaluated at an arbitrary public point set — the
+//! packed engine uses it to read all `ℓ` slot values out of one opening.
+//! A given tag must only ever be used with one flavour (the result cache is
+//! shared).
 
 use std::collections::{BTreeMap, HashMap};
 
 use mpc_algebra::evaluation_points::alpha;
-use mpc_algebra::{rs, Fp};
+use mpc_algebra::{rs, Fp, Polynomial};
 use mpc_net::{Context, PartyId};
 use mpc_protocols::Msg;
 
@@ -19,6 +27,43 @@ pub struct OpeningManager {
     received: HashMap<u32, BTreeMap<PartyId, Vec<Fp>>>,
     opened: HashMap<u32, Vec<Fp>>,
     my_batches: HashMap<u32, usize>,
+    /// Sender count at the last *failed* decode attempt per tag. `on_open`
+    /// only ever adds senders, so an unchanged count means no new
+    /// information — the retry (openings are re-attempted on every message
+    /// delivery) is skipped without rebuilding columns.
+    last_attempt: HashMap<u32, usize>,
+}
+
+/// Decodes every value of a batch to its full sharing polynomial.
+///
+/// When every sender supplied a full batch (the honest-sender common case)
+/// all `count` values share one evaluation-point vector, so the OEC
+/// interpolate-and-verify basis is built once for the whole batch
+/// ([`rs::oec_decode_batch`]); ragged (Byzantine-shortened) batches fall
+/// back to the per-value loop.
+fn decode_polys(
+    received: &BTreeMap<PartyId, Vec<Fp>>,
+    count: usize,
+    degree: usize,
+    t: usize,
+) -> Option<Vec<Polynomial>> {
+    if count > 0 && received.values().all(|v| v.len() >= count) {
+        let xs: Vec<Fp> = received.keys().map(|&p| alpha(p)).collect();
+        let columns: Vec<Vec<Fp>> = (0..count)
+            .map(|idx| received.values().map(|v| v[idx]).collect())
+            .collect();
+        rs::oec_decode_batch(degree, t, &xs, &columns)
+    } else {
+        let mut out = Vec::with_capacity(count);
+        for idx in 0..count {
+            let pts: Vec<(Fp, Fp)> = received
+                .iter()
+                .filter_map(|(&p, v)| v.get(idx).map(|&s| (alpha(p), s)))
+                .collect();
+            out.push(rs::oec_decode(degree, t, &pts)?);
+        }
+        Some(out)
+    }
 }
 
 impl OpeningManager {
@@ -49,65 +94,96 @@ impl OpeningManager {
             .or_insert(values);
     }
 
+    /// Runs the shared decode pipeline for `tag` (early-outs, failed-attempt
+    /// memo) and returns the decoded polynomials on first success.
+    fn decode(
+        &mut self,
+        tag: u32,
+        count: usize,
+        degree: usize,
+        t: usize,
+    ) -> Option<Vec<Polynomial>> {
+        let received = self.received.get(&tag)?;
+        // `OEC(d, t, ·)` cannot succeed on fewer than `d + t + 1` points
+        // (see `rs::oec_decode`); bail out before building the per-value
+        // columns — reconstruction is re-attempted on every delivery, so
+        // this early exit runs on the hot path of every opening round.
+        if received.len() < degree + t + 1 {
+            return None;
+        }
+        if self.last_attempt.get(&tag) == Some(&received.len()) {
+            return None;
+        }
+        match decode_polys(received, count, degree, t) {
+            Some(polys) => {
+                self.last_attempt.remove(&tag);
+                Some(polys)
+            }
+            None => {
+                self.last_attempt.insert(tag, received.len());
+                None
+            }
+        }
+    }
+
     /// Attempts to reconstruct the batch under `tag` (containing `count`
     /// values, each shared with degree `degree` and at most `t` corrupt
-    /// shares). Results are cached once successful.
-    ///
-    /// When every sender supplied a full batch (the honest-sender common
-    /// case) all `count` values share one evaluation-point vector, so the
-    /// OEC interpolate-and-verify basis is built once for the whole batch
-    /// ([`rs::oec_decode_batch`]); ragged (Byzantine-shortened) batches fall
-    /// back to the per-value loop.
+    /// shares). Returns the secrets (the value of each sharing polynomial at
+    /// `0`). Results are cached once successful.
     pub fn try_reconstruct(
         &mut self,
         tag: u32,
         count: usize,
         degree: usize,
         t: usize,
-    ) -> Option<&Vec<Fp>> {
+    ) -> Option<&[Fp]> {
         if !self.opened.contains_key(&tag) {
-            let received = self.received.get(&tag)?;
-            // `OEC(d, t, ·)` cannot succeed on fewer than `d + t + 1` points
-            // (see `rs::oec_decode`); bail out before building the per-value
-            // columns — reconstruction is re-attempted on every delivery, so
-            // this early exit runs on the hot path of every opening round.
-            if received.len() < degree + t + 1 {
-                return None;
-            }
-            let out = if count > 0 && received.values().all(|v| v.len() >= count) {
-                let xs: Vec<Fp> = received.keys().map(|&p| alpha(p)).collect();
-                let columns: Vec<Vec<Fp>> = (0..count)
-                    .map(|idx| received.values().map(|v| v[idx]).collect())
-                    .collect();
-                let polys = rs::oec_decode_batch(degree, t, &xs, &columns)?;
-                polys.iter().map(|p| p.constant_term()).collect()
-            } else {
-                let mut out = Vec::with_capacity(count);
-                for idx in 0..count {
-                    let pts: Vec<(Fp, Fp)> = received
-                        .iter()
-                        .filter_map(|(&p, v)| v.get(idx).map(|&s| (alpha(p), s)))
-                        .collect();
-                    let poly = rs::oec_decode(degree, t, &pts)?;
-                    out.push(poly.constant_term());
-                }
-                out
-            };
+            let polys = self.decode(tag, count, degree, t)?;
+            let out = polys.iter().map(|p| p.constant_term()).collect();
             self.opened.insert(tag, out);
         }
-        self.opened.get(&tag)
+        self.opened.get(&tag).map(Vec::as_slice)
+    }
+
+    /// Attempts to reconstruct the batch under `tag` and evaluate every
+    /// decoded polynomial at each of the given public `points` — the packed
+    /// opening: one tag carries a whole ℓ-block, and the slot points unpack
+    /// it into `count · points.len()` public values.
+    ///
+    /// The result is flattened value-major: entry `v · points.len() + k` is
+    /// value `v` evaluated at `points[k]`. Cached once successful (under the
+    /// same cache as [`OpeningManager::try_reconstruct`] — do not mix
+    /// flavours on one tag).
+    pub fn try_reconstruct_at(
+        &mut self,
+        tag: u32,
+        count: usize,
+        degree: usize,
+        t: usize,
+        points: &[Fp],
+    ) -> Option<&[Fp]> {
+        if !self.opened.contains_key(&tag) {
+            let polys = self.decode(tag, count, degree, t)?;
+            let mut out = Vec::with_capacity(count * points.len());
+            for poly in &polys {
+                out.extend(points.iter().map(|&x| poly.evaluate(x)));
+            }
+            self.opened.insert(tag, out);
+        }
+        self.opened.get(&tag).map(Vec::as_slice)
     }
 
     /// The reconstructed batch, if already available.
-    pub fn get(&self, tag: u32) -> Option<&Vec<Fp>> {
-        self.opened.get(&tag)
+    pub fn get(&self, tag: u32) -> Option<&[Fp]> {
+        self.opened.get(&tag).map(Vec::as_slice)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpc_algebra::shamir;
+    use mpc_algebra::evaluation_points::slot;
+    use mpc_algebra::{shamir, PackedDomain};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -126,7 +202,7 @@ mod tests {
             }
             mgr.on_open(p, 7, values);
         }
-        let out = mgr.try_reconstruct(7, 2, t, t).unwrap().clone();
+        let out = mgr.try_reconstruct(7, 2, t, t).unwrap().to_vec();
         assert_eq!(out, vec![Fp::from_u64(11), Fp::from_u64(22)]);
     }
 
@@ -141,5 +217,62 @@ mod tests {
             mgr.on_open(p, 1, vec![s.shares[p]]);
         }
         assert!(mgr.try_reconstruct(1, 1, t, t).is_none());
+    }
+
+    #[test]
+    fn reconstruct_at_unpacks_slot_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, ts, ell) = (8, 1, 3);
+        let dom = PackedDomain::get(n, ell);
+        let degree = ts + ell - 1;
+        let va: Vec<Fp> = (0..ell as u64).map(|v| Fp::from_u64(100 + v)).collect();
+        let vb: Vec<Fp> = (0..ell as u64).map(|v| Fp::from_u64(200 + v)).collect();
+        let sa = dom.share(&mut rng, &va, ts);
+        let sb = dom.share(&mut rng, &vb, ts);
+        let mut mgr = OpeningManager::new();
+        for p in 0..n {
+            let mut values = vec![sa.shares[p], sb.shares[p]];
+            if p == 5 {
+                values[1] += Fp::from_u64(3); // corrupt share, within OEC budget
+            }
+            mgr.on_open(p, 9, values);
+        }
+        let slots: Vec<Fp> = (0..ell).map(slot).collect();
+        let out = mgr
+            .try_reconstruct_at(9, 2, degree, ts, &slots)
+            .unwrap()
+            .to_vec();
+        assert_eq!(out[..ell], va[..]);
+        assert_eq!(out[ell..], vb[..]);
+    }
+
+    #[test]
+    fn failed_attempts_are_memoised_until_new_senders_arrive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 7;
+        let t = 2;
+        let s = shamir::share(&mut rng, Fp::from_u64(77), t, n);
+        let mut mgr = OpeningManager::new();
+        // d + t + 1 = 5 senders, but two of them lie → decode fails.
+        for p in 0..5 {
+            let mut v = vec![s.shares[p]];
+            if p < 2 {
+                v[0] += Fp::from_u64(1);
+            }
+            mgr.on_open(p, 11, v);
+        }
+        assert!(mgr.try_reconstruct(11, 1, t, t).is_none());
+        assert_eq!(mgr.last_attempt.get(&11), Some(&5));
+        // Same sender set → memoised early-out (no state change).
+        assert!(mgr.try_reconstruct(11, 1, t, t).is_none());
+        // Two more honest senders → retry succeeds.
+        for p in 5..7 {
+            mgr.on_open(p, 11, vec![s.shares[p]]);
+        }
+        assert_eq!(
+            mgr.try_reconstruct(11, 1, t, t),
+            Some(&[Fp::from_u64(77)][..])
+        );
+        assert!(!mgr.last_attempt.contains_key(&11));
     }
 }

@@ -23,6 +23,19 @@ pub struct ResilienceRow {
     pub bobw: (usize, usize),
 }
 
+/// Maximum packed-sharing width `ℓ` supported at `(n, t_s)`.
+///
+/// A packed sharing with base degree `t_s` has total degree
+/// `d = t_s + ℓ − 1`; robust public reconstruction via `OEC(d, t_s, ·)`
+/// needs `n ≥ d + 2·t_s + 1` honest-majority headroom
+/// (`mpc_algebra::rs::oec_decode` requires `d + t + 1` points with at most
+/// `n − (d + t + 1) ≥ t` of them wrong), i.e. `ℓ ≤ n − 3·t_s`.
+/// The best-of-both-worlds feasibility condition `3·t_s + t_a < n`
+/// guarantees this is always ≥ 1.
+pub fn max_packing_width(n: usize, ts: usize) -> usize {
+    n.saturating_sub(3 * ts)
+}
+
 /// Builds the resilience landscape for `n` in `[n_min, n_max]`.
 pub fn resilience_table(n_min: usize, n_max: usize) -> Vec<ResilienceRow> {
     (n_min..=n_max)
@@ -56,6 +69,23 @@ mod tests {
         assert_eq!(row.smpc_ts, 2);
         assert_eq!(row.ampc_ta, 1);
         assert_eq!(row.bobw, (2, 1));
+    }
+
+    #[test]
+    fn packing_width_is_positive_whenever_thresholds_are_feasible() {
+        for n in 4..=40 {
+            for (ts, ta) in feasible_threshold_pairs(n) {
+                assert!(thresholds_feasible(n, ts, ta));
+                assert!(max_packing_width(n, ts) >= 1, "n={n} ts={ts}");
+            }
+        }
+        // Spot checks: the degree budget t_s + ℓ − 1 must leave 2·t_s + 1
+        // headroom for OEC.
+        assert_eq!(max_packing_width(7, 1), 4);
+        assert_eq!(max_packing_width(7, 2), 1);
+        assert_eq!(max_packing_width(10, 1), 7);
+        assert_eq!(max_packing_width(13, 1), 10);
+        assert_eq!(max_packing_width(4, 1), 1);
     }
 
     #[test]

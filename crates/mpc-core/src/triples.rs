@@ -45,6 +45,21 @@ pub fn beaver_output_share(d: Fp, e: Fp, triple: &TripleShare) -> Fp {
     d * e + d * triple.b + e * triple.a + triple.c
 }
 
+/// Beaver's output step for the packed engine, expressed on *position-form*
+/// shares: given the publicly reconstructed slot values `d = x − a`,
+/// `e = y − b` and this party's shares `fa, fb, fc` of the slot triple
+/// positioned at some common point `p`, returns the party's share of a
+/// degree-`t_s` sharing of `z = x·y` positioned at the same `p`:
+/// `z@p = d·e + d·fb@p + e·fa@p + fc@p`.
+///
+/// The identity holds pointwise because the triple's `(a, b, c)` carry the
+/// *same* secret at every dealt position — re-positioning the output is free
+/// and keeps the degree at `t_s` instead of the `t_s + 2ℓ − 2` a naive packed
+/// product would cost.
+pub fn packed_z_form_share(d: Fp, e: Fp, fa: Fp, fb: Fp, fc: Fp) -> Fp {
+    d * e + d * fb + e * fa + fc
+}
+
 /// This party's share of `P(target)` where `P` is the unique polynomial of
 /// degree `< points.len()` with `P(x_i) = v_i` and `share_i` is the party's
 /// share of `v_i` — the "Lagrange linear function" applied locally to shares
@@ -130,6 +145,37 @@ mod tests {
             })
             .collect();
         assert_eq!(shamir::reconstruct(t, &z_shares).unwrap(), x * y + fp(1));
+    }
+
+    #[test]
+    fn packed_z_form_recovers_product_at_arbitrary_position() {
+        // Share x, y, a, b, c = a·b all positioned at the same non-zero point
+        // `p`; the z-form combination must be a degree-t sharing of x·y
+        // positioned at `p` as well.
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 7;
+        let t = 2;
+        let p = fp(424_242);
+        let (x, y, a, b) = (fp(21), fp(43), fp(900), fp(77));
+        let c = a * b;
+        let sa = shamir::share_at(&mut rng, a, p, t, n);
+        let sb = shamir::share_at(&mut rng, b, p, t, n);
+        let sc = shamir::share_at(&mut rng, c, p, t, n);
+        let d = x - a;
+        let e = y - b;
+        let z_shares: Vec<(Fp, Fp)> = (0..n)
+            .map(|i| {
+                let z = packed_z_form_share(d, e, sa.shares[i], sb.shares[i], sc.shares[i]);
+                (alpha(i), z)
+            })
+            .collect();
+        let zp = Polynomial::interpolate(&z_shares[..t + 1]);
+        assert_eq!(zp.evaluate(p), x * y);
+        // degree stays ≤ t: the interpolation through t+1 shares already
+        // matches every other share.
+        for &(xi, zi) in &z_shares[t + 1..] {
+            assert_eq!(zp.evaluate(xi), zi);
+        }
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub struct Metrics {
     /// tick was clamped forward). A diagnostic for real-time jitter; 0 in a
     /// healthy run. Excluded from `PartialEq`.
     pub late_packets: u64,
+    /// Effective packed-evaluation width `ℓ` of the run (0 = scalar engine).
+    /// Protocol *configuration*, injected post-run by the builder — excluded
+    /// from `PartialEq` so a run's fingerprint stays defined by what went on
+    /// the wire, not by which knob produced it.
+    pub packed_width: u64,
+    /// Publicly opened values per multiplication layer, as reported by the
+    /// first honest party (layer-batched scalar and packed engines; empty on
+    /// the per-gate reference path). Builder-injected observability — the
+    /// packing experiment's headline statistic — excluded from `PartialEq`
+    /// like the other harness fields.
+    pub values_opened_by_layer: Vec<u64>,
 }
 
 impl PartialEq for Metrics {
@@ -112,9 +123,11 @@ impl PartialEq for Metrics {
             worker_threads: _,   // harness observability: see the struct docs
             honest_bits_by_root_segment,
             honest_bits_by_party,
-            timeouts_fired: _,    // real-time pacing observability
-            held_packets_peak: _, // real-time pacing observability
-            late_packets: _,      // real-time pacing observability
+            timeouts_fired: _,         // real-time pacing observability
+            held_packets_peak: _,      // real-time pacing observability
+            late_packets: _,           // real-time pacing observability
+            packed_width: _,           // builder-injected configuration echo
+            values_opened_by_layer: _, // builder-injected observability
         } = self;
         *honest_messages == other.honest_messages
             && *honest_bits == other.honest_bits
@@ -176,6 +189,14 @@ impl Metrics {
         self.timeouts_fired += other.timeouts_fired;
         self.held_packets_peak = self.held_packets_peak.max(other.held_packets_peak);
         self.late_packets += other.late_packets;
+        self.packed_width = self.packed_width.max(other.packed_width);
+        if self.values_opened_by_layer.len() < other.values_opened_by_layer.len() {
+            self.values_opened_by_layer
+                .resize(other.values_opened_by_layer.len(), 0);
+        }
+        for (i, v) in other.values_opened_by_layer.iter().enumerate() {
+            self.values_opened_by_layer[i] = self.values_opened_by_layer[i].max(*v);
+        }
         for (seg, bits) in &other.honest_bits_by_root_segment {
             *self.honest_bits_by_root_segment.entry(*seg).or_insert(0) += bits;
         }

@@ -151,6 +151,12 @@ pub enum Msg {
     },
     /// Termination-phase `(ready, y)` message of `Π_CirEval`.
     Ready(Vec<Fp>),
+    /// Dealer → party (point-to-point): one flat vector of slot-positioned
+    /// sharing evaluations for the packed circuit engine — the sender's
+    /// input-slot sharings followed by the triple sharings of every gate
+    /// block assigned to it, in the canonical layout both sides derive from
+    /// the agreed common subset `CS₁`.
+    PackedDeal(Vec<Fp>),
 }
 
 // ---------------------------------------------------------------------------
@@ -451,6 +457,10 @@ impl WireEncode for Msg {
                 out.push(6);
                 put_fp_vec(out, v);
             }
+            Msg::PackedDeal(v) => {
+                out.push(7);
+                put_fp_vec(out, v);
+            }
         }
     }
 
@@ -463,6 +473,7 @@ impl WireEncode for Msg {
             Msg::Points(v) => 4 + 8 * v.len(),
             Msg::Open { values, .. } => 4 + 4 + 8 * values.len(),
             Msg::Ready(v) => 4 + 8 * v.len(),
+            Msg::PackedDeal(v) => 4 + 8 * v.len(),
         }
     }
 }
@@ -484,6 +495,7 @@ impl WireDecode for Msg {
                 values: get_fp_vec(r)?,
             }),
             6 => Ok(Msg::Ready(get_fp_vec(r)?)),
+            7 => Ok(Msg::PackedDeal(get_fp_vec(r)?)),
             tag => invalid_tag(tag, "Msg"),
         }
     }
@@ -558,6 +570,8 @@ mod tests {
             values: vec![Fp::from_u64(8)],
         });
         roundtrip(Msg::Ready(vec![Fp::from_u64(1)]));
+        roundtrip(Msg::PackedDeal(vec![Fp::from_u64(6), Fp::from_u64(7)]));
+        roundtrip(Msg::PackedDeal(vec![]));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! `rs::oec_decode_reference` precisely so this file can say so with
 //! proptest rather than by inspection.
 
-use bobw_mpc::algebra::evaluation_points::alpha;
-use bobw_mpc::algebra::{rs, EvalDomain, Fp, LagrangeBasis, Polynomial};
+use bobw_mpc::algebra::evaluation_points::{alpha, slot};
+use bobw_mpc::algebra::{rs, shamir, EvalDomain, Fp, LagrangeBasis, PackedDomain, Polynomial};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -217,6 +217,103 @@ proptest! {
             }
             None => prop_assert!(per_value.iter().any(|p| p.is_none())),
         }
+    }
+
+    /// Packed share → reconstruct is the identity on the slot values, the
+    /// dealt polynomial respects the `ts + ℓ − 1` degree budget, and robust
+    /// reconstruction corrects up to `t` corrupted shares to the same values.
+    #[test]
+    fn packed_share_reconstruct_roundtrip(
+        seed in any::<u64>(),
+        ell in 1usize..5,
+        ts in 0usize..3,
+        vals in proptest::collection::vec(any::<u64>(), 4),
+        errors in 0usize..3,
+    ) {
+        let n = 13; // plenty of room: needs ts + ell + 2·errors ≤ n
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = vals[..ell].iter().map(|&v| fp(v)).collect();
+        let sharing = dom.share(&mut rng, &values, ts);
+        let degree = ts + ell - 1;
+        prop_assert!(sharing.polynomial.degree() <= degree);
+        for (k, &v) in values.iter().enumerate() {
+            prop_assert_eq!(sharing.polynomial.evaluate(slot(k)), v);
+        }
+        let all: Vec<(usize, Fp)> =
+            sharing.shares.iter().copied().enumerate().collect();
+        prop_assert_eq!(
+            dom.reconstruct(degree, &all[..degree + 1]),
+            Some(values.clone())
+        );
+        // corrupt up to `errors` shares; OEC must still return the values
+        let t = errors.max(1);
+        let mut noisy = all.clone();
+        for (i, share) in noisy.iter_mut().enumerate().take(errors) {
+            share.1 += fp(1 + i as u64);
+        }
+        prop_assert_eq!(
+            dom.reconstruct_robust(degree, t, &noisy),
+            Some(values)
+        );
+    }
+
+    /// `shamir::share_at` positions the secret at an arbitrary point with
+    /// the exact degree asked for, and reconstruction at that point from any
+    /// `degree + 1` shares recovers it.
+    #[test]
+    fn share_at_positions_and_reconstructs(
+        seed in any::<u64>(),
+        value in any::<u64>(),
+        k in 0usize..4,
+        degree in 1usize..5,
+    ) {
+        let n = 10;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let position = slot(k);
+        let sharing = shamir::share_at(&mut rng, fp(value), position, degree, n);
+        prop_assert_eq!(sharing.shares.len(), n);
+        prop_assert!(sharing.polynomial.degree() <= degree);
+        let pts: Vec<(Fp, Fp)> = (0..degree + 1)
+            .map(|i| (alpha(i), sharing.shares[i]))
+            .collect();
+        let f = Polynomial::interpolate(&pts);
+        prop_assert_eq!(f.evaluate(position), fp(value));
+        // all n shares lie on the same degree-`degree` polynomial
+        for (i, &s) in sharing.shares.iter().enumerate() {
+            prop_assert_eq!(f.evaluate(alpha(i)), s);
+        }
+    }
+
+    /// `pack_share` (the local slot→packed linear combination) == dealing
+    /// the packed sharing directly: packing per-slot sharings of degree `d`
+    /// yields shares of a degree `d + ℓ − 1` polynomial hitting each value
+    /// at its slot.
+    #[test]
+    fn pack_share_matches_direct_packed_sharing(
+        seed in any::<u64>(),
+        ell in 1usize..5,
+        d in 1usize..3,
+        vals in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let n = 13;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dom = PackedDomain::get(n, ell);
+        let values: Vec<Fp> = vals[..ell].iter().map(|&v| fp(v)).collect();
+        // slot-positioned scalar sharings, one per slot
+        let slot_sharings: Vec<Vec<Fp>> = values
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| shamir::share_at(&mut rng, v, slot(k), d, n).shares)
+            .collect();
+        let packed: Vec<(usize, Fp)> = (0..n)
+            .map(|i| {
+                let per_slot: Vec<Fp> =
+                    slot_sharings.iter().map(|s| s[i]).collect();
+                (i, dom.pack_share(i, &per_slot))
+            })
+            .collect();
+        prop_assert_eq!(dom.reconstruct(d + ell - 1, &packed), Some(values));
     }
 }
 

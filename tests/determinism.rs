@@ -327,6 +327,11 @@ fn full_mpc_metrics_bit_identical_to_pre_refactor_golden() {
                 .threads(threads)
                 .frames(false)
                 .per_gate_openings(true)
+                // Golden fingerprints pin the scalar engine explicitly: a
+                // CI lane exports MPC_PACKING, and the packed engine is a
+                // different (equally correct) protocol with its own wire
+                // transcript.
+                .packing(0)
                 // The golden pins the simulator's exact completion tick and
                 // event count, so the backend is explicit: under
                 // MPC_TRANSPORT=threaded the run would stop at a different
@@ -380,6 +385,8 @@ fn full_mpc_metrics_golden_batched() {
                 .inputs(&[3, 5, 7, 11])
                 .threads(threads)
                 .frames(true)
+                // Scalar engine pinned — see the golden above.
+                .packing(0)
                 .transport(Backend::Simulator)
                 .run(&c)
                 .expect("run completes");

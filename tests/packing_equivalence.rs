@@ -1,0 +1,212 @@
+//! Equivalence suite for the packed (Franklin–Yung SIMD) evaluation engine:
+//! for every circuit, every packing width and both network kinds, the packed
+//! engine must compute exactly what the scalar engine computes — which is
+//! exactly the cleartext evaluation.
+//!
+//! Also asserts the packing experiment's headline: at ℓ = 4 each
+//! multiplication layer publicly opens at most half the values the scalar
+//! engine opens, and the run communicates fewer honest bits, on both
+//! transport backends.
+
+use bobw_mpc::algebra::Fp;
+use bobw_mpc::core::{Circuit, MpcBuilder, Wire};
+use bobw_mpc::net::{
+    Backend, ByzantineStrategy, Crash, EquivocateBroadcast, GarbleBytes, NetworkKind, Passive,
+    WireEncode,
+};
+use bobw_mpc::protocols::{AcastMsg, BcValue, Msg};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random circuit generator (same shape family as `random_circuits.rs`, but
+/// over `n = 7` inputs so packing widths up to 4 are feasible at `t_s = 1`).
+fn random_circuit(seed: u64, n: usize, gates: usize, max_mults: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let mut wires: Vec<Wire> = (0..n).map(|i| c.input(i)).collect();
+    let mut mults = 0usize;
+    for _ in 0..gates {
+        let a = wires[rng.gen_range(0..wires.len())];
+        let b = wires[rng.gen_range(0..wires.len())];
+        let w = match rng.gen_range(0..5) {
+            0 if mults < max_mults => {
+                mults += 1;
+                c.mul(a, b)
+            }
+            1 => c.sub(a, b),
+            2 => c.mul_const(a, Fp::from_u64(rng.gen_range(1..100))),
+            3 => c.add_const(a, Fp::from_u64(rng.gen_range(1..100))),
+            _ => c.add(a, b),
+        };
+        wires.push(w);
+    }
+    c.set_output(*wires.last().expect("at least the inputs exist"));
+    c
+}
+
+fn run(circuit: &Circuit, inputs: &[u64], ell: usize, kind: NetworkKind, seed: u64) -> Fp {
+    MpcBuilder::new(7, 1, 1)
+        .network(kind)
+        .seed(seed)
+        .inputs(inputs)
+        .packing(ell)
+        .run(circuit)
+        .expect("run completes")
+        .output
+}
+
+proptest! {
+    // Full-stack MPC runs are expensive; a few random shapes per width and
+    // network kind already cover block padding, multi-consumer wires and
+    // output-cone re-positioning.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn packed_matches_scalar_and_cleartext_on_random_circuits(
+        seed in any::<u64>(),
+        inputs in proptest::collection::vec(1u64..1_000_000, 7),
+    ) {
+        let circuit = random_circuit(seed, 7, 10, 4);
+        let expected = circuit.evaluate_clear(
+            &inputs.iter().map(|&x| Fp::from_u64(x)).collect::<Vec<_>>(),
+        );
+        for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+            let scalar = run(&circuit, &inputs, 0, kind, seed ^ 0x5CA1A);
+            prop_assert_eq!(scalar, expected, "scalar engine, {:?}", kind);
+            for ell in [1usize, 2, 4] {
+                let packed = run(&circuit, &inputs, ell, kind, seed ^ 0xFACADE);
+                prop_assert_eq!(packed, expected, "packed ell={}, {:?}", ell, kind);
+            }
+        }
+    }
+}
+
+/// The packed engine under every wire-level Byzantine strategy × both
+/// network kinds: `t_s = t_a = 1` corruption at `n = 7`, output must match
+/// the cleartext evaluation with the corrupt party's input zeroed when its
+/// misbehaviour gets it excluded from `CS₁` (Crash/GarbleBytes), or taken
+/// verbatim when it stays wire-honest (Passive) — in every case all honest
+/// parties must agree and terminate.
+#[test]
+fn packed_engine_survives_wire_level_byzantine_strategies() {
+    let n = 7;
+    let mut circuit = Circuit::new(n);
+    let m1 = circuit.mul(circuit.input(0), circuit.input(1));
+    let m2 = circuit.mul(circuit.input(2), circuit.input(3));
+    let s = circuit.add(m1, m2);
+    let top = circuit.mul(s, circuit.input(4));
+    let out = circuit.add(top, circuit.input(5));
+    circuit.set_output(out);
+    let inputs = [3u64, 5, 7, 11, 2, 13, 17];
+    type MakeStrategy = Box<dyn Fn() -> Box<dyn ByzantineStrategy>>;
+    let strategies: Vec<(&str, MakeStrategy)> = vec![
+        ("passive", Box::new(|| Box::new(Passive))),
+        ("crash", Box::new(|| Box::new(Crash))),
+        ("garble", Box::new(|| Box::new(GarbleBytes))),
+        (
+            "equivocate",
+            Box::new(|| {
+                Box::new(EquivocateBroadcast {
+                    alt: Msg::Acast(AcastMsg::Send(BcValue::Bit(true))).encode(),
+                })
+            }),
+        ),
+    ];
+    for kind in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+        for (name, make) in &strategies {
+            let result = MpcBuilder::new(n, 1, 1)
+                .network(kind)
+                .seed(0xE14)
+                .inputs(&inputs)
+                .corrupt(&[6])
+                .byzantine_strategy(make())
+                .packing(4)
+                .horizon_factor(16)
+                .run(&circuit)
+                .expect("honest parties must terminate");
+            // Input 6 does not feed the output, so the honest result is the
+            // same whether or not party 6 made it into CS₁.
+            let expected: u64 = (3 * 5 + 7 * 11) * 2 + 13;
+            assert_eq!(
+                result.output.as_u64(),
+                expected,
+                "strategy {name}, {kind:?}"
+            );
+        }
+    }
+}
+
+/// The headline perf claim, asserted as a test on BOTH transport backends:
+/// at ℓ = 4 on a layered multiplication circuit, every layer opens at most
+/// half the values the scalar engine opens, and the total honest-bit count
+/// is strictly lower.
+#[test]
+fn packed_width_4_halves_openings_and_bits_on_both_backends() {
+    let n = 7;
+    let circuit = Circuit::layered(n, 8, 2);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| i + 2).collect();
+    for backend in [Backend::Simulator, Backend::Threaded] {
+        let run = |ell: usize| {
+            MpcBuilder::new(n, 1, 1)
+                .network(NetworkKind::Synchronous)
+                .seed(0xE14)
+                .inputs(&inputs)
+                .packing(ell)
+                .transport(backend)
+                .run(&circuit)
+                .expect("run completes")
+        };
+        let scalar = run(0);
+        let packed = run(4);
+        assert_eq!(scalar.output, packed.output, "{backend:?} outputs agree");
+        assert_eq!(packed.metrics.packed_width, 4);
+        assert_eq!(scalar.metrics.packed_width, 0);
+        assert_eq!(
+            scalar.metrics.values_opened_by_layer.len(),
+            packed.metrics.values_opened_by_layer.len(),
+            "{backend:?}: same multiplication depth"
+        );
+        for (l, (&p, &s)) in packed
+            .metrics
+            .values_opened_by_layer
+            .iter()
+            .zip(&scalar.metrics.values_opened_by_layer)
+            .enumerate()
+        {
+            assert!(
+                2 * p <= s,
+                "{backend:?} layer {l}: packed opens {p}, scalar {s}"
+            );
+        }
+        assert!(
+            packed.metrics.honest_bits < scalar.metrics.honest_bits,
+            "{backend:?}: packed must cost fewer honest bits ({} vs {})",
+            packed.metrics.honest_bits,
+            scalar.metrics.honest_bits
+        );
+    }
+}
+
+/// Packed runs are deterministic: same seed → same output, same metrics
+/// fingerprint, including across simulator worker-thread counts.
+#[test]
+fn packed_runs_are_deterministic_across_threads() {
+    let circuit = Circuit::layered(7, 5, 2);
+    let inputs: Vec<u64> = (0..7).map(|i| i + 2).collect();
+    let run = |threads: usize| {
+        let r = MpcBuilder::new(7, 1, 1)
+            .network(NetworkKind::Asynchronous)
+            .seed(99)
+            .inputs(&inputs)
+            .packing(2)
+            .threads(threads)
+            .run(&circuit)
+            .expect("run completes");
+        (r.output, r.finished_at, r.metrics)
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2, "metrics fingerprint must not depend on threads");
+}
