@@ -1,0 +1,135 @@
+//! `sweep` — the adversarial guarantee-checking sweep.
+//!
+//! Runs the default matrix from [`mpc_core::sweeps`] (corruption placement ×
+//! Byzantine strategy × fault preset × network kind, per backend), checks
+//! every cell against the paper's guarantee matrix, then runs the harness's
+//! negative control (an injected violation that must reproduce
+//! bit-identically from its seed).
+//!
+//! Environment knobs:
+//!
+//! * `SWEEP_BACKENDS` — `sim`, `threaded` or `both` (default `both`).
+//! * `SWEEP_SEED` — base RNG seed of every cell (default `1`).
+//! * `SWEEP_FILTER` — substring filter on the cell label (e.g. a fault
+//!   preset name or `slow-sender`); empty runs everything.
+//! * `SWEEP_SMOKE` — non-empty restricts the matrix to the garble strategy
+//!   plus the no-corruption cells (slow-sender, honest-party crash): the CI
+//!   smoke slice, 8 cells per backend.
+//! * `SWEEP_ARTIFACTS` — path of the failing-seed artifact file (default
+//!   `sweep_failures.jsonl`); one JSON line per violated cell, written only
+//!   when there are violations.
+//!
+//! Exit code is non-zero when any cell violates its guarantee or the
+//! negative control fails to reproduce.
+
+use mpc_core::sweeps::{
+    default_matrix, default_workload, negative_control, run_sweep, CellSpec, StrategyKind, Verdict,
+};
+use mpc_net::{Backend, NetworkKind};
+use std::process::ExitCode;
+
+fn env(name: &str, default: &str) -> String {
+    std::env::var(name)
+        .ok()
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() -> ExitCode {
+    let backends: Vec<Backend> = match env("SWEEP_BACKENDS", "both").as_str() {
+        "sim" | "simulator" => vec![Backend::Simulator],
+        "threaded" => vec![Backend::Threaded],
+        _ => vec![Backend::Simulator, Backend::Threaded],
+    };
+    let seed: u64 = env("SWEEP_SEED", "1")
+        .parse()
+        .expect("SWEEP_SEED must be a u64");
+    let filter = env("SWEEP_FILTER", "");
+    let smoke = !env("SWEEP_SMOKE", "").is_empty();
+    let artifacts = env("SWEEP_ARTIFACTS", "sweep_failures.jsonl");
+
+    let (circuit, inputs) = default_workload(5);
+    let cells: Vec<CellSpec> = default_matrix(&backends, seed)
+        .into_iter()
+        .filter(|c| !smoke || c.strategy == StrategyKind::Garble || c.corrupt.is_empty())
+        .filter(|c| filter.is_empty() || c.label().contains(&filter))
+        .collect();
+    println!(
+        "sweep: {} cells (backends {:?}, seed {seed}{})",
+        cells.len(),
+        backends,
+        if smoke { ", smoke slice" } else { "" }
+    );
+
+    let outcome = run_sweep(&cells, &circuit, &inputs);
+    for report in &outcome.reports {
+        let status = match &report.verdict {
+            Verdict::Correct => "ok".to_string(),
+            Verdict::AdmissibleAbort(d) => format!("admissible-abort ({d})"),
+            Verdict::Violation(d) => format!("VIOLATION ({d})"),
+        };
+        println!(
+            "  {:<70} {:>9} ticks  {status}",
+            report.spec.label(),
+            report
+                .finished_at
+                .map_or("-".to_string(), |t| t.to_string()),
+        );
+    }
+    if let Some((worst, report)) = outcome.worst_finished_at() {
+        println!(
+            "worst-case completion: {worst} ticks ({})",
+            report.spec.label()
+        );
+    }
+
+    let violations = outcome.violations();
+    if !violations.is_empty() {
+        let lines: Vec<String> = violations.iter().map(|r| r.artifact_json()).collect();
+        std::fs::write(&artifacts, lines.join("\n") + "\n").expect("write artifact file");
+        println!(
+            "{} violation(s) — artifacts written to {artifacts}:",
+            lines.len()
+        );
+        for line in &lines {
+            println!("  {line}");
+        }
+    } else {
+        println!("zero violations");
+    }
+
+    // Negative control: the harness must flag an injected wrong output and
+    // the artifact must replay bit-identically from the printed line alone.
+    let control_spec = CellSpec {
+        n: 5,
+        ts: 1,
+        ta: 1,
+        delta: 10,
+        network: NetworkKind::Synchronous,
+        backend: Backend::Simulator,
+        corrupt: vec![0],
+        strategy: StrategyKind::Passive,
+        fault_preset: "dup-burst".to_string(),
+        slow_sender: false,
+        packing: 0,
+        seed,
+    };
+    let first = negative_control(&control_spec, &circuit, &inputs);
+    let second = negative_control(&control_spec, &circuit, &inputs);
+    let control_ok = first.is_violation() && first.artifact_json() == second.artifact_json();
+    println!(
+        "negative control: {} — {}",
+        if control_ok {
+            "ok (injected violation reproduced bit-identically)"
+        } else {
+            "FAILED"
+        },
+        first.artifact_json()
+    );
+
+    if violations.is_empty() && control_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -10,11 +10,14 @@
 //! environment variable via [`Backend::from_env`]).
 
 use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use mpc_algebra::Fp;
 use mpc_net::{
-    Backend, ByzantineStrategy, CorruptionSet, LinkDelays, Metrics, NetConfig, NetworkKind,
-    PartyId, PartyView, Protocol, Scheduler, Simulation, ThreadedNet, Time, Transport,
+    AdversaryStructure, Backend, ByzantineStrategy, CorruptionSet, FaultPlan, LinkDelays, Metrics,
+    NetConfig, NetworkKind, PartyId, PartyView, Protocol, Scheduler, Simulation, ThreadedNet,
+    ThresholdAdversary, Time, Transport, TransportError,
 };
 use mpc_protocols::byzantine::SilentParty;
 use mpc_protocols::{Msg, Params};
@@ -27,11 +30,19 @@ use crate::cireval::CirEval;
 pub struct RunError {
     /// Human-readable description.
     pub message: String,
+    /// The transport-layer failure behind this error, when one was detected
+    /// (e.g. [`TransportError::Wedged`] from the threaded backend's
+    /// zero-progress deadline).
+    pub transport: Option<TransportError>,
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.message)?;
+        if let Some(t) = &self.transport {
+            write!(f, " ({t})")?;
+        }
+        Ok(())
     }
 }
 
@@ -60,6 +71,9 @@ pub struct MpcBuilder {
     delta: Time,
     inputs: Vec<Fp>,
     corrupt: CorruptionSet,
+    structure: Option<Arc<dyn AdversaryStructure>>,
+    fault_plan: Option<FaultPlan>,
+    wedge_millis: Option<u64>,
     strategy: Option<Box<dyn ByzantineStrategy>>,
     scheduler: Option<Box<dyn Scheduler>>,
     horizon_factor: u64,
@@ -102,6 +116,9 @@ impl MpcBuilder {
             delta,
             inputs: vec![Fp::ZERO; n],
             corrupt: CorruptionSet::none(),
+            structure: None,
+            fault_plan: None,
+            wedge_millis: None,
             strategy: None,
             scheduler: None,
             horizon_factor: 8,
@@ -157,6 +174,71 @@ impl MpcBuilder {
     pub fn corrupt(mut self, parties: &[PartyId]) -> Self {
         self.corrupt = CorruptionSet::new(parties.to_vec());
         self
+    }
+
+    /// Runs under a pluggable [`AdversaryStructure`] instead of the plain
+    /// `(t_s, t_a)` thresholds of [`MpcBuilder::new`]. The protocol
+    /// parameters are re-derived from the structure's threshold hull
+    /// ([`Params::from_structure`]); at [`MpcBuilder::run`] time the
+    /// [`MpcBuilder::corrupt`] set is validated to be synchronously
+    /// admissible under the structure, and the structure is exposed to the
+    /// transport (e.g. for sweep harness classification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure's party count differs from this builder's `n`,
+    /// or if the structure is infeasible.
+    pub fn adversary(mut self, structure: Arc<dyn AdversaryStructure>) -> Self {
+        assert_eq!(
+            structure.n(),
+            self.params.n,
+            "adversary structure party count must match the builder's n"
+        );
+        self.params = Params::from_structure(structure.as_ref(), self.delta);
+        self.structure = Some(structure);
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] (crashes, partitions,
+    /// drop/duplicate/delay bursts) at the network layer. Honored identically
+    /// by the simulator and the threaded backend, so any failure it provokes
+    /// reproduces from the run's seed alone. When unset, the
+    /// `MPC_FAULT_PLAN` environment variable selects a named
+    /// [`FaultPlan::preset`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the threaded backend's zero-progress deadline: if a party's gate
+    /// makes no progress for this long it records a
+    /// [`TransportError::Wedged`] (surfaced via the run error and counted in
+    /// [`Metrics::wedges`]) and releases the gate instead of stalling
+    /// forever. Ignored on the simulator. Defaults to the `MPC_WEDGE_MS`
+    /// environment variable, then 30 s.
+    pub fn wedge_timeout(mut self, timeout: Duration) -> Self {
+        self.wedge_millis = Some((timeout.as_millis() as u64).max(1));
+        self
+    }
+
+    /// The effective fault plan this builder will run with: the explicit
+    /// [`MpcBuilder::fault_plan`] setting, else the `MPC_FAULT_PLAN`
+    /// environment variable resolved through [`FaultPlan::preset`] with this
+    /// builder's `n` and `Δ`, else no faults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MPC_FAULT_PLAN` names an unknown preset — a fault-injection
+    /// knob that silently does nothing would invalidate whole sweeps.
+    pub fn effective_fault_plan(&self) -> FaultPlan {
+        if let Some(plan) = &self.fault_plan {
+            return plan.clone();
+        }
+        match std::env::var("MPC_FAULT_PLAN") {
+            Ok(name) => FaultPlan::preset(&name, self.params.n, self.delta)
+                .unwrap_or_else(|| panic!("MPC_FAULT_PLAN={name} is not a known fault preset")),
+            Err(_) => FaultPlan::none(),
+        }
     }
 
     /// Applies a wire-level [`ByzantineStrategy`] to every message the
@@ -293,6 +375,20 @@ impl MpcBuilder {
         let corrupt = self.corrupt.clone();
         let wire_level = self.strategy.is_some();
         let packing = self.effective_packing();
+        let fault_plan = self.effective_fault_plan();
+        let structure: Arc<dyn AdversaryStructure> = self
+            .structure
+            .clone()
+            .unwrap_or_else(|| Arc::new(ThresholdAdversary::new(n, params.ts, params.ta)));
+        if !structure.sync_admissible(corrupt.corrupt_parties()) {
+            return Err(RunError {
+                message: format!(
+                    "corrupt set {:?} is not admissible under the adversary structure",
+                    corrupt.corrupt_parties()
+                ),
+                transport: None,
+            });
+        }
         let parties: Vec<Box<dyn Protocol<Msg>>> = (0..n)
             .map(|i| {
                 if corrupt.is_corrupt(i) && !wire_level {
@@ -316,10 +412,14 @@ impl MpcBuilder {
         }
         let backend = self.transport.unwrap_or_else(Backend::from_env);
         let mut net: Box<dyn Transport<Msg>> = match backend {
-            Backend::Simulator => Box::new(match self.scheduler {
-                Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
-                None => Simulation::new(cfg, corrupt.clone(), parties),
-            }),
+            Backend::Simulator => {
+                let mut sim = match self.scheduler {
+                    Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
+                    None => Simulation::new(cfg, corrupt.clone(), parties),
+                };
+                sim.set_fault_plan(fault_plan.clone());
+                Box::new(sim)
+            }
             Backend::Threaded => {
                 // The threaded backend needs frozen per-link latencies: an
                 // explicit matrix wins, then a sampled snapshot of a custom
@@ -335,9 +435,14 @@ impl MpcBuilder {
                 if let Some(micros) = self.tick_micros {
                     th = th.with_tick_micros(micros);
                 }
+                if let Some(millis) = self.wedge_millis {
+                    th = th.with_wedge_millis(millis);
+                }
+                th.set_fault_plan(fault_plan.clone());
                 Box::new(th)
             }
         };
+        net.set_adversary_structure(Arc::clone(&structure));
         if let Some(strategy) = self.strategy {
             net.set_strategy(strategy);
         }
@@ -345,9 +450,16 @@ impl MpcBuilder {
         let party_output = |view: &dyn PartyView<Msg>, i: PartyId| {
             mpc_net::party_as::<CirEval, Msg>(view, i).and_then(|p| p.output)
         };
+        // A plan-crashed party is itself one of the tolerated faults: it
+        // stops processing (and may resume having missed messages), so it is
+        // not owed an output. Requiring one would stall every run that
+        // crashes an otherwise-honest party — the guarantee only covers the
+        // honest parties the plan leaves alive.
+        let crash_targets = fault_plan.crash_targets();
+        let requires_output = |i: PartyId| corrupt.is_honest(i) && !crash_targets.contains(&i);
         let mut pred = |view: &dyn PartyView<Msg>| {
             (0..n)
-                .filter(|&i| corrupt.is_honest(i))
+                .filter(|&i| requires_output(i))
                 .all(|i| party_output(view, i).is_some())
         };
         let done = if self.drain {
@@ -359,17 +471,27 @@ impl MpcBuilder {
         if !done {
             return Err(RunError {
                 message: format!("honest parties did not terminate within horizon {horizon}"),
+                transport: net.last_error().cloned(),
             });
         }
         let view: &dyn PartyView<Msg> = net.as_ref();
         let outputs: Vec<Option<Fp>> = (0..n).map(|i| party_output(view, i)).collect();
+        // Agreement is checked over every honest output that exists — a
+        // plan-crashed party that still produced one must agree too.
         let honest_outputs: Vec<Fp> = (0..n)
             .filter(|&i| corrupt.is_honest(i))
-            .map(|i| outputs[i].expect("checked by predicate"))
+            .filter_map(|i| outputs[i])
             .collect();
+        if honest_outputs.is_empty() {
+            return Err(RunError {
+                message: "no honest party produced an output".to_string(),
+                transport: None,
+            });
+        }
         if honest_outputs.windows(2).any(|w| w[0] != w[1]) {
             return Err(RunError {
                 message: "honest parties disagree on the output".to_string(),
+                transport: None,
             });
         }
         let input_subset = (0..n)
@@ -439,6 +561,67 @@ mod tests {
     #[should_panic(expected = "3*t_s + t_a < n")]
     fn builder_rejects_infeasible_thresholds() {
         let _ = MpcBuilder::new(4, 1, 1);
+    }
+
+    #[test]
+    fn builder_runs_under_explicit_adversary_structure() {
+        let c = Circuit::sum_of_inputs(4);
+        let result = MpcBuilder::new(4, 1, 0)
+            .adversary(Arc::new(ThresholdAdversary::new(4, 1, 0)))
+            .inputs(&[1, 2, 3, 4])
+            .corrupt(&[2])
+            .run(&c)
+            .expect("admissible corrupt set runs");
+        assert_eq!(result.output.as_u64(), 1 + 2 + 4);
+    }
+
+    #[test]
+    fn builder_rejects_inadmissible_corrupt_set() {
+        // A general adversary that only ever corrupts party 0: corrupting
+        // party 3 is outside the structure and must be rejected up front.
+        let g = mpc_net::GeneralAdversary::new(4, vec![vec![0]], vec![]);
+        let c = Circuit::sum_of_inputs(4);
+        let err = MpcBuilder::new(4, 1, 0)
+            .adversary(Arc::new(g))
+            .inputs(&[1, 2, 3, 4])
+            .corrupt(&[3])
+            .run(&c)
+            .expect_err("inadmissible corrupt set must be rejected");
+        assert!(err.message.contains("not admissible"), "{}", err.message);
+        assert!(err.transport.is_none());
+    }
+
+    #[test]
+    fn builder_fault_plan_crash_of_corrupt_party_still_terminates() {
+        // Crashing an already-silent corrupt party at the wire exercises the
+        // fault plumbing end-to-end: honest traffic *to* the crashed party is
+        // dropped (fault_drops > 0) and the honest majority still terminates.
+        let c = Circuit::sum_of_inputs(4);
+        let result = MpcBuilder::new(4, 1, 0)
+            .inputs(&[1, 2, 3, 4])
+            .corrupt(&[3])
+            .fault_plan(FaultPlan::none().crash(3, 0, None))
+            .run(&c)
+            .expect("honest parties terminate despite the crash fault");
+        assert_eq!(result.output.as_u64(), 1 + 2 + 3);
+        assert!(result.metrics.fault_drops > 0);
+    }
+
+    #[test]
+    fn builder_fault_plan_duplicate_burst_is_tolerated() {
+        // Duplicated deliveries must never change the honest output.
+        let c = Circuit::product_of_inputs(4);
+        let baseline = MpcBuilder::new(4, 1, 0)
+            .inputs(&[2, 3, 4, 5])
+            .run(&c)
+            .expect("clean run succeeds");
+        let dup = MpcBuilder::new(4, 1, 0)
+            .inputs(&[2, 3, 4, 5])
+            .fault_plan(FaultPlan::none().duplicate_burst(None, None, (0, 200), 3))
+            .run(&c)
+            .expect("duplicate burst is tolerated");
+        assert_eq!(baseline.output, dup.output);
+        assert!(dup.metrics.fault_duplicates > 0);
     }
 
     #[test]

@@ -65,6 +65,13 @@ const TAG_EXTRACT: u32 = 5 << 28;
 const TAG_CIRCUIT: u32 = 6 << 28;
 const TAG_OUTPUT: u32 = 7 << 28;
 const TAG_PACKED: u32 = 8 << 28;
+/// Public degree-probe openings of the packed deals, one tag per dealer.
+const TAG_PROBE: u32 = 9 << 28;
+
+/// Root-path timer id: the packed-deal phase deadline, after which dealers
+/// still unresolved at this party are publicly reported
+/// ([`Msg::PackedReport`]).
+const TIMER_PACKED_DEAL: u64 = 0x50_44_4c;
 
 /// One party's shares of a block-slot triple `(a, b, c)`, per dealt position.
 type TripleForms = BTreeMap<Pos, (Fp, Fp, Fp)>;
@@ -154,6 +161,22 @@ pub struct CirEval {
     /// Senders whose deal parsed successfully / was rejected (wrong length).
     deals_ok: HashSet<PartyId>,
     deals_dead: HashSet<PartyId>,
+    /// Whether the packed-deal deadline ([`TIMER_PACKED_DEAL`]) has fired;
+    /// from then on unresolved dealers are publicly reported.
+    deal_deadline: bool,
+    /// Dealers this party has already reported via [`Msg::PackedReport`].
+    my_reports: HashSet<PartyId>,
+    /// Distinct reporters per accused dealer. `t_s + 1` of them — at least
+    /// one honest — are public proof of a deal failure and trigger the
+    /// uniform fallback to the scalar engine.
+    deal_reports: BTreeMap<PartyId, HashSet<PartyId>>,
+    /// Triple-ACS traffic buffered while the packed path (which has no
+    /// triple ACS) was live, replayed if the scalar fallback launches
+    /// ACS #2 late.
+    acs2_buf: Vec<(PartyId, Vec<u32>, Msg)>,
+    /// Whether this run abandoned the packed engine for the scalar path
+    /// after a detectably bad packed dealer.
+    pub packed_fell_back: bool,
     /// `CS₁`, sorted — the canonical order behind dealer assignment and the
     /// deal payload layout.
     cs1_sorted: Vec<PartyId>,
@@ -240,6 +263,11 @@ impl CirEval {
             deal_buf: BTreeMap::new(),
             deals_ok: HashSet::new(),
             deals_dead: HashSet::new(),
+            deal_deadline: false,
+            my_reports: HashSet::new(),
+            deal_reports: BTreeMap::new(),
+            acs2_buf: Vec::new(),
+            packed_fell_back: false,
             cs1_sorted: Vec::new(),
             input_forms: Vec::new(),
             triple_forms: HashMap::new(),
@@ -253,6 +281,25 @@ impl CirEval {
             output: None,
             output_at: None,
             input_subset: None,
+        }
+    }
+
+    /// The name of the evaluation phase this party is currently in — a
+    /// stable diagnostic label for stall post-mortems (the sweep harness and
+    /// resilience tests print it when a run fails to terminate).
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::AwaitAcs => "await-acs",
+            Phase::PackedDeal => "packed-deal",
+            Phase::Transform => "transform",
+            Phase::VerifyBeaver => "verify-beaver",
+            Phase::Gamma => "gamma",
+            Phase::Suspect => "suspect",
+            Phase::Extract => "extract",
+            Phase::Circuit => "circuit",
+            Phase::OpenOutput => "open-output",
+            Phase::Ready => "ready",
+            Phase::Done => "done",
         }
     }
 
@@ -356,6 +403,37 @@ impl CirEval {
         interpolate_share_with(&basis, &ys, target)
     }
 
+    /// The degree-`t_s` sharing polynomials this party contributes to the
+    /// triple ACS: `batches × (2·t_s + 1)` raw multiplication triples plus
+    /// `batches × n` verification triples, in the layout of
+    /// [`Self::raw_offset`] / [`Self::verif_offset`]. Shared by the scalar
+    /// `init` path and the packed fallback (which launches ACS #2 late).
+    fn make_triple_polys(&self, ctx: &mut Context<'_, Msg>) -> Vec<Polynomial> {
+        let ts = self.params.ts;
+        let mut polys = Vec::with_capacity(self.triple_polys_len());
+        for _ in 0..self.batches {
+            for _ in 0..self.raw_per_dealer() {
+                let a = Fp::random(ctx.rng());
+                let b = Fp::random(ctx.rng());
+                let c = a * b;
+                for v in [a, b, c] {
+                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, v));
+                }
+            }
+        }
+        for _ in 0..self.batches {
+            for _ in 0..self.params.n {
+                let u = Fp::random(ctx.rng());
+                let v = Fp::random(ctx.rng());
+                let w = u * v;
+                for val in [u, v, w] {
+                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, val));
+                }
+            }
+        }
+        polys
+    }
+
     fn verification_triple(
         &self,
         sup: PartyId,
@@ -422,6 +500,11 @@ impl CirEval {
                 .collect();
             self.cs1_sorted = cs1;
             self.phase = Phase::PackedDeal;
+            // Deadline for every assigned dealer's deal to arrive and pass
+            // its degree probe. `T_ACS` is generous (deals + probes need two
+            // message hops), so in honest runs — synchronous or not — the
+            // phase completes long before the timer fires.
+            ctx.set_timer(self.params.t_acs(), TIMER_PACKED_DEAL);
             self.issue_packed_deals(ctx);
             return;
         }
@@ -510,8 +593,18 @@ impl CirEval {
                 }
             }
         }
+        // One trailing blinding-mask share per non-empty deal: folded into
+        // the public degree probe (`parse_deal`) so the opened probe value
+        // is uniformly random and leaks nothing about the dealt secrets.
+        if !payloads[me].is_empty() {
+            let mask = Fp::random(ctx.rng());
+            let s = shamir::share_at(ctx.rng(), mask, point(Pos::Zero), ts, n);
+            for (p, share) in payloads.iter_mut().zip(&s.shares) {
+                p.push(*share);
+            }
+        }
         let mine = std::mem::take(&mut payloads[me]);
-        self.parse_deal(me, mine);
+        self.parse_deal(ctx, me, mine);
         for (i, payload) in payloads.into_iter().enumerate() {
             if i != me && !payload.is_empty() {
                 ctx.send(i, Msg::PackedDeal(payload));
@@ -519,15 +612,54 @@ impl CirEval {
         }
     }
 
+    /// The `j`-th public probe coefficient for `dealer`'s deal: 64 ideal
+    /// common coins (DESIGN.md substitution S1) assembled into one field
+    /// element. Every party derives the same coefficients at the root path,
+    /// and in the ideal-coin model the dealer cannot anticipate them when
+    /// dealing, so a garbled element survives the probe combination only
+    /// with probability `~2⁻⁶⁴`.
+    fn probe_coeff(&self, ctx: &Context<'_, Msg>, dealer: PartyId, j: usize) -> Fp {
+        let mut bits = 0u64;
+        for bit in 0..64u64 {
+            let round = ((dealer as u64) << 40) ^ ((j as u64) << 8) ^ bit;
+            if ctx.common_coin(round) {
+                bits |= 1 << bit;
+            }
+        }
+        Fp::from_u64(bits)
+    }
+
     /// Parses one sender's deal payload against the canonical layout. A
     /// payload whose length does not match [`PackedPlan::expected_deal_len`]
-    /// is rejected and the sender marked Byzantine.
-    fn parse_deal(&mut self, from: PartyId, values: Vec<Fp>) {
+    /// is rejected and the sender marked Byzantine. A shape-valid payload
+    /// additionally triggers this party's public degree probe: the
+    /// common-coin combination of every dealt share plus the trailing
+    /// blinding-mask share, opened under `TAG_PROBE + dealer`. For an honest
+    /// dealer every element is a point of a degree-`t_s` polynomial, so the
+    /// probe opening reconstructs at degree `t_s` everywhere; a deal whose
+    /// sharings are inconsistent leaves the probe undecodable (whp over the
+    /// coins), which [`Self::drive_packed_deal`] converts into a public
+    /// report after the deadline.
+    fn parse_deal(&mut self, ctx: &mut Context<'_, Msg>, from: PartyId, values: Vec<Fp>) {
         let plan = self.plan.clone().expect("packed mode has a plan");
         if values.len() != plan.expected_deal_len(from, &self.cs1_sorted) {
             self.deals_dead.insert(from);
             return;
         }
+        if values.is_empty() {
+            // Nothing to deal (outside CS₁, no blocks assigned).
+            self.deals_ok.insert(from);
+            return;
+        }
+        let base = values.len() - 1;
+        let mut probe = values[base];
+        for (j, &v) in values[..base].iter().enumerate() {
+            probe += self.probe_coeff(ctx, from, j) * v;
+        }
+        self.openings
+            .open(ctx, TAG_PROBE + from as u32, vec![probe]);
+        // The trailing mask share is consumed by the probe alone; the layout
+        // below covers exactly the `base` dealt shares.
         let mut it = values.into_iter();
         if self.cs1_sorted.contains(&from) {
             for &pos in &plan.input_positions[from] {
@@ -549,24 +681,86 @@ impl CirEval {
     }
 
     /// Parses any deals buffered before `CS₁` was known and advances to the
-    /// circuit once every sender with a non-empty expected payload has
-    /// delivered a well-formed one.
+    /// circuit once every assigned dealer is *good*: its deal parsed
+    /// shape-valid **and** its public degree probe reconstructed at degree
+    /// `t_s`. After the deadline ([`TIMER_PACKED_DEAL`]) this party reports
+    /// every dealer still unresolved; `t_s + 1` distinct reporters against
+    /// any dealer — at least one of them honest — make the failure public,
+    /// and every party abandons the packed engine together
+    /// ([`Self::fall_back_to_scalar`]).
     fn drive_packed_deal(&mut self, ctx: &mut Context<'_, Msg>) {
-        let _ = ctx;
         let buffered: Vec<(PartyId, Vec<Fp>)> =
             std::mem::take(&mut self.deal_buf).into_iter().collect();
         for (from, values) in buffered {
             if !self.deals_ok.contains(&from) && !self.deals_dead.contains(&from) {
-                self.parse_deal(from, values);
+                self.parse_deal(ctx, from, values);
             }
         }
-        let plan = self.plan.as_ref().expect("packed mode has a plan");
-        let complete = (0..self.params.n)
-            .filter(|&s| plan.expected_deal_len(s, &self.cs1_sorted) > 0)
-            .all(|s| self.deals_ok.contains(&s));
-        if complete {
-            self.phase = Phase::Circuit;
+        let plan = self.plan.clone().expect("packed mode has a plan");
+        let ts = self.ts();
+        let mut all_good = true;
+        for s in 0..self.params.n {
+            if plan.expected_deal_len(s, &self.cs1_sorted) == 0 {
+                continue;
+            }
+            let good = self.deals_ok.contains(&s)
+                && self
+                    .openings
+                    .try_reconstruct(TAG_PROBE + s as u32, 1, ts, ts)
+                    .is_some();
+            if good {
+                continue;
+            }
+            all_good = false;
+            if self.deal_deadline && self.my_reports.insert(s) {
+                self.deal_reports.entry(s).or_default().insert(ctx.me);
+                ctx.broadcast(Msg::PackedReport(s as u32));
+            }
         }
+        if all_good {
+            self.phase = Phase::Circuit;
+            return;
+        }
+        if self
+            .deal_reports
+            .values()
+            .any(|reporters| reporters.len() > ts)
+        {
+            self.fall_back_to_scalar(ctx);
+        }
+    }
+
+    /// Abandons the packed engine for the scalar preprocessing path after a
+    /// publicly-reported deal failure: clears all packed state, launches the
+    /// triple ACS that packed mode skipped at `init`, and replays the triple
+    /// ACS traffic buffered meanwhile. Every honest party takes this exit
+    /// (the trigger is `t_s + 1` public reports, which reach everyone), so
+    /// the late-started ACS has its full honest quorum. Reported dealers
+    /// keep participating in the scalar path, where `Π_TripSh`'s supervised
+    /// verification neutralises bad triples without trusting any dealer.
+    fn fall_back_to_scalar(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.packed_fell_back = true;
+        self.packing = 0;
+        self.packed_width = 0;
+        self.plan = None;
+        self.pdomain = None;
+        self.input_forms = Vec::new();
+        self.triple_forms.clear();
+        self.z_forms.clear();
+        self.deal_buf.clear();
+        self.values_opened_by_layer.clear();
+        self.packed_layer = 0;
+        self.packed_issued = false;
+        self.phase = Phase::AwaitAcs;
+        let polys = self.make_triple_polys(ctx);
+        let mut acs2 = Acs::new(self.params, polys);
+        ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs2.init(ctx));
+        for (from, path, msg) in std::mem::take(&mut self.acs2_buf) {
+            ctx.scoped(SEG_ACS_TRIPLES, |ctx| {
+                acs2.on_message(ctx, from, &path, msg)
+            });
+        }
+        self.acs_triples = Some(acs2);
     }
 
     /// My share of the wire value `combo` positioned at `pos`, assembled
@@ -1084,27 +1278,7 @@ impl Protocol<Msg> for CirEval {
             return;
         }
         // ACS #2: share my raw triples and verification triples
-        let mut polys = Vec::with_capacity(self.triple_polys_len());
-        for _ in 0..self.batches {
-            for _ in 0..self.raw_per_dealer() {
-                let a = Fp::random(ctx.rng());
-                let b = Fp::random(ctx.rng());
-                let c = a * b;
-                for v in [a, b, c] {
-                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, v));
-                }
-            }
-        }
-        for _ in 0..self.batches {
-            for _ in 0..self.params.n {
-                let u = Fp::random(ctx.rng());
-                let v = Fp::random(ctx.rng());
-                let w = u * v;
-                for val in [u, v, w] {
-                    polys.push(Polynomial::random_with_constant_term(ctx.rng(), ts, val));
-                }
-            }
-        }
+        let polys = self.make_triple_polys(ctx);
         let mut acs2 = Acs::new(self.params, polys);
         ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs2.init(ctx));
         self.acs_triples = Some(acs2);
@@ -1130,6 +1304,10 @@ impl Protocol<Msg> for CirEval {
                     ctx.scoped(SEG_ACS_TRIPLES, |ctx| {
                         acs.on_message(ctx, from, &path[1..], msg)
                     });
+                } else if self.packing > 0 {
+                    // Packed mode has no triple ACS (yet): keep the traffic
+                    // for the scalar fallback, which launches ACS #2 late.
+                    self.acs2_buf.push((from, path[1..].to_vec(), msg));
                 }
             }
             None => match msg {
@@ -1139,6 +1317,14 @@ impl Protocol<Msg> for CirEval {
                 // (honest dealers send exactly one).
                 Msg::PackedDeal(values) if self.packing > 0 => {
                     self.deal_buf.entry(from).or_insert(values);
+                }
+                // Cumulative public evidence against a packed dealer;
+                // weighed by `drive_packed_deal`.
+                Msg::PackedReport(dealer) if (dealer as usize) < self.params.n => {
+                    self.deal_reports
+                        .entry(dealer as usize)
+                        .or_default()
+                        .insert(from);
                 }
                 Msg::Ready(values) => {
                     if let Some(&y) = values.first() {
@@ -1163,6 +1349,11 @@ impl Protocol<Msg> for CirEval {
                 if let Some(acs) = self.acs_triples.as_mut() {
                     ctx.scoped(SEG_ACS_TRIPLES, |ctx| acs.on_timer(ctx, &path[1..], id));
                 }
+            }
+            // Root-path timer: the packed-deal deadline (sticky — harmless
+            // if the phase already completed).
+            None if id == TIMER_PACKED_DEAL => {
+                self.deal_deadline = true;
             }
             _ => {}
         }
@@ -1427,6 +1618,75 @@ mod tests {
         assert_eq!(p.output.unwrap().as_u64(), 2 * 3 + 7 * (4 * 5));
         assert_eq!(p.packed_width, 4);
         assert_eq!(p.values_opened_by_layer, vec![4]); // 2 blocks × [D, E]
+        assert!(!p.packed_fell_back, "honest deals must pass their probes");
+    }
+
+    /// A wire-level dealer that behaves honestly everywhere *except* in its
+    /// packed deals, whose elements it perturbs with fresh per-recipient,
+    /// per-element randomness — the worst uniformly-detectable case: a
+    /// constant or linear perturbation would still be a valid degree-`t_s`
+    /// sharing (of the wrong secret at worst), whereas independent noise
+    /// leaves every probe combination off the polynomial.
+    #[derive(Debug)]
+    struct GarblePackedDeals;
+
+    impl mpc_net::ByzantineStrategy for GarblePackedDeals {
+        fn on_send(
+            &mut self,
+            send: &mpc_net::WireSend<'_>,
+            rng: &mut rand::rngs::StdRng,
+        ) -> mpc_net::WireAction {
+            use mpc_net::{WireDecode, WireEncode};
+            if !send.path.is_empty() {
+                return mpc_net::WireAction::Deliver;
+            }
+            let Ok(Msg::PackedDeal(values)) = Msg::decode(send.bytes) else {
+                return mpc_net::WireAction::Deliver;
+            };
+            let garbled: Vec<Fp> = values.iter().map(|&v| v + Fp::random(rng)).collect();
+            mpc_net::WireAction::Replace(Msg::PackedDeal(garbled).encode())
+        }
+    }
+
+    #[test]
+    fn packed_garbling_dealer_triggers_uniform_scalar_fallback() {
+        // PR 7 hole, closed: a dealer inside CS₁ whose packed deals are
+        // inconsistent used to hang the run forever. Now every honest party
+        // sees the dealer's degree probe fail to reconstruct, reports it
+        // after the deadline, and the t_s + 1 public reports flip everyone
+        // to the scalar preprocessing path, which completes with the
+        // *correct* output (the dealer's ACS-shared input still counts —
+        // only its triples are distrusted, and Π_TripSh re-verifies those).
+        let params = Params::new(5, 1, 0, 10);
+        let circuit = Circuit::product_of_inputs(5);
+        let inputs = [3u64, 5, 7, 2, 4];
+        let parties: Vec<Box<dyn Protocol<Msg>>> = inputs
+            .iter()
+            .map(|&x| {
+                let mut p = CirEval::new(params, circuit.clone(), Fp::from_u64(x));
+                p.set_packing(2);
+                Box::new(p) as Box<dyn Protocol<Msg>>
+            })
+            .collect();
+        let corrupt = CorruptionSet::new(vec![4]);
+        let mut sim = Simulation::new(
+            NetConfig::synchronous(params.n).with_seed(71),
+            corrupt,
+            parties,
+        );
+        sim.set_strategy(Box::new(GarblePackedDeals));
+        let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
+        let done = sim.run_until(horizon, |s| {
+            (0..4).all(|i| s.party_as::<CirEval>(i).unwrap().output.is_some())
+        });
+        assert!(done, "honest parties must terminate despite a bad dealer");
+        for i in 0..4 {
+            let p = sim.party_as::<CirEval>(i).unwrap();
+            assert_eq!(p.output.unwrap().as_u64(), 3 * 5 * 7 * 2 * 4);
+            assert!(p.packed_fell_back, "party {i} must have fallen back");
+            assert_eq!(p.packed_width, 0);
+            assert!(p.input_subset.as_ref().unwrap().contains(&4));
+        }
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   canonical deal layout.
 //! * [`builder`] — [`MpcBuilder`], the one-call API used by the examples and
 //!   experiments.
+//! * [`sweeps`] — the guarantee-checking sweep harness: corruption placement
+//!   × Byzantine strategy × fault plan × network kind × backend, with every
+//!   cell checked against the paper's guarantee matrix.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod circuit;
 pub mod cireval;
 pub mod openings;
 pub mod packing;
+pub mod sweeps;
 pub mod thresholds;
 pub mod triples;
 
@@ -30,3 +34,8 @@ pub use builder::{MpcBuilder, MpcRunResult};
 pub use circuit::{Circuit, Gate, Wire};
 pub use cireval::CirEval;
 pub use packing::PackedPlan;
+pub use sweeps::{
+    cell_guarantee, check_cell, check_cell_against, default_matrix, default_workload,
+    negative_control, run_sweep, CellReport, CellSpec, Guarantee, StrategyKind, SweepOutcome,
+    Verdict,
+};

@@ -281,7 +281,10 @@ impl PackedPlan {
     /// the input section (one element per consumed input position, present
     /// only for members of `cs1` — everyone substitutes the all-zero sharing
     /// for excluded inputs) followed by the sections of `s`'s assigned
-    /// blocks. A sender with expected length 0 sends nothing.
+    /// blocks, plus one trailing *probe mask* share (a fresh random `t_s`
+    /// sharing that blinds the public degree-consistency probe of the deal —
+    /// see `CirEval::parse_deal`). A sender with no inputs or blocks to deal
+    /// has expected length 0 and sends nothing (no mask either).
     pub fn expected_deal_len(&self, s: PartyId, cs1: &[PartyId]) -> usize {
         let mut len = 0;
         if cs1.contains(&s) {
@@ -292,6 +295,9 @@ impl PackedPlan {
             .iter()
             .map(|&b| self.block_deal_len(b))
             .sum::<usize>();
+        if len > 0 {
+            len += 1;
+        }
         len
     }
 }
@@ -379,7 +385,8 @@ mod tests {
                 .iter()
                 .map(|&b| plan.block_deal_len(b))
                 .sum();
-            assert_eq!(plan.expected_deal_len(p, &cs1), inp + blocks);
+            let mask = usize::from(inp + blocks > 0);
+            assert_eq!(plan.expected_deal_len(p, &cs1), inp + blocks + mask);
         }
         // Dealer assignment is round-robin over cs1.
         assert_eq!(plan.assigned_dealer(0, &cs1), 0);

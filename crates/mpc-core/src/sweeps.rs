@@ -1,0 +1,749 @@
+//! Guarantee-checking sweep harness: runs the protocol across a matrix of
+//! corruption placements × Byzantine strategies × fault plans × network
+//! kinds × backends, and checks every cell against the paper's guarantee
+//! matrix.
+//!
+//! The paper promises, per cell:
+//!
+//! * **Synchronous network, ≤ `t_s` effective faults** — every honest party
+//!   terminates with the correct output (full security).
+//! * **Asynchronous network (or a fault plan that breaks the `Δ` bound),
+//!   ≤ `t_a` effective faults** — every honest party still terminates with
+//!   the correct output (the fallback guarantee).
+//! * **Beyond those bounds** — no termination promise, but any output an
+//!   honest party *does* produce must be correct and agreed (the harness
+//!   never excuses wrong or disagreeing outputs).
+//!
+//! [`cell_guarantee`] encodes that matrix: it folds the fault plan's
+//! crash/omission targets into the effective fault set and decides whether a
+//! plan or scheduler preserves the synchronous delivery bound. [`check_cell`]
+//! runs one cell on either backend and classifies the outcome as
+//! [`Verdict::Correct`], [`Verdict::AdmissibleAbort`] or
+//! [`Verdict::Violation`]. Every report serialises to a one-line JSON
+//! artifact ([`CellReport::artifact_json`]) carrying the full cell spec
+//! including the seed, so a failing cell reproduces bit-identically from the
+//! printed line alone ([`negative_control`] proves that property on every
+//! sweep).
+
+use crate::builder::MpcBuilder;
+use crate::circuit::Circuit;
+use mpc_algebra::Fp;
+use mpc_net::{
+    Backend, ByzantineStrategy, ChannelDeterministic, Crash, EquivocateBroadcast, FaultPlan,
+    GarbleBytes, LinkDelays, NetworkKind, PartyId, Passive, SkewedAsyncScheduler, Time, WireEncode,
+};
+use mpc_protocols::{AcastMsg, BcValue, Msg};
+use std::collections::BTreeSet;
+
+/// The behavioural strategy a cell's corrupt parties follow on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Corrupt parties run the honest protocol unmodified.
+    Passive,
+    /// Every message of a corrupt sender is dropped (fail-silent).
+    Crash,
+    /// Payload bytes are randomly flipped (channel-deterministically, so the
+    /// strategy behaves identically on both backends).
+    Garble,
+    /// Broadcasts equivocate: the upper half of the id space receives an
+    /// alternative well-formed encoding instead of the real payload.
+    Equivocate,
+}
+
+impl StrategyKind {
+    /// Every strategy, in sweep order.
+    pub const ALL: [StrategyKind; 4] = [
+        StrategyKind::Passive,
+        StrategyKind::Crash,
+        StrategyKind::Garble,
+        StrategyKind::Equivocate,
+    ];
+
+    /// Stable lowercase name used in artifacts and filters.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Passive => "passive",
+            StrategyKind::Crash => "crash",
+            StrategyKind::Garble => "garble",
+            StrategyKind::Equivocate => "equivocate",
+        }
+    }
+
+    /// Parses [`StrategyKind::name`] back into the strategy.
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Instantiates the wire-level strategy for one run. `seed` keys the
+    /// channel-deterministic wrapper so randomized strategies replay exactly.
+    pub fn instantiate(self, seed: u64) -> Box<dyn ByzantineStrategy> {
+        match self {
+            StrategyKind::Passive => Box::new(Passive),
+            StrategyKind::Crash => Box::new(Crash),
+            StrategyKind::Garble => Box::new(ChannelDeterministic::new(GarbleBytes, seed)),
+            StrategyKind::Equivocate => Box::new(EquivocateBroadcast {
+                // A well-formed alternative encoding: an acast of the wrong
+                // bit, so equivocation is seen by decoders, not dropped as
+                // garbage at the wire boundary.
+                alt: Msg::Acast(AcastMsg::Send(BcValue::Bit(true))).encode(),
+            }),
+        }
+    }
+}
+
+/// One cell of the sweep matrix: a complete, self-contained run description.
+///
+/// Everything needed to reproduce the run bit-identically (on the simulator
+/// backend) is in this struct, and all of it lands in the JSON artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Number of parties.
+    pub n: usize,
+    /// Synchronous corruption threshold `t_s`.
+    pub ts: usize,
+    /// Asynchronous corruption threshold `t_a`.
+    pub ta: usize,
+    /// Synchronous delivery bound `Δ` (ticks).
+    pub delta: Time,
+    /// Network model the run executes under.
+    pub network: NetworkKind,
+    /// Which party runtime executes the cell.
+    pub backend: Backend,
+    /// Byzantine-corrupt parties (they run the honest code behind
+    /// `strategy`'s wire filter, except under [`StrategyKind::Crash`]).
+    pub corrupt: Vec<PartyId>,
+    /// Wire behaviour of the corrupt parties.
+    pub strategy: StrategyKind,
+    /// Named [`FaultPlan::preset`] injected at the transport seam.
+    pub fault_preset: String,
+    /// Additionally run the classic slow-sender attack: one party's outgoing
+    /// links lag far beyond `Δ`, forcing the synchronous-path timeouts to
+    /// expire and the asynchronous fallback to carry the run.
+    pub slow_sender: bool,
+    /// Packing width `ℓ` (0 disables the packed path).
+    pub packing: usize,
+    /// RNG seed of the run (and of randomized strategies).
+    pub seed: u64,
+}
+
+impl CellSpec {
+    /// Compact human-readable cell label for logs.
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}/{:?}/{}/{}/corrupt{:?}{}",
+            self.backend,
+            self.network,
+            if self.fault_preset.is_empty() {
+                "none"
+            } else {
+                &self.fault_preset
+            },
+            self.strategy.name(),
+            self.corrupt,
+            if self.slow_sender { "/slow-sender" } else { "" },
+        )
+    }
+}
+
+/// What the guarantee matrix promises for one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Guarantee {
+    /// Guaranteed output delivery: every honest party must terminate with
+    /// the correct output within the horizon.
+    MustTerminate,
+    /// The effective fault count exceeds the model's threshold: the run may
+    /// abort at the horizon, but produced outputs must still be correct.
+    MayAbort,
+}
+
+/// The effect a named fault preset has on the guarantee matrix:
+/// `(extra effective faults, preserves the synchronous Δ bound)`.
+///
+/// Crashes and inbound omission bursts make their target indistinguishable
+/// from a corrupt party, so the target joins the effective fault set.
+/// Partitions and unbounded delay bursts deliver everything eventually but
+/// break the `Δ` bound, demoting a synchronous run to the asynchronous
+/// guarantee row. Duplication is free: delivery stays within `Δ` and adds no
+/// faults.
+fn preset_effects(preset: &str, n: usize) -> (Vec<PartyId>, bool) {
+    match preset {
+        "none" | "" => (vec![], true),
+        "crash" | "crash-recover" => (vec![n - 1], true),
+        "partition-heal" => (vec![], false),
+        "dup-burst" => (vec![], true),
+        "drop-burst" => (vec![n - 1], true),
+        "delay-burst" => (vec![], false),
+        other => panic!("unknown fault preset {other:?}"),
+    }
+}
+
+/// True when the cell's run is governed by the synchronous row of the
+/// guarantee matrix: a synchronous network, a `Δ`-preserving fault preset
+/// and no slow-sender scheduler.
+pub fn is_sync_model(spec: &CellSpec) -> bool {
+    let (_, sync_preserving) = preset_effects(&spec.fault_preset, spec.n);
+    spec.network == NetworkKind::Synchronous && sync_preserving && !spec.slow_sender
+}
+
+/// Evaluates the paper's guarantee matrix for `spec`.
+///
+/// Under the synchronous model ([`is_sync_model`]) the fault threshold is
+/// `t_s`, otherwise `t_a`. The effective fault set is the corrupt set united
+/// with the preset's crash/omission targets.
+pub fn cell_guarantee(spec: &CellSpec) -> Guarantee {
+    let (extra, _) = preset_effects(&spec.fault_preset, spec.n);
+    let mut faulty: BTreeSet<PartyId> = spec.corrupt.iter().copied().collect();
+    faulty.extend(extra);
+    let bound = if is_sync_model(spec) {
+        spec.ts
+    } else {
+        spec.ta
+    };
+    if faulty.len() <= bound {
+        Guarantee::MustTerminate
+    } else {
+        Guarantee::MayAbort
+    }
+}
+
+/// Outcome of checking one cell against the guarantee matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// All honest parties terminated with the correct, common output (and
+    /// the cell's side conditions — e.g. slow-sender timeout engagement —
+    /// held).
+    Correct,
+    /// The run aborted, but the cell had no termination guarantee; the
+    /// payload carries the abort reason.
+    AdmissibleAbort(String),
+    /// A guarantee was violated; the payload says which.
+    Violation(String),
+}
+
+/// One checked cell: the spec, what was promised, and what happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellReport {
+    /// The cell that ran.
+    pub spec: CellSpec,
+    /// What the guarantee matrix promised.
+    pub guarantee: Guarantee,
+    /// What actually happened.
+    pub verdict: Verdict,
+    /// Tick at which the last honest party terminated (`None` on abort) —
+    /// the sweep's worst case is the paper's "completion time" figure.
+    pub finished_at: Option<Time>,
+    /// Protocol timers that expired during the run (both backends count
+    /// these identically); slow-sender cells assert this is non-zero.
+    pub timeouts_fired: u64,
+}
+
+impl CellReport {
+    /// True when the cell violated its guarantee.
+    pub fn is_violation(&self) -> bool {
+        matches!(self.verdict, Verdict::Violation(_))
+    }
+
+    /// One-line JSON artifact: the full cell spec (including the seed) plus
+    /// the verdict, machine-readable and sufficient to reproduce the run.
+    pub fn artifact_json(&self) -> String {
+        let s = &self.spec;
+        let corrupt: Vec<String> = s.corrupt.iter().map(|p| p.to_string()).collect();
+        let (verdict, detail) = match &self.verdict {
+            Verdict::Correct => ("correct", String::new()),
+            Verdict::AdmissibleAbort(d) => ("admissible-abort", d.clone()),
+            Verdict::Violation(d) => ("violation", d.clone()),
+        };
+        format!(
+            concat!(
+                "{{\"n\":{},\"ts\":{},\"ta\":{},\"delta\":{},",
+                "\"network\":\"{:?}\",\"backend\":\"{:?}\",\"corrupt\":[{}],",
+                "\"strategy\":\"{}\",\"fault_preset\":\"{}\",\"slow_sender\":{},",
+                "\"packing\":{},\"seed\":{},\"guarantee\":\"{:?}\",",
+                "\"verdict\":\"{}\",\"detail\":\"{}\",\"finished_at\":{},",
+                "\"timeouts_fired\":{}}}"
+            ),
+            s.n,
+            s.ts,
+            s.ta,
+            s.delta,
+            s.network,
+            s.backend,
+            corrupt.join(","),
+            s.strategy.name(),
+            s.fault_preset,
+            s.slow_sender,
+            s.packing,
+            s.seed,
+            self.guarantee,
+            verdict,
+            // The details are our own fixed strings plus numbers, but keep
+            // the line valid JSON even if one ever grows a quote.
+            detail.replace('\\', "\\\\").replace('"', "\\\""),
+            self.finished_at
+                .map_or("null".to_string(), |t| t.to_string()),
+            self.timeouts_fired,
+        )
+    }
+}
+
+/// Runs one cell and checks the produced outputs against the circuit's
+/// clear evaluation over the run's agreed input subset `CS` (parties outside
+/// `CS` contribute the default input `0`, exactly as `Π_CirEval` does),
+/// shifted by `tamper`.
+///
+/// `tamper` exists so the harness can test *itself*: any non-zero value
+/// injects a violation whose artifact must reproduce bit-identically (see
+/// [`negative_control`]). Real sweeps pass [`Fp::ZERO`].
+pub fn check_cell_against(
+    spec: &CellSpec,
+    circuit: &Circuit,
+    inputs: &[u64],
+    tamper: Fp,
+) -> CellReport {
+    let plan = FaultPlan::preset(&spec.fault_preset, spec.n, spec.delta)
+        .unwrap_or_else(|| panic!("unknown fault preset {:?}", spec.fault_preset));
+    let mut b = MpcBuilder::new(spec.n, spec.ts, spec.ta)
+        .network(spec.network)
+        .delta(spec.delta)
+        .seed(spec.seed)
+        .inputs(inputs)
+        .corrupt(&spec.corrupt)
+        .transport(spec.backend)
+        .fault_plan(plan)
+        .packing(spec.packing);
+    if !spec.corrupt.is_empty() {
+        b = b.byzantine_strategy(spec.strategy.instantiate(spec.seed));
+    }
+    if spec.slow_sender {
+        // The classic attack on the synchronous path: one sender's links lag
+        // far beyond Δ. On the simulator this is an adversarial scheduler;
+        // the threaded backend freezes the same shape into a latency matrix.
+        match spec.backend {
+            Backend::Simulator => {
+                b = b.scheduler(Box::new(SkewedAsyncScheduler {
+                    slowed_senders: vec![spec.seed as usize % spec.n],
+                    lag: 20 * spec.delta,
+                    fast: spec.delta,
+                }));
+            }
+            Backend::Threaded => {
+                b = b.link_delays(LinkDelays::asynchronous(spec.n, spec.delta, spec.seed));
+            }
+        }
+    }
+    if spec.backend == Backend::Threaded {
+        // Real-time runs: shrink the tick so cells that wait out long fault
+        // windows (or the full horizon) stay within wall-clock budget.
+        b = b.tick_micros(100);
+    }
+    let guarantee = cell_guarantee(spec);
+    match b.run(circuit) {
+        Ok(result) => {
+            // The protocol computes f over the agreed subset CS: parties
+            // outside CS contribute the default input 0.
+            let masked: Vec<Fp> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    if result.input_subset.contains(&i) {
+                        Fp::from_u64(v)
+                    } else {
+                        Fp::ZERO
+                    }
+                })
+                .collect();
+            let expected = circuit.evaluate_clear(&masked) + tamper;
+            let (plan_faulty, _) = preset_effects(&spec.fault_preset, spec.n);
+            let mut verdict = Verdict::Correct;
+            // Π_ACS guarantees |CS| ≥ n − t_s in either model…
+            if result.input_subset.len() < spec.n - spec.ts {
+                verdict = Verdict::Violation(format!(
+                    "input subset {:?} smaller than n - t_s",
+                    result.input_subset
+                ));
+            }
+            // …and under the synchronous model every honest party that the
+            // fault plan leaves alive gets its input in.
+            if verdict == Verdict::Correct && is_sync_model(spec) {
+                if let Some(left_out) = (0..spec.n).find(|i| {
+                    !spec.corrupt.contains(i)
+                        && !plan_faulty.contains(i)
+                        && !result.input_subset.contains(i)
+                }) {
+                    verdict = Verdict::Violation(format!(
+                        "synchronous run excluded honest party {left_out}'s input"
+                    ));
+                }
+            }
+            for i in (0..spec.n).filter(|i| !spec.corrupt.contains(i)) {
+                if verdict != Verdict::Correct {
+                    break;
+                }
+                match result.outputs[i] {
+                    Some(y) if y == expected => {}
+                    Some(y) => {
+                        verdict = Verdict::Violation(format!(
+                            "honest party {i} output {} != expected {}",
+                            y.as_u64(),
+                            expected.as_u64()
+                        ));
+                    }
+                    // A plan-crashed party is one of the tolerated faults:
+                    // it is not owed an output (but any output it does
+                    // produce is held to agreement above).
+                    None if plan_faulty.contains(&i) => {}
+                    None => {
+                        verdict = Verdict::Violation(format!("honest party {i} has no output"));
+                    }
+                }
+            }
+            if verdict == Verdict::Correct && spec.slow_sender && result.metrics.timeouts_fired == 0
+            {
+                verdict = Verdict::Violation(
+                    "slow-sender cell fired no timeouts: the attack never \
+                     engaged the fallback path"
+                        .to_string(),
+                );
+            }
+            CellReport {
+                spec: spec.clone(),
+                guarantee,
+                verdict,
+                finished_at: Some(result.finished_at),
+                timeouts_fired: result.metrics.timeouts_fired,
+            }
+        }
+        Err(e) => {
+            let verdict = match guarantee {
+                Guarantee::MayAbort => Verdict::AdmissibleAbort(e.to_string()),
+                Guarantee::MustTerminate => {
+                    Verdict::Violation(format!("cell with guaranteed termination aborted: {e}"))
+                }
+            };
+            CellReport {
+                spec: spec.clone(),
+                guarantee,
+                verdict,
+                finished_at: None,
+                timeouts_fired: 0,
+            }
+        }
+    }
+}
+
+/// Runs one cell and checks it against the circuit's clear evaluation over
+/// the agreed input subset.
+pub fn check_cell(spec: &CellSpec, circuit: &Circuit, inputs: &[u64]) -> CellReport {
+    check_cell_against(spec, circuit, inputs, Fp::ZERO)
+}
+
+/// The sweep's standard workload: a small layered circuit (two
+/// multiplication layers) with every party's input on a load-bearing wire,
+/// and fixed distinct inputs.
+pub fn default_workload(n: usize) -> (Circuit, Vec<u64>) {
+    let circuit = Circuit::layered(n, n, 2);
+    let inputs: Vec<u64> = (0..n as u64).map(|i| 3 * i + 2).collect();
+    (circuit, inputs)
+}
+
+/// Fault presets of the default matrix. Each is paired (in
+/// [`default_matrix`]) with a corruption placement that keeps the effective
+/// fault count within threshold, so every default cell asserts *real
+/// termination with the correct output* — not merely a graceful abort.
+pub const DEFAULT_PRESETS: [&str; 3] = ["crash", "partition-heal", "dup-burst"];
+
+/// Builds the default sweep matrix for the given backends: per backend,
+/// {sync, async} × [`DEFAULT_PRESETS`] × [`StrategyKind::ALL`] plus one
+/// slow-sender attack cell and one honest-party-crash cell — at `n = 5`,
+/// `(t_s, t_a) = (1, 1)`, the smallest best-of-both-worlds operating point
+/// with both thresholds positive.
+///
+/// Corruption placement is chosen per preset so the Byzantine party
+/// coincides with the preset's crash/omission target (crash-style presets
+/// hit the highest id; the corrupt party is placed there), keeping every
+/// cell inside the guarantee region ([`Guarantee::MustTerminate`]).
+pub fn default_matrix(backends: &[Backend], seed: u64) -> Vec<CellSpec> {
+    let (n, ts, ta, delta) = (5, 1, 1, 10);
+    let mut cells = Vec::new();
+    for &backend in backends {
+        for network in [NetworkKind::Synchronous, NetworkKind::Asynchronous] {
+            for preset in DEFAULT_PRESETS {
+                let corrupt = match preset {
+                    "crash" | "crash-recover" | "drop-burst" => vec![n - 1],
+                    _ => vec![0],
+                };
+                for strategy in StrategyKind::ALL {
+                    cells.push(CellSpec {
+                        n,
+                        ts,
+                        ta,
+                        delta,
+                        network,
+                        backend,
+                        corrupt: corrupt.clone(),
+                        strategy,
+                        fault_preset: preset.to_string(),
+                        slow_sender: false,
+                        packing: 0,
+                        seed,
+                    });
+                }
+            }
+        }
+        cells.push(CellSpec {
+            n,
+            ts,
+            ta,
+            delta,
+            network: NetworkKind::Asynchronous,
+            backend,
+            corrupt: vec![],
+            strategy: StrategyKind::Passive,
+            fault_preset: "none".to_string(),
+            slow_sender: true,
+            packing: 0,
+            seed,
+        });
+        // An *honest* party crashing mid-run (no co-located corruption): the
+        // crash target spends the t_s budget by itself and is owed no
+        // output, but every surviving party must still terminate. This cell
+        // regressed once — the builder's completion predicate used to wait
+        // for the crashed party's output forever.
+        cells.push(CellSpec {
+            n,
+            ts,
+            ta,
+            delta,
+            network: NetworkKind::Synchronous,
+            backend,
+            corrupt: vec![],
+            strategy: StrategyKind::Passive,
+            fault_preset: "crash".to_string(),
+            slow_sender: false,
+            packing: 0,
+            seed,
+        });
+    }
+    cells
+}
+
+/// Result of sweeping a matrix of cells.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// One report per cell, in matrix order.
+    pub reports: Vec<CellReport>,
+}
+
+impl SweepOutcome {
+    /// The cells that violated their guarantee.
+    pub fn violations(&self) -> Vec<&CellReport> {
+        self.reports.iter().filter(|r| r.is_violation()).collect()
+    }
+
+    /// Worst-case completion tick over all terminating cells, with the cell
+    /// that attained it.
+    pub fn worst_finished_at(&self) -> Option<(Time, &CellReport)> {
+        self.reports
+            .iter()
+            .filter_map(|r| r.finished_at.map(|t| (t, r)))
+            .max_by_key(|&(t, _)| t)
+    }
+}
+
+/// Checks every cell of `cells` against `circuit`/`inputs`.
+pub fn run_sweep(cells: &[CellSpec], circuit: &Circuit, inputs: &[u64]) -> SweepOutcome {
+    SweepOutcome {
+        reports: cells
+            .iter()
+            .map(|c| check_cell(c, circuit, inputs))
+            .collect(),
+    }
+}
+
+/// Negative control for the harness itself: re-checks `spec` against a
+/// deliberately shifted expected output. The returned report must be a
+/// violation, and calling this twice must yield byte-identical artifacts
+/// (bit-exact reproducibility from the printed seed) — [`check_cell`]'s
+/// machinery is only trustworthy if an injected failure both trips it and
+/// replays exactly.
+pub fn negative_control(spec: &CellSpec, circuit: &Circuit, inputs: &[u64]) -> CellReport {
+    check_cell_against(spec, circuit, inputs, Fp::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_matrix_logic() {
+        let base = CellSpec {
+            n: 5,
+            ts: 1,
+            ta: 1,
+            delta: 10,
+            network: NetworkKind::Synchronous,
+            backend: Backend::Simulator,
+            corrupt: vec![0],
+            strategy: StrategyKind::Passive,
+            fault_preset: "none".to_string(),
+            slow_sender: false,
+            packing: 0,
+            seed: 1,
+        };
+        assert_eq!(cell_guarantee(&base), Guarantee::MustTerminate);
+
+        // Crash preset on top of a *different* corrupt party: two effective
+        // faults > t_s — no promise.
+        let mut two_faults = base.clone();
+        two_faults.fault_preset = "crash".to_string();
+        assert_eq!(cell_guarantee(&two_faults), Guarantee::MayAbort);
+        // …but co-located with the corruption it stays guaranteed.
+        two_faults.corrupt = vec![4];
+        assert_eq!(cell_guarantee(&two_faults), Guarantee::MustTerminate);
+
+        // A partition breaks the Δ bound: the sync run drops to the t_a row
+        // (still guaranteed here because t_a = 1).
+        let mut partitioned = base.clone();
+        partitioned.fault_preset = "partition-heal".to_string();
+        assert_eq!(cell_guarantee(&partitioned), Guarantee::MustTerminate);
+        // With t_a = 0 the same cell loses its guarantee while the plain
+        // sync cell keeps it.
+        partitioned.ta = 0;
+        assert_eq!(cell_guarantee(&partitioned), Guarantee::MayAbort);
+        let mut sync_ta0 = base.clone();
+        sync_ta0.ta = 0;
+        assert_eq!(cell_guarantee(&sync_ta0), Guarantee::MustTerminate);
+
+        // Slow sender likewise demotes to the asynchronous row.
+        let mut slow = base.clone();
+        slow.slow_sender = true;
+        slow.corrupt = vec![];
+        assert_eq!(cell_guarantee(&slow), Guarantee::MustTerminate);
+        slow.corrupt = vec![0, 1];
+        assert_eq!(cell_guarantee(&slow), Guarantee::MayAbort);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(s.name()), Some(s));
+        }
+        assert_eq!(StrategyKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn default_matrix_shape_and_guarantees() {
+        let cells = default_matrix(&[Backend::Simulator, Backend::Threaded], 7);
+        // 2 backends × (2 networks × 3 presets × 4 strategies
+        //               + 1 slow-sender + 1 honest-crash)
+        assert_eq!(cells.len(), 2 * (2 * 3 * 4 + 2));
+        for cell in &cells {
+            assert_eq!(
+                cell_guarantee(cell),
+                Guarantee::MustTerminate,
+                "default matrix must stay inside the guarantee region: {}",
+                cell.label()
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_sweep_subset_has_zero_violations() {
+        // A representative single-seed slice of the default matrix: every
+        // (network × preset) pair under the strongest strategy, plus the
+        // no-corruption cells (slow-sender attack, honest-party crash). The
+        // full matrix (all strategies, both backends) runs in the `sweep`
+        // bench binary and CI smoke step.
+        let (circuit, inputs) = default_workload(5);
+        let cells: Vec<CellSpec> = default_matrix(&[Backend::Simulator], 11)
+            .into_iter()
+            .filter(|c| c.strategy == StrategyKind::Garble || c.corrupt.is_empty())
+            .collect();
+        assert_eq!(cells.len(), 2 * 3 + 2);
+        let outcome = run_sweep(&cells, &circuit, &inputs);
+        let violations = outcome.violations();
+        assert!(
+            violations.is_empty(),
+            "violations:\n{}",
+            violations
+                .iter()
+                .map(|r| r.artifact_json())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let slow = outcome
+            .reports
+            .iter()
+            .find(|r| r.spec.slow_sender)
+            .expect("matrix has a slow-sender cell");
+        assert!(
+            slow.timeouts_fired > 0,
+            "slow-sender attack must force timeouts"
+        );
+        let (worst, _) = outcome.worst_finished_at().expect("terminating cells");
+        assert!(worst > 0);
+    }
+
+    #[test]
+    fn one_threaded_cell_checks_out() {
+        let (circuit, inputs) = default_workload(5);
+        let spec = CellSpec {
+            n: 5,
+            ts: 1,
+            ta: 1,
+            delta: 10,
+            network: NetworkKind::Synchronous,
+            backend: Backend::Threaded,
+            corrupt: vec![4],
+            strategy: StrategyKind::Equivocate,
+            fault_preset: "crash".to_string(),
+            slow_sender: false,
+            packing: 0,
+            seed: 13,
+        };
+        let report = check_cell(&spec, &circuit, &inputs);
+        assert_eq!(
+            report.verdict,
+            Verdict::Correct,
+            "{}",
+            report.artifact_json()
+        );
+    }
+
+    #[test]
+    fn negative_control_reproduces_bit_identically() {
+        let (circuit, inputs) = default_workload(5);
+        let spec = CellSpec {
+            n: 5,
+            ts: 1,
+            ta: 1,
+            delta: 10,
+            network: NetworkKind::Synchronous,
+            backend: Backend::Simulator,
+            corrupt: vec![0],
+            strategy: StrategyKind::Passive,
+            fault_preset: "dup-burst".to_string(),
+            slow_sender: false,
+            packing: 0,
+            seed: 99,
+        };
+        let first = negative_control(&spec, &circuit, &inputs);
+        assert!(first.is_violation(), "{}", first.artifact_json());
+        let second = negative_control(&spec, &circuit, &inputs);
+        assert_eq!(
+            first.artifact_json(),
+            second.artifact_json(),
+            "an injected violation must replay bit-identically from its seed"
+        );
+        // The artifact alone reconstructs the spec fields needed to re-run.
+        let line = first.artifact_json();
+        for needle in [
+            "\"seed\":99",
+            "\"fault_preset\":\"dup-burst\"",
+            "\"verdict\":\"violation\"",
+            "\"backend\":\"Simulator\"",
+        ] {
+            assert!(line.contains(needle), "{line} missing {needle}");
+        }
+    }
+}

@@ -5,7 +5,10 @@
 //! * asynchronous-only perfectly-secure MPC: `t_a < n/4` \[BCG93\];
 //! * best-of-both-worlds (this paper): `t_a ≤ t_s` and `3·t_s + t_a < n`.
 
-pub use mpc_net::adversary::{feasible_threshold_pairs, thresholds_feasible};
+pub use mpc_net::adversary::{
+    feasible_threshold_pairs, thresholds_feasible, AdversaryStructure, GeneralAdversary,
+    ThresholdAdversary,
+};
 
 /// One row of the resilience-landscape table of experiment E1.
 #[derive(Clone, Debug, PartialEq, Eq)]

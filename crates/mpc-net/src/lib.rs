@@ -31,6 +31,7 @@
 
 pub mod adversary;
 pub mod context;
+pub mod faults;
 pub mod metrics;
 pub mod scheduler;
 pub mod simulation;
@@ -38,16 +39,18 @@ pub mod transport;
 pub mod wire;
 
 pub use adversary::{
-    ByzantineStrategy, ChannelDeterministic, CorruptionSet, Crash, EquivocateBroadcast,
-    GarbleBytes, Passive, WireAction, WireSend,
+    AdversaryStructure, ByzantineStrategy, ChannelDeterministic, CorruptionSet, Crash,
+    EquivocateBroadcast, GarbleBytes, GeneralAdversary, Passive, ThresholdAdversary, WireAction,
+    WireSend,
 };
 pub use context::{Context, Effects, Path, PathSlice, Protocol};
+pub use faults::{FaultOutcome, FaultPlan, FaultRule};
 pub use metrics::Metrics;
 pub use scheduler::{
     AsyncScheduler, FixedDelay, LinkDelays, Scheduler, SkewedAsyncScheduler, UniformDelay,
 };
 pub use simulation::{NetConfig, NetworkKind, Simulation, TranscriptEntry, TranscriptEvent};
 pub use transport::{
-    party_as, threaded::ThreadedNet, Backend, PartyId, PartyView, Time, Transport,
+    party_as, threaded::ThreadedNet, Backend, PartyId, PartyView, Time, Transport, TransportError,
 };
 pub use wire::{Frame, FrameBuilder, FrameItem, WireDecode, WireEncode, WireError, WireReader};

@@ -80,7 +80,8 @@ pub struct Metrics {
     pub honest_bits_by_party: Vec<u64>,
     /// Timer expiries processed. On the threaded backend these are *real*
     /// wall-clock timeouts (`recv_timeout` deadlines), so the count is kept
-    /// out of `PartialEq`; the simulator currently leaves it 0.
+    /// out of `PartialEq`; the simulator counts its timer events, letting
+    /// the sweep harness assert timeout-driven fallback on either backend.
     pub timeouts_fired: u64,
     /// Threaded backend only: largest number of latency-held inbound packets
     /// observed at any party. Wall-clock observability, excluded from
@@ -102,6 +103,21 @@ pub struct Metrics {
     /// packing experiment's headline statistic — excluded from `PartialEq`
     /// like the other harness fields.
     pub values_opened_by_layer: Vec<u64>,
+    /// Messages suppressed by the injected [`crate::faults::FaultPlan`]
+    /// (crash/partition/drop-burst rules). Part of the execution fingerprint:
+    /// plans are pure functions of the message coordinates, so both backends
+    /// must drop the exact same messages.
+    pub fault_drops: u64,
+    /// Extra message copies injected by [`crate::faults::FaultPlan`]
+    /// duplicate-burst rules. Execution fingerprint, like
+    /// [`Metrics::fault_drops`].
+    pub fault_duplicates: u64,
+    /// Threaded backend only: parties whose conservative delivery gate gave
+    /// up after the configured wedge timeout (`MpcBuilder::wedge_timeout` /
+    /// `MPC_WEDGE_MS`) without progress. Wall-clock observability, excluded
+    /// from `PartialEq`; any non-zero count also surfaces as a typed
+    /// `TransportError::Wedged`.
+    pub wedges: u64,
 }
 
 impl PartialEq for Metrics {
@@ -128,6 +144,9 @@ impl PartialEq for Metrics {
             late_packets: _,           // real-time pacing observability
             packed_width: _,           // builder-injected configuration echo
             values_opened_by_layer: _, // builder-injected observability
+            fault_drops,
+            fault_duplicates,
+            wedges: _, // wall-clock gate observability
         } = self;
         *honest_messages == other.honest_messages
             && *honest_bits == other.honest_bits
@@ -139,6 +158,8 @@ impl PartialEq for Metrics {
             && *frames_sent == other.frames_sent
             && *honest_bits_by_root_segment == other.honest_bits_by_root_segment
             && *honest_bits_by_party == other.honest_bits_by_party
+            && *fault_drops == other.fault_drops
+            && *fault_duplicates == other.fault_duplicates
     }
 }
 
@@ -187,6 +208,9 @@ impl Metrics {
             self.batch_width_hist[i] += count;
         }
         self.timeouts_fired += other.timeouts_fired;
+        self.fault_drops += other.fault_drops;
+        self.fault_duplicates += other.fault_duplicates;
+        self.wedges += other.wedges;
         self.held_packets_peak = self.held_packets_peak.max(other.held_packets_peak);
         self.late_packets += other.late_packets;
         self.packed_width = self.packed_width.max(other.packed_width);

@@ -16,8 +16,11 @@ use std::sync::{Arc, OnceLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::adversary::{ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend};
+use crate::adversary::{
+    AdversaryStructure, ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend,
+};
 use crate::context::{Context, Effects, Path, Protocol};
+use crate::faults::{FaultOutcome, FaultPlan};
 use crate::metrics::Metrics;
 use crate::scheduler::{FixedDelay, Scheduler, UniformDelay};
 use crate::wire::{Frame, FrameBuilder, WireDecode, WireEncode};
@@ -722,6 +725,9 @@ pub(crate) struct BatchOutcome {
     /// Events processed: initial batch events (a frame counts as one) plus
     /// every internal same-tick cascade step.
     pub(crate) events: u64,
+    /// Timer expiries among the processed events (see
+    /// [`crate::Metrics::timeouts_fired`]).
+    pub(crate) timers_fired: u64,
     pub(crate) decode_failures: u64,
     pub(crate) transcript: Vec<TranscriptEntry>,
     /// Accounting for the sends delivered internally (self-sends and the
@@ -852,6 +858,7 @@ pub(crate) fn run_party_batch<M: WireEncode + WireDecode + 'static>(
     let mut out = BatchOutcome {
         party,
         events: 0,
+        timers_fired: 0,
         decode_failures: 0,
         transcript: Vec::new(),
         self_records: Vec::new(),
@@ -942,6 +949,7 @@ pub(crate) fn run_party_batch<M: WireEncode + WireDecode + 'static>(
                 }
             },
             LocalKind::Timer { path, id } => {
+                out.timers_fired += 1;
                 if record {
                     out.transcript.push(TranscriptEntry {
                         at: t,
@@ -1318,8 +1326,10 @@ pub struct Simulation<M> {
     parties: Vec<Box<dyn Protocol<M>>>,
     rngs: Vec<StdRng>,
     corruption: CorruptionSet,
+    structure: Option<Arc<dyn AdversaryStructure>>,
     strategy: Box<dyn ByzantineStrategy>,
     scheduler: Box<dyn Scheduler>,
+    faults: FaultPlan,
     sched_rng: StdRng,
     adv_rng: StdRng,
     queue: EventQueue,
@@ -1387,8 +1397,10 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             parties,
             rngs,
             corruption,
+            structure: None,
             strategy: Box::new(Passive),
             scheduler,
+            faults: FaultPlan::none(),
             sched_rng,
             adv_rng,
             queue,
@@ -1407,6 +1419,30 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
     /// Call before running.
     pub fn set_strategy(&mut self, strategy: Box<dyn ByzantineStrategy>) {
         self.strategy = strategy;
+    }
+
+    /// Installs an injected [`FaultPlan`] applied on top of the scheduler's
+    /// link delays (default: the empty plan). Call before running. The same
+    /// plan on the threaded backend yields the same per-message decisions —
+    /// see the determinism contract in [`crate::faults`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The injected fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Attaches the [`AdversaryStructure`] the corruption set was validated
+    /// against (descriptive only — see `Transport::set_adversary_structure`).
+    pub fn set_adversary_structure(&mut self, structure: Arc<dyn AdversaryStructure>) {
+        self.structure = Some(structure);
+    }
+
+    /// The attached adversary structure, if any.
+    pub fn adversary_structure(&self) -> Option<&Arc<dyn AdversaryStructure>> {
+        self.structure.as_ref()
     }
 
     /// Starts recording every processed event; call before running. Off by
@@ -1701,6 +1737,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
                         tag, step.kind_tag,
                         "parallel slice out of sync for party {p}: event kind mismatch"
                     );
+                    self.metrics.timeouts_fired += u64::from(tag);
                     self.consume_step(p, step);
                 }
                 None => self.execute_event(ev),
@@ -1862,6 +1899,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         let BatchOutcome {
             party,
             events,
+            timers_fired,
             decode_failures,
             transcript,
             self_records,
@@ -1869,6 +1907,7 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             timers,
         } = outcome;
         self.metrics.events_processed += events;
+        self.metrics.timeouts_fired += timers_fired;
         self.metrics.decode_failures += decode_failures;
         if let Some(recorded) = &mut self.transcript {
             recorded.extend(transcript);
@@ -1945,19 +1984,46 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
         let delay = self
             .scheduler
             .delay(from, to, self.now, &mut self.sched_rng);
+        // The fault plan acts on the network, after the sender's bit
+        // accounting: a dropped frame was still sent.
+        let (at, duplicate) = match self.faults.resolve(from, to, self.now, self.now + delay) {
+            FaultOutcome::Drop => {
+                self.metrics.fault_drops += 1;
+                return;
+            }
+            FaultOutcome::Deliver { at, duplicate } => (at, duplicate),
+        };
         self.seq += 1;
         self.queue.push(Event {
-            at: self.now + delay,
+            at,
             rank: 0,
             depth: 0,
             seq: self.seq,
-            kind: EventKind::DeliverFrame { to, from, payload },
+            kind: EventKind::DeliverFrame {
+                to,
+                from,
+                payload: payload.clone(),
+            },
         });
+        if let Some(dup_at) = duplicate {
+            self.metrics.fault_duplicates += 1;
+            self.seq += 1;
+            self.queue.push(Event {
+                at: dup_at,
+                rank: 0,
+                depth: 0,
+                seq: self.seq,
+                kind: EventKind::DeliverFrame { to, from, payload },
+            });
+        }
     }
 
     /// Executes one event inline (sequential path and corrupt parties):
     /// decode boundary, transcript, handler, effect application.
     fn execute_event(&mut self, ev: Event) {
+        if matches!(ev.kind, EventKind::Timer { .. }) {
+            self.metrics.timeouts_fired += 1;
+        }
         let (party, mut effects) = match ev.kind {
             EventKind::DeliverFrame { to, from, payload } => {
                 // Frame delivery outside a framed batch: corrupt recipients
@@ -2171,19 +2237,45 @@ impl<M: WireEncode + WireDecode + 'static> Simulation<M> {
             self.scheduler
                 .delay(from, to, self.now, &mut self.sched_rng)
         };
+        // Fault plan after the sender's accounting: sent bits count even
+        // when the network then drops the message. Self-sends are exempt by
+        // the plan's contract.
+        let (at, duplicate) = match self.faults.resolve(from, to, self.now, self.now + delay) {
+            FaultOutcome::Drop => {
+                self.metrics.fault_drops += 1;
+                return;
+            }
+            FaultOutcome::Deliver { at, duplicate } => (at, duplicate),
+        };
         self.seq += 1;
         self.queue.push(Event {
-            at: self.now + delay,
+            at,
             rank: 0,
             depth: path.len(),
             seq: self.seq,
             kind: EventKind::Deliver {
                 to,
                 from,
-                path,
-                payload,
+                path: path.clone(),
+                payload: payload.clone(),
             },
         });
+        if let Some(dup_at) = duplicate {
+            self.metrics.fault_duplicates += 1;
+            self.seq += 1;
+            self.queue.push(Event {
+                at: dup_at,
+                rank: 0,
+                depth: path.len(),
+                seq: self.seq,
+                kind: EventKind::Deliver {
+                    to,
+                    from,
+                    path,
+                    payload,
+                },
+            });
+        }
     }
 }
 

@@ -21,7 +21,9 @@
 
 pub mod threaded;
 
-use crate::adversary::{ByzantineStrategy, CorruptionSet};
+use std::sync::Arc;
+
+use crate::adversary::{AdversaryStructure, ByzantineStrategy, CorruptionSet};
 use crate::context::Protocol;
 use crate::metrics::Metrics;
 use crate::simulation::{Simulation, TranscriptEntry};
@@ -59,6 +61,41 @@ impl Backend {
         }
     }
 }
+
+/// A typed, non-fatal failure a transport diagnosed during a run. Kept out
+/// of the run methods' signatures (which stay `()`/`bool` for
+/// object-safety and API stability) and surfaced post-run through
+/// [`Transport::last_error`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The threaded backend's conservative delivery gate saw zero progress
+    /// on a lagging link for the configured wedge timeout
+    /// (`ThreadedNet::with_wedge_millis` / `MPC_WEDGE_MS`) and processed
+    /// anyway. Counted in [`Metrics::wedges`].
+    Wedged {
+        /// The peer whose link clock stopped advancing.
+        party: PartyId,
+        /// The last tick that peer's link clock had cleared when the gate
+        /// gave up.
+        last_progress_tick: Time,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Wedged {
+                party,
+                last_progress_tick,
+            } => write!(
+                f,
+                "party {party} wedged (no progress past tick {last_progress_tick})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
 
 /// The read-only view of a run a [`Transport`] hands to completion
 /// predicates and post-run inspection: party count, clock, and the party
@@ -122,6 +159,26 @@ pub trait Transport<M>: PartyView<M> {
 
     /// The corruption set.
     fn corruption(&self) -> &CorruptionSet;
+
+    /// Attaches the [`AdversaryStructure`] the run's corruption set was
+    /// validated against, so post-run analysis (the sweep harness) can ask
+    /// which guarantee regime a placement falls under. Purely descriptive —
+    /// the wire behaviour is fixed by the corruption set and strategy.
+    fn set_adversary_structure(&mut self, structure: Arc<dyn AdversaryStructure>) {
+        let _ = structure;
+    }
+
+    /// The attached adversary structure, if any.
+    fn adversary_structure(&self) -> Option<&Arc<dyn AdversaryStructure>> {
+        None
+    }
+
+    /// The first typed failure the backend diagnosed during the run, if any
+    /// (e.g. [`TransportError::Wedged`] on the threaded backend). `None` on
+    /// backends that cannot wedge (the simulator) and on clean runs.
+    fn last_error(&self) -> Option<&TransportError> {
+        None
+    }
 }
 
 impl<M: WireEncode + WireDecode + 'static> PartyView<M> for Simulation<M> {
@@ -164,6 +221,12 @@ impl<M: WireEncode + WireDecode + 'static> Transport<M> for Simulation<M> {
     }
     fn corruption(&self) -> &CorruptionSet {
         Simulation::corruption(self)
+    }
+    fn set_adversary_structure(&mut self, structure: Arc<dyn AdversaryStructure>) {
+        Simulation::set_adversary_structure(self, structure)
+    }
+    fn adversary_structure(&self) -> Option<&Arc<dyn AdversaryStructure>> {
+        Simulation::adversary_structure(self)
     }
 }
 

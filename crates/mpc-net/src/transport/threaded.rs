@@ -54,15 +54,18 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::adversary::{ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend};
+use crate::adversary::{
+    AdversaryStructure, ByzantineStrategy, CorruptionSet, Passive, WireAction, WireSend,
+};
 use crate::context::{Context, Effects, Path, Protocol};
+use crate::faults::{FaultOutcome, FaultPlan};
 use crate::metrics::Metrics;
 use crate::scheduler::LinkDelays;
 use crate::simulation::{
     run_corrupt_batch, run_party_batch, BatchOutcome, CorruptOutcome, CorruptSend, EventKind,
     FrameSet, NetConfig, TranscriptEntry, WorkerParty,
 };
-use crate::transport::{Backend, PartyId, PartyView, Time, Transport};
+use crate::transport::{Backend, PartyId, PartyView, Time, Transport, TransportError};
 use crate::wire::{WireDecode, WireEncode, WireReader};
 
 /// Resolves the real duration of one logical tick from the `MPC_TICK_US`
@@ -202,6 +205,9 @@ struct PartyDone<M> {
     transcript: Vec<TranscriptEntry>,
     last_tick: Time,
     processed_any: bool,
+    /// First wedge this party's conservative gate diagnosed: the lagging
+    /// peer and the last tick its link clock had cleared.
+    wedged: Option<(PartyId, Time)>,
 }
 
 /// Encodes a single (non-framed) message for the wire: `u32` path length,
@@ -251,6 +257,7 @@ struct PartyRuntime<'s, M> {
     /// eats into tick 0's budget.
     start: Instant,
     links: &'s LinkDelays,
+    faults: &'s FaultPlan,
     protocol: Box<dyn Protocol<M>>,
     rng: StdRng,
     rx: Receiver<Inbound>,
@@ -280,16 +287,39 @@ struct PartyRuntime<'s, M> {
     /// Highest promise broadcast so far (the basis tick, before per-link
     /// delay is added); deduplicates [`Inbound::Past`] chatter.
     promised: Time,
+    /// How long the conservative gate tolerates *zero* progress (no packet,
+    /// no advancing link clock) on a lagging link before processing anyway —
+    /// see [`default_wedge_timeout`]. Configurable via
+    /// `ThreadedNet::with_wedge_millis` / the `MPC_WEDGE_MS` knob.
+    wedge_timeout: Duration,
+    /// First wedge diagnosed by the gate (lagging peer, its last cleared
+    /// tick); surfaced post-run as `TransportError::Wedged`.
+    wedged: Option<(PartyId, Time)>,
 }
 
-/// How long the conservative gate tolerates *zero* progress (no packet, no
-/// advancing link clock) on a lagging link before processing anyway. This is
+/// The default zero-progress grace of the conservative gate (30 s). This is
 /// a pathology net for a wedged peer, not a pacing knob: a single
 /// debug-build batch on an oversubscribed single-core host can legitimately
 /// compute for hundreds of milliseconds while emitting nothing, and bailing
 /// on it surfaces as `late_packets` plus oracle divergence. The
-/// coordinator's hard wall-clock cap remains the final backstop.
-const GATE_GRACE: Duration = Duration::from_secs(30);
+/// coordinator's hard wall-clock cap remains the final backstop. Unlike the
+/// pre-PR-9 hard-coded constant, expiry is no longer silent: it increments
+/// [`Metrics::wedges`] and surfaces a typed
+/// [`TransportError::Wedged`] through `Transport::last_error`.
+pub const fn default_wedge_timeout() -> Duration {
+    Duration::from_secs(30)
+}
+
+/// Resolves the gate's zero-progress grace from the `MPC_WEDGE_MS`
+/// environment variable (milliseconds; unset, empty, unparsable or 0 → the
+/// 30 s default).
+pub fn wedge_millis_from_env() -> u64 {
+    std::env::var("MPC_WEDGE_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default_wedge_timeout().as_millis() as u64)
+}
 
 impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
     /// Next emission index among this party's packets of `tick`.
@@ -434,8 +464,20 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
 
     fn send_packet(&mut self, to: PartyId, send_tick: Time, framed: bool, bytes: Arc<Vec<u8>>) {
         debug_assert_ne!(to, self.me, "self-addressed traffic is delivered in-batch");
+        // The injected fault plan acts on the network, after the sender's
+        // bit accounting (callers record sends before calling here) — the
+        // exact decision the simulator's dispatch makes for the same
+        // coordinates, because the plan is a pure function of them.
+        let scheduled = send_tick + self.links.get(self.me, to);
+        let (deliver_tick, duplicate) = match self.faults.resolve(self.me, to, send_tick, scheduled)
+        {
+            FaultOutcome::Drop => {
+                self.metrics.fault_drops += 1;
+                return;
+            }
+            FaultOutcome::Deliver { at, duplicate } => (at, duplicate),
+        };
         let order = self.next_order(send_tick);
-        let deliver_tick = send_tick + self.links.get(self.me, to);
         self.shared.activity.fetch_add(1, Ordering::SeqCst);
         self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
         let packet = Packet {
@@ -444,11 +486,30 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
             order,
             deliver_tick,
             framed,
-            bytes,
+            bytes: Arc::clone(&bytes),
         };
         if self.txs[to].send(Inbound::Packet(packet)).is_err() {
             // Receiver already gone (forced stop): retract the claim.
             self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+        if let Some(dup_tick) = duplicate {
+            // The duplicate copy mirrors the simulator's second queue push:
+            // its own emission index, the adjusted later delivery tick.
+            self.metrics.fault_duplicates += 1;
+            let order = self.next_order(send_tick);
+            self.shared.activity.fetch_add(1, Ordering::SeqCst);
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let packet = Packet {
+                from: self.me,
+                send_tick,
+                order,
+                deliver_tick: dup_tick,
+                framed,
+                bytes,
+            };
+            if self.txs[to].send(Inbound::Packet(packet)).is_err() {
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 
@@ -688,6 +749,9 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
         let BatchOutcome {
             party,
             events,
+            // The threaded loop already counted this batch's timer expiries
+            // when it popped them from its timer wheel.
+            timers_fired: _,
             decode_failures,
             transcript,
             self_records,
@@ -753,7 +817,18 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
         loop {
             loop {
                 match self.rx.try_recv() {
-                    Ok(Inbound::Packet(p)) => self.receive(p),
+                    Ok(Inbound::Packet(p)) => {
+                        // Clear the idle flag *before* folding the packet in
+                        // (which releases its in-flight claim): a party woken
+                        // from the blocking branch by a promise keeps a
+                        // stale idle=true through this drain, and a window
+                        // where the flag is true while the packet is neither
+                        // in flight nor processed lets the coordinator
+                        // declare quiescence mid-run and truncate the tail
+                        // of a healthy schedule.
+                        self.shared.idle[self.me].store(false, Ordering::SeqCst);
+                        self.receive(p);
+                    }
                     Ok(Inbound::Past { from, floor }) => {
                         self.note_past(from, floor);
                     }
@@ -770,9 +845,11 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
             }
             let next = self.next_work();
             self.update_promise(next);
+            // Keep the invariant local and self-evident: the flag is true
+            // exactly while this party is blocked below with no work.
+            self.shared.idle[self.me].store(next.is_none(), Ordering::SeqCst);
             match next {
                 None => {
-                    self.shared.idle[self.me].store(true, Ordering::SeqCst);
                     match self.rx.recv() {
                         Ok(Inbound::Packet(p)) => {
                             self.shared.idle[self.me].store(false, Ordering::SeqCst);
@@ -843,7 +920,16 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
                                 self.timers.len()
                             );
                         }
-                        if stalled_since.elapsed() > GATE_GRACE {
+                        if stalled_since.elapsed() > self.wedge_timeout {
+                            // Zero progress for the whole grace: diagnose the
+                            // wedged peer, then process anyway (liveness) —
+                            // the run surfaces the wedge as a typed error.
+                            if let Some(peer) = self.lagging_link(t) {
+                                self.metrics.wedges += 1;
+                                if self.wedged.is_none() {
+                                    self.wedged = Some((peer, self.chan_floor[peer]));
+                                }
+                            }
                             break;
                         }
                         let progressed = match self.rx.recv_timeout(quantum) {
@@ -898,6 +984,7 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
             transcript: self.transcript,
             last_tick: self.last_tick,
             processed_any: self.processed_any,
+            wedged: self.wedged,
         }
     }
 }
@@ -909,8 +996,11 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
 pub struct ThreadedNet<M> {
     config: NetConfig,
     corruption: CorruptionSet,
+    structure: Option<Arc<dyn AdversaryStructure>>,
     links: LinkDelays,
+    faults: FaultPlan,
     tick_us: u64,
+    wedge_ms: u64,
     parties: Vec<Option<Box<dyn Protocol<M>>>>,
     strategy: Option<Box<dyn ByzantineStrategy>>,
     record: bool,
@@ -918,6 +1008,7 @@ pub struct ThreadedNet<M> {
     metrics: Metrics,
     now: Time,
     ran: bool,
+    last_error: Option<TransportError>,
 }
 
 impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
@@ -955,9 +1046,12 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
         metrics.worker_threads = config.n as u64;
         ThreadedNet {
             tick_us: tick_micros_from_env(),
+            wedge_ms: wedge_millis_from_env(),
             config,
             corruption,
+            structure: None,
             links,
+            faults: FaultPlan::none(),
             parties: parties.into_iter().map(Some).collect(),
             strategy: None,
             record: false,
@@ -965,6 +1059,7 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
             metrics,
             now: 0,
             ran: false,
+            last_error: None,
         }
     }
 
@@ -975,6 +1070,31 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
             self.tick_us = micros;
         }
         self
+    }
+
+    /// Overrides the conservative gate's zero-progress grace (milliseconds;
+    /// `0` keeps the `MPC_WEDGE_MS` / 30 s default). Call before running. A
+    /// gate that waits this long without any progress on a lagging link
+    /// counts a wedge in [`Metrics::wedges`] and surfaces
+    /// [`TransportError::Wedged`] through [`Transport::last_error`] instead
+    /// of silently stalling.
+    pub fn with_wedge_millis(mut self, millis: u64) -> Self {
+        if millis > 0 {
+            self.wedge_ms = millis;
+        }
+        self
+    }
+
+    /// Installs an injected [`FaultPlan`] applied on top of the link-latency
+    /// matrix (default: the empty plan). Call before running — the same plan
+    /// yields the same per-message decisions on the simulator.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The injected fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The latency matrix this network runs with.
@@ -1040,8 +1160,10 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
             .map(|slot| slot.take().expect("party state present outside a run"))
             .collect();
         let links = &self.links;
+        let faults = &self.faults;
         let corruption = &self.corruption;
         let config = &self.config;
+        let wedge_timeout = Duration::from_millis(self.wedge_ms.max(1));
         let results: Vec<PartyDone<M>> = std::thread::scope(|scope| {
             let shared = &shared;
             let adv = &adv;
@@ -1069,6 +1191,7 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
                             guard,
                             start: Instant::now(), // re-stamped after the barrier
                             links,
+                            faults,
                             protocol,
                             rng,
                             rx,
@@ -1093,6 +1216,8 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
                                 .map(|s| if s == i { Time::MAX } else { links.get(s, i) })
                                 .collect(),
                             promised: 0,
+                            wedge_timeout,
+                            wedged: None,
                         };
                         runtime.run(barrier, epoch)
                     })
@@ -1128,6 +1253,14 @@ impl<M: WireEncode + WireDecode + 'static> ThreadedNet<M> {
             merged.merge(&done.metrics);
             if done.processed_any {
                 now = now.max(done.last_tick);
+            }
+            if self.last_error.is_none() {
+                if let Some((party, last_progress_tick)) = done.wedged {
+                    self.last_error = Some(TransportError::Wedged {
+                        party,
+                        last_progress_tick,
+                    });
+                }
             }
             transcript.extend(done.transcript);
         }
@@ -1184,6 +1317,15 @@ impl<M: WireEncode + WireDecode + 'static> Transport<M> for ThreadedNet<M> {
     }
     fn corruption(&self) -> &CorruptionSet {
         &self.corruption
+    }
+    fn set_adversary_structure(&mut self, structure: Arc<dyn AdversaryStructure>) {
+        self.structure = Some(structure);
+    }
+    fn adversary_structure(&self) -> Option<&Arc<dyn AdversaryStructure>> {
+        self.structure.as_ref()
+    }
+    fn last_error(&self) -> Option<&TransportError> {
+        self.last_error.as_ref()
     }
 }
 
@@ -1278,6 +1420,16 @@ mod tests {
         corruption: CorruptionSet,
         strategy: impl Fn() -> Box<dyn ByzantineStrategy>,
     ) {
+        assert_conformance_with_plan(kind, seed, corruption, strategy, FaultPlan::none());
+    }
+
+    fn assert_conformance_with_plan(
+        kind: NetworkKind,
+        seed: u64,
+        corruption: CorruptionSet,
+        strategy: impl Fn() -> Box<dyn ByzantineStrategy>,
+        plan: FaultPlan,
+    ) {
         let n = 4;
         let horizon = 10_000;
         let cfg = NetConfig::for_kind(n, kind)
@@ -1292,12 +1444,14 @@ mod tests {
             parties(n),
         );
         sim.set_strategy(strategy());
+        sim.set_fault_plan(plan.clone());
         sim.record_transcript();
         sim.run_to_quiescence(horizon);
 
         let mut th = ThreadedNet::with_links(cfg, corruption.clone(), links, parties(n))
             .with_tick_micros(300);
         Transport::set_strategy(&mut th, strategy());
+        th.set_fault_plan(plan);
         Transport::record_transcript(&mut th);
         th.run_net_to_quiescence(horizon);
 
@@ -1352,6 +1506,60 @@ mod tests {
             CorruptionSet::new(vec![3]),
             || Box::new(GarbleBytes),
         );
+    }
+
+    #[test]
+    fn threaded_matches_simulator_under_crash_fault() {
+        // Party 2 fail-silent at the wire from tick 1: both backends must
+        // drop the exact same messages (fault_drops is fingerprint) and
+        // reach the same outputs.
+        assert_conformance_with_plan(
+            NetworkKind::Synchronous,
+            5,
+            CorruptionSet::none(),
+            || Box::new(Passive),
+            FaultPlan::none().crash(2, 1, None),
+        );
+    }
+
+    #[test]
+    fn threaded_matches_simulator_under_duplicate_and_delay_bursts() {
+        assert_conformance_with_plan(
+            NetworkKind::Synchronous,
+            9,
+            CorruptionSet::none(),
+            || Box::new(Passive),
+            FaultPlan::none()
+                .duplicate_burst(None, None, (0, 64), 3)
+                .delay_burst(Some(1), None, (0, 64), 5),
+        );
+    }
+
+    #[test]
+    fn threaded_matches_simulator_under_partition_heal() {
+        assert_conformance_with_plan(
+            NetworkKind::Asynchronous,
+            13,
+            CorruptionSet::none(),
+            || Box::new(Passive),
+            FaultPlan::none().partition(vec![0, 1], 2, Some(120)),
+        );
+    }
+
+    #[test]
+    fn wedge_timeout_is_configurable_and_typed() {
+        let n = 4;
+        let cfg = NetConfig::synchronous(n).with_seed(5).with_frames(true);
+        let links = LinkDelays::for_kind(n, cfg.kind, cfg.delta, cfg.seed);
+        let th = ThreadedNet::<Msg>::with_links(cfg, CorruptionSet::none(), links, parties(n))
+            .with_wedge_millis(250);
+        assert_eq!(th.wedge_ms, 250);
+        assert!(Transport::<Msg>::last_error(&th).is_none());
+        let err = TransportError::Wedged {
+            party: 2,
+            last_progress_tick: 17,
+        };
+        assert_eq!(err.to_string(), "party 2 wedged (no progress past tick 17)");
     }
 
     #[test]

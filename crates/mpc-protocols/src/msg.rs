@@ -157,6 +157,12 @@ pub enum Msg {
     /// block assigned to it, in the canonical layout both sides derive from
     /// the agreed common subset `CS₁`.
     PackedDeal(Vec<Fp>),
+    /// Broadcast accusation that the named dealer's packed deal is missing,
+    /// mis-shaped or degree-inconsistent (its blinded probe failed to
+    /// decode) past the deal deadline. `t_s + 1` distinct reporters — at
+    /// least one of them honest — trigger the uniform fallback of the packed
+    /// engine to the scalar preprocessing path.
+    PackedReport(u32),
 }
 
 // ---------------------------------------------------------------------------
@@ -461,6 +467,10 @@ impl WireEncode for Msg {
                 out.push(7);
                 put_fp_vec(out, v);
             }
+            Msg::PackedReport(dealer) => {
+                out.push(8);
+                dealer.encode_into(out);
+            }
         }
     }
 
@@ -474,6 +484,7 @@ impl WireEncode for Msg {
             Msg::Open { values, .. } => 4 + 4 + 8 * values.len(),
             Msg::Ready(v) => 4 + 8 * v.len(),
             Msg::PackedDeal(v) => 4 + 8 * v.len(),
+            Msg::PackedReport(_) => 4,
         }
     }
 }
@@ -496,6 +507,7 @@ impl WireDecode for Msg {
             }),
             6 => Ok(Msg::Ready(get_fp_vec(r)?)),
             7 => Ok(Msg::PackedDeal(get_fp_vec(r)?)),
+            8 => Ok(Msg::PackedReport(r.u32()?)),
             tag => invalid_tag(tag, "Msg"),
         }
     }
@@ -572,6 +584,7 @@ mod tests {
         roundtrip(Msg::Ready(vec![Fp::from_u64(1)]));
         roundtrip(Msg::PackedDeal(vec![Fp::from_u64(6), Fp::from_u64(7)]));
         roundtrip(Msg::PackedDeal(vec![]));
+        roundtrip(Msg::PackedReport(3));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! every stacked time-out is mutually consistent — exactly the property the
 //! paper's proofs rely on.
 
-use mpc_net::Time;
+use mpc_net::{AdversaryStructure, Time};
 
 /// Protocol parameters shared by every sub-protocol instance of one run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +35,28 @@ impl Params {
         assert!(3 * ts + ta < n, "the paper requires 3*t_s + t_a < n");
         assert!(delta > 0, "delta must be positive");
         Params { n, ts, ta, delta }
+    }
+
+    /// Parameters derived from a pluggable [`AdversaryStructure`]: the
+    /// protocols run at the structure's *threshold hull*
+    /// (`threshold_projection`), because the share-based machinery is
+    /// Shamir/threshold — a general (non-threshold) structure refines which
+    /// corruption sets are admissible, not the polynomial degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the structure itself is infeasible
+    /// ([`AdversaryStructure::feasible`]) or its hull violates the paper's
+    /// resilience condition — a `GeneralAdversary` can satisfy `Q^(3,1)`
+    /// while its hull does not satisfy `3·t_s + t_a < n`, and this
+    /// implementation only supports structures whose hull does.
+    pub fn from_structure(structure: &dyn AdversaryStructure, delta: Time) -> Self {
+        assert!(
+            structure.feasible(),
+            "the adversary structure violates the feasibility condition"
+        );
+        let (ts, ta) = structure.threshold_projection();
+        Params::new(structure.n(), ts, ta, delta)
     }
 
     /// Parameters with the largest feasible `t_s` and then largest feasible
@@ -149,5 +171,23 @@ mod tests {
     #[should_panic(expected = "3*t_s + t_a < n")]
     fn invalid_thresholds_rejected() {
         let _ = Params::new(8, 2, 2, 10);
+    }
+
+    #[test]
+    fn params_from_adversary_structures() {
+        use mpc_net::{GeneralAdversary, ThresholdAdversary};
+        let p = Params::from_structure(&ThresholdAdversary::new(8, 2, 1), 10);
+        assert_eq!((p.n, p.ts, p.ta), (8, 2, 1));
+        // A general structure runs at its threshold hull.
+        let g = GeneralAdversary::new(8, vec![vec![0], vec![1, 2]], vec![vec![0]]);
+        let p = Params::from_structure(&g, 10);
+        assert_eq!((p.n, p.ts, p.ta), (8, 2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "feasibility condition")]
+    fn infeasible_structure_rejected() {
+        use mpc_net::ThresholdAdversary;
+        let _ = Params::from_structure(&ThresholdAdversary::new(8, 2, 2), 10);
     }
 }

@@ -11,9 +11,9 @@
 use bobw_mpc::algebra::Fp;
 use bobw_mpc::core::{Circuit, MpcBuilder};
 use bobw_mpc::net::{
-    Backend, ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, GarbleBytes, Metrics,
-    NetConfig, NetworkKind, Passive, Protocol, Simulation, Time, TranscriptEntry, TranscriptEvent,
-    UniformDelay, WireEncode,
+    Backend, ByzantineStrategy, CorruptionSet, Crash, EquivocateBroadcast, FaultPlan, GarbleBytes,
+    Metrics, NetConfig, NetworkKind, Passive, Protocol, Simulation, Time, TranscriptEntry,
+    TranscriptEvent, UniformDelay, WireEncode,
 };
 use bobw_mpc::protocols::bc::Bc;
 use bobw_mpc::protocols::{BcValue, Msg, Params};
@@ -337,6 +337,9 @@ fn full_mpc_metrics_bit_identical_to_pre_refactor_golden() {
                 // MPC_TRANSPORT=threaded the run would stop at a different
                 // (equally correct) quiescence tick.
                 .transport(Backend::Simulator)
+                // Same story for the MPC_FAULT_PLAN CI lane: an injected
+                // plan changes the transcript by design.
+                .fault_plan(FaultPlan::none())
                 .run(&c)
                 .expect("run completes");
             let label = format!("{kind:?} threads={threads}");
@@ -385,9 +388,11 @@ fn full_mpc_metrics_golden_batched() {
                 .inputs(&[3, 5, 7, 11])
                 .threads(threads)
                 .frames(true)
-                // Scalar engine pinned — see the golden above.
+                // Scalar engine, simulator and fault-free schedule pinned —
+                // see the golden above.
                 .packing(0)
                 .transport(Backend::Simulator)
+                .fault_plan(FaultPlan::none())
                 .run(&c)
                 .expect("run completes");
             let label = format!("batched {kind:?} threads={threads}");
