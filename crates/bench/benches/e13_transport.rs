@@ -1,16 +1,18 @@
 //! Experiment E13 — transport backends: the deterministic simulator vs the
-//! real threaded runtime.
+//! real threaded runtime vs the supervised TCP socket runtime.
 //!
-//! Runs the same full `Π_CirEval` evaluation on both [`Backend`]s at
+//! Runs the same full `Π_CirEval` evaluation on all three [`Backend`]s at
 //! n ∈ {4, 7} and reports throughput (circuits/second) and the per-party
 //! honest-bit accounting side by side. The simulator burns pure compute; the
 //! threaded backend additionally pays genuine wall-clock tick pacing (every
 //! Δ-timer is a real `recv_timeout` deadline), so its wall time is dominated
 //! by `completed_at × tick` — the throughput gap *is* the price of real
-//! time, not of the runtime machinery. Communication accounting must not
-//! depend on the backend: the per-party bit vectors are asserted identical
-//! across the two runs (the cheap always-on slice of the conformance
-//! contract; the full fingerprint lives in `tests/transport_conformance.rs`).
+//! time, not of the runtime machinery. The TCP backend pays the same pacing
+//! plus real socket I/O (encode, kernel round trips, ack traffic) on every
+//! link. Communication accounting must not depend on the backend: the
+//! per-party bit vectors are asserted identical across all three runs (the
+//! cheap always-on slice of the conformance contract; the full fingerprint
+//! lives in `tests/transport_conformance.rs`).
 //!
 //! `BENCH_SMOKE=1` shrinks the sweep for CI; outputs are checked against the
 //! cleartext evaluation on both backends.
@@ -92,6 +94,22 @@ fn main() {
         );
         report.push_labeled("threaded", n, circuit.mult_count(), &th);
         print_row("threaded", n, &th, &th_bits);
+
+        let (tcp, tcp_out, tcp_bits) = run_cireval_transport(
+            n,
+            &circuit,
+            NetworkKind::Synchronous,
+            seed,
+            Backend::Tcp,
+            TICK_US,
+        );
+        assert_eq!(tcp_out, expected, "tcp output must be correct (n={n})");
+        assert_eq!(
+            sim_bits, tcp_bits,
+            "per-party honest bits must not depend on the backend (n={n})"
+        );
+        report.push_labeled("tcp", n, circuit.mult_count(), &tcp);
+        print_row("tcp", n, &tcp, &tcp_bits);
 
         let pacing_floor_ms = th.completed_at as f64 * TICK_US as f64 / 1000.0;
         println!(

@@ -8,7 +8,9 @@
 //!
 //! Environment knobs:
 //!
-//! * `SWEEP_BACKENDS` — `sim`, `threaded` or `both` (default `both`).
+//! * `SWEEP_BACKENDS` — `sim`, `threaded`, `tcp`, `both` (sim + threaded,
+//!   the default) or `all` (every backend). The tcp matrix adds one
+//!   socket-chaos cell per chaos preset (sever / stall / dup-bytes).
 //! * `SWEEP_SEED` — base RNG seed of every cell (default `1`).
 //! * `SWEEP_FILTER` — substring filter on the cell label (e.g. a fault
 //!   preset name or `slow-sender`); empty runs everything.
@@ -39,6 +41,8 @@ fn main() -> ExitCode {
     let backends: Vec<Backend> = match env("SWEEP_BACKENDS", "both").as_str() {
         "sim" | "simulator" => vec![Backend::Simulator],
         "threaded" => vec![Backend::Threaded],
+        "tcp" => vec![Backend::Tcp],
+        "all" => vec![Backend::Simulator, Backend::Threaded, Backend::Tcp],
         _ => vec![Backend::Simulator, Backend::Threaded],
     };
     let seed: u64 = env("SWEEP_SEED", "1")
@@ -110,6 +114,7 @@ fn main() -> ExitCode {
         corrupt: vec![0],
         strategy: StrategyKind::Passive,
         fault_preset: "dup-burst".to_string(),
+        chaos_preset: "none".to_string(),
         slow_sender: false,
         packing: 0,
         seed,

@@ -58,6 +58,14 @@ pub struct Measurement {
     /// Publicly opened values per multiplication layer (first honest party;
     /// empty on the per-gate reference path).
     pub values_opened_by_layer: Vec<u64>,
+    /// Connections the TCP supervisors re-established (tcp backend only).
+    pub reconnects: u64,
+    /// Failed dial attempts across all links (tcp backend only).
+    pub dial_retries: u64,
+    /// Records retransmitted after reconnects (tcp backend only).
+    pub frames_replayed: u64,
+    /// Bytes abandoned to stream resyncs (tcp backend only).
+    pub bytes_resynced: u64,
 }
 
 impl Measurement {
@@ -77,6 +85,10 @@ impl Measurement {
             timeouts_fired: metrics.timeouts_fired,
             packed_width: metrics.packed_width,
             values_opened_by_layer: metrics.values_opened_by_layer.clone(),
+            reconnects: metrics.reconnects,
+            dial_retries: metrics.dial_retries,
+            frames_replayed: metrics.frames_replayed,
+            bytes_resynced: metrics.bytes_resynced,
         }
     }
 
@@ -100,7 +112,8 @@ impl Measurement {
              \"honest_bits\":{},\"honest_messages\":{},\"completed_at\":{},\
              \"wall_ms\":{:.3},\"events\":{},\"frames\":{},\"max_queue_depth\":{},\
              \"threads\":{},\"packed_width\":{},\"values_opened\":[{opened}],\
-             \"batch_width_hist\":[{hist}]}}",
+             \"reconnects\":{},\"dial_retries\":{},\"frames_replayed\":{},\
+             \"bytes_resynced\":{},\"batch_width_hist\":[{hist}]}}",
             self.honest_bits,
             self.honest_messages,
             self.completed_at,
@@ -110,6 +123,10 @@ impl Measurement {
             self.max_queue_depth,
             self.worker_threads,
             self.packed_width,
+            self.reconnects,
+            self.dial_retries,
+            self.frames_replayed,
+            self.bytes_resynced,
         )
     }
 }
@@ -421,8 +438,8 @@ pub fn run_cireval_batching(
     (m, result.output)
 }
 
-/// [`run_cireval`] on an explicit transport backend. For the threaded
-/// backend, `tick_micros` sets the real duration of one logical tick
+/// [`run_cireval`] on an explicit transport backend. For the thread-per-party
+/// backends, `tick_micros` sets the real duration of one logical tick
 /// (`0` defers to `MPC_TICK_US`); wall-clock time then includes genuine
 /// tick pacing, so throughput is dominated by the simulated schedule
 /// rather than raw compute. Returns the per-party honest-bit accounting
@@ -444,7 +461,7 @@ pub fn run_cireval_transport(
         .seed(seed)
         .inputs(&inputs)
         .transport(backend);
-    if backend == Backend::Threaded && tick_micros > 0 {
+    if backend != Backend::Simulator && tick_micros > 0 {
         builder = builder.tick_micros(tick_micros);
     }
     let result = builder.run(circuit).expect("benchmark run must complete");

@@ -5,9 +5,10 @@
 //! harness use: configure `n`, `(t_s, t_a)`, the network kind and the inputs,
 //! then [`MpcBuilder::run`] a circuit and get every honest party's output
 //! plus the run's communication metrics and completion time. The backend —
-//! the deterministic discrete-event simulator or the real threaded runtime —
-//! is picked with [`MpcBuilder::transport`] (default: the `MPC_TRANSPORT`
-//! environment variable via [`Backend::from_env`]).
+//! the deterministic discrete-event simulator, the real threaded runtime, or
+//! the supervised TCP socket runtime — is picked with
+//! [`MpcBuilder::transport`] (default: the `MPC_TRANSPORT` environment
+//! variable via [`Backend::from_env`]).
 
 use std::fmt;
 use std::sync::Arc;
@@ -16,14 +17,52 @@ use std::time::Duration;
 use mpc_algebra::Fp;
 use mpc_net::{
     AdversaryStructure, Backend, ByzantineStrategy, CorruptionSet, FaultPlan, LinkDelays, Metrics,
-    NetConfig, NetworkKind, PartyId, PartyView, Protocol, Scheduler, Simulation, ThreadedNet,
-    ThresholdAdversary, Time, Transport, TransportError,
+    NetConfig, NetworkKind, PartyId, PartyView, Protocol, Scheduler, Simulation, TcpNet,
+    ThreadedNet, ThresholdAdversary, Time, Transport, TransportError,
 };
 use mpc_protocols::byzantine::SilentParty;
 use mpc_protocols::{Msg, Params};
 
 use crate::circuit::Circuit;
 use crate::cireval::CirEval;
+
+/// Typed access to the `MPC_*` environment knobs.
+///
+/// Every knob the builder resolves from the environment goes through one of
+/// these helpers, so a set-but-malformed value is a loud configuration error
+/// instead of a silent fallback to the default — a sweep whose knob is
+/// misspelled must not quietly measure the wrong thing.
+pub mod knobs {
+    use std::fmt::Display;
+    use std::str::FromStr;
+
+    /// The raw value of the environment variable `name`, treating unset and
+    /// blank values as absent.
+    pub fn raw(name: &str) -> Option<String> {
+        match std::env::var(name) {
+            Ok(v) if !v.trim().is_empty() => Some(v.trim().to_string()),
+            _ => None,
+        }
+    }
+
+    /// Parses the environment variable `name` as a `T`. `what` names the
+    /// expected shape in the failure message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is set and non-blank but does not parse — the
+    /// caller's default applies only to *absent* knobs, never to broken ones.
+    pub fn parsed<T>(name: &str, what: &str) -> Option<T>
+    where
+        T: FromStr,
+        T::Err: Display,
+    {
+        raw(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("{name}={v:?} could not be parsed as {what}: {e}"))
+        })
+    }
+}
 
 /// Error returned when a protocol run does not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +112,7 @@ pub struct MpcBuilder {
     corrupt: CorruptionSet,
     structure: Option<Arc<dyn AdversaryStructure>>,
     fault_plan: Option<FaultPlan>,
+    chaos_plan: Option<FaultPlan>,
     wedge_millis: Option<u64>,
     strategy: Option<Box<dyn ByzantineStrategy>>,
     scheduler: Option<Box<dyn Scheduler>>,
@@ -118,6 +158,7 @@ impl MpcBuilder {
             corrupt: CorruptionSet::none(),
             structure: None,
             fault_plan: None,
+            chaos_plan: None,
             wedge_millis: None,
             strategy: None,
             scheduler: None,
@@ -234,10 +275,40 @@ impl MpcBuilder {
         if let Some(plan) = &self.fault_plan {
             return plan.clone();
         }
-        match std::env::var("MPC_FAULT_PLAN") {
-            Ok(name) => FaultPlan::preset(&name, self.params.n, self.delta)
+        match knobs::raw("MPC_FAULT_PLAN") {
+            Some(name) => FaultPlan::preset(&name, self.params.n, self.delta)
                 .unwrap_or_else(|| panic!("MPC_FAULT_PLAN={name} is not a known fault preset")),
-            Err(_) => FaultPlan::none(),
+            None => FaultPlan::none(),
+        }
+    }
+
+    /// Installs a *socket-level* chaos plan for the TCP backend: the plan's
+    /// drop / extra-delay / duplicate rules are interpreted by the connection
+    /// supervisors as sever-mid-record, stall-write and duplicate-byte-run
+    /// faults (see `TcpNet::set_chaos_plan`). Chaos only roughens the wire —
+    /// the logical schedule, outputs and guarantee verdicts are unaffected.
+    /// Ignored on the other backends. When unset, the `MPC_CHAOS_PLAN`
+    /// environment variable selects a named [`FaultPlan::chaos_preset`].
+    pub fn chaos_plan(mut self, plan: FaultPlan) -> Self {
+        self.chaos_plan = Some(plan);
+        self
+    }
+
+    /// The effective socket chaos plan this builder will run with: the
+    /// explicit [`MpcBuilder::chaos_plan`] setting, else `MPC_CHAOS_PLAN`
+    /// resolved through [`FaultPlan::chaos_preset`], else no chaos.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `MPC_CHAOS_PLAN` names an unknown chaos preset.
+    pub fn effective_chaos_plan(&self) -> FaultPlan {
+        if let Some(plan) = &self.chaos_plan {
+            return plan.clone();
+        }
+        match knobs::raw("MPC_CHAOS_PLAN") {
+            Some(name) => FaultPlan::chaos_preset(&name, self.params.n, self.delta)
+                .unwrap_or_else(|| panic!("MPC_CHAOS_PLAN={name} is not a known chaos preset")),
+            None => FaultPlan::none(),
         }
     }
 
@@ -309,12 +380,10 @@ impl MpcBuilder {
     /// [`MpcBuilder::packing`] setting, else `MPC_PACKING`, else 0 (scalar),
     /// clamped to [`crate::thresholds::max_packing_width`].
     pub fn effective_packing(&self) -> usize {
-        let requested = self.packing.unwrap_or_else(|| {
-            std::env::var("MPC_PACKING")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(0)
-        });
+        let requested = self
+            .packing
+            .or_else(|| knobs::parsed("MPC_PACKING", "a packing width (unsigned integer)"))
+            .unwrap_or(0);
         requested.min(crate::thresholds::max_packing_width(
             self.params.n,
             self.params.ts,
@@ -411,35 +480,51 @@ impl MpcBuilder {
             cfg = cfg.with_frames(frames);
         }
         let backend = self.transport.unwrap_or_else(Backend::from_env);
+        let chaos_plan = self.effective_chaos_plan();
+        let mut scheduler = self.scheduler;
         let mut net: Box<dyn Transport<Msg>> = match backend {
             Backend::Simulator => {
-                let mut sim = match self.scheduler {
+                let mut sim = match scheduler.take() {
                     Some(s) => Simulation::with_scheduler(cfg, corrupt.clone(), s, parties),
                     None => Simulation::new(cfg, corrupt.clone(), parties),
                 };
                 sim.set_fault_plan(fault_plan.clone());
                 Box::new(sim)
             }
-            Backend::Threaded => {
-                // The threaded backend needs frozen per-link latencies: an
-                // explicit matrix wins, then a sampled snapshot of a custom
-                // scheduler, then the network kind's default matrix.
+            Backend::Threaded | Backend::Tcp => {
+                // The thread-per-party backends need frozen per-link
+                // latencies: an explicit matrix wins, then a sampled snapshot
+                // of a custom scheduler, then the network kind's default
+                // matrix.
                 let links = match self.link_delays {
                     Some(links) => links,
-                    None => match self.scheduler {
+                    None => match scheduler.take() {
                         Some(mut s) => LinkDelays::sampled_from(n, cfg.seed, s.as_mut()),
                         None => LinkDelays::for_kind(n, cfg.kind, cfg.delta, cfg.seed),
                     },
                 };
-                let mut th = ThreadedNet::with_links(cfg, corrupt.clone(), links, parties);
-                if let Some(micros) = self.tick_micros {
-                    th = th.with_tick_micros(micros);
+                if backend == Backend::Threaded {
+                    let mut th = ThreadedNet::with_links(cfg, corrupt.clone(), links, parties);
+                    if let Some(micros) = self.tick_micros {
+                        th = th.with_tick_micros(micros);
+                    }
+                    if let Some(millis) = self.wedge_millis {
+                        th = th.with_wedge_millis(millis);
+                    }
+                    th.set_fault_plan(fault_plan.clone());
+                    Box::new(th)
+                } else {
+                    let mut th = TcpNet::with_links(cfg, corrupt.clone(), links, parties);
+                    if let Some(micros) = self.tick_micros {
+                        th = th.with_tick_micros(micros);
+                    }
+                    if let Some(millis) = self.wedge_millis {
+                        th = th.with_wedge_millis(millis);
+                    }
+                    th.set_fault_plan(fault_plan.clone());
+                    th.set_chaos_plan(chaos_plan);
+                    Box::new(th)
                 }
-                if let Some(millis) = self.wedge_millis {
-                    th = th.with_wedge_millis(millis);
-                }
-                th.set_fault_plan(fault_plan.clone());
-                Box::new(th)
             }
         };
         net.set_adversary_structure(Arc::clone(&structure));

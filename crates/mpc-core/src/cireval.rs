@@ -1428,6 +1428,15 @@ mod tests {
                     parties,
                 ))
             }
+            Backend::Tcp => {
+                let links = LinkDelays::sampled_from(cfg.n, cfg.seed, scheduler.as_mut());
+                Box::new(mpc_net::TcpNet::with_links(
+                    cfg,
+                    corrupt.clone(),
+                    links,
+                    parties,
+                ))
+            }
         };
         let horizon = params.horizon_for_depth(circuit.mult_depth()) * 8;
         let done = net.run_until_done(horizon, &mut |view| {

@@ -116,6 +116,13 @@ pub struct CellSpec {
     pub strategy: StrategyKind,
     /// Named [`FaultPlan::preset`] injected at the transport seam.
     pub fault_preset: String,
+    /// Named [`FaultPlan::chaos_preset`] interpreted at the *socket* layer
+    /// by the TCP backend's connection supervisors (sever-mid-record,
+    /// stall-write, duplicate-byte-run). `"none"`/empty means a clean wire;
+    /// ignored on the other backends. Chaos never changes the guarantee row
+    /// — it only roughens the bytes, and the supervisor's
+    /// reconnect-with-replay must absorb it.
+    pub chaos_preset: String,
     /// Additionally run the classic slow-sender attack: one party's outgoing
     /// links lag far beyond `Δ`, forcing the synchronous-path timeouts to
     /// expire and the asynchronous fallback to carry the run.
@@ -130,7 +137,7 @@ impl CellSpec {
     /// Compact human-readable cell label for logs.
     pub fn label(&self) -> String {
         format!(
-            "{:?}/{:?}/{}/{}/corrupt{:?}{}",
+            "{:?}/{:?}/{}/{}/corrupt{:?}{}{}",
             self.backend,
             self.network,
             if self.fault_preset.is_empty() {
@@ -141,7 +148,18 @@ impl CellSpec {
             self.strategy.name(),
             self.corrupt,
             if self.slow_sender { "/slow-sender" } else { "" },
+            if self.has_chaos() {
+                format!("/chaos-{}", self.chaos_preset)
+            } else {
+                String::new()
+            },
         )
+    }
+
+    /// True when this cell runs socket chaos (a non-`none` chaos preset on
+    /// the TCP backend).
+    pub fn has_chaos(&self) -> bool {
+        self.backend == Backend::Tcp && !self.chaos_preset.is_empty() && self.chaos_preset != "none"
     }
 }
 
@@ -235,6 +253,11 @@ pub struct CellReport {
     /// Protocol timers that expired during the run (both backends count
     /// these identically); slow-sender cells assert this is non-zero.
     pub timeouts_fired: u64,
+    /// Connections the TCP supervisors re-established during the run (0 on
+    /// the other backends); sever-chaos cells assert this is non-zero — the
+    /// cell must prove the chaos actually engaged, not merely that the run
+    /// survived a clean wire.
+    pub reconnects: u64,
 }
 
 impl CellReport {
@@ -257,10 +280,11 @@ impl CellReport {
             concat!(
                 "{{\"n\":{},\"ts\":{},\"ta\":{},\"delta\":{},",
                 "\"network\":\"{:?}\",\"backend\":\"{:?}\",\"corrupt\":[{}],",
-                "\"strategy\":\"{}\",\"fault_preset\":\"{}\",\"slow_sender\":{},",
+                "\"strategy\":\"{}\",\"fault_preset\":\"{}\",\"chaos_preset\":\"{}\",",
+                "\"slow_sender\":{},",
                 "\"packing\":{},\"seed\":{},\"guarantee\":\"{:?}\",",
                 "\"verdict\":\"{}\",\"detail\":\"{}\",\"finished_at\":{},",
-                "\"timeouts_fired\":{}}}"
+                "\"timeouts_fired\":{},\"reconnects\":{}}}"
             ),
             s.n,
             s.ts,
@@ -271,6 +295,7 @@ impl CellReport {
             corrupt.join(","),
             s.strategy.name(),
             s.fault_preset,
+            s.chaos_preset,
             s.slow_sender,
             s.packing,
             s.seed,
@@ -282,6 +307,7 @@ impl CellReport {
             self.finished_at
                 .map_or("null".to_string(), |t| t.to_string()),
             self.timeouts_fired,
+            self.reconnects,
         )
     }
 }
@@ -314,10 +340,16 @@ pub fn check_cell_against(
     if !spec.corrupt.is_empty() {
         b = b.byzantine_strategy(spec.strategy.instantiate(spec.seed));
     }
+    if spec.has_chaos() {
+        let chaos = FaultPlan::chaos_preset(&spec.chaos_preset, spec.n, spec.delta)
+            .unwrap_or_else(|| panic!("unknown chaos preset {:?}", spec.chaos_preset));
+        b = b.chaos_plan(chaos);
+    }
     if spec.slow_sender {
         // The classic attack on the synchronous path: one sender's links lag
         // far beyond Δ. On the simulator this is an adversarial scheduler;
-        // the threaded backend freezes the same shape into a latency matrix.
+        // the thread-per-party backends freeze the same shape into a latency
+        // matrix.
         match spec.backend {
             Backend::Simulator => {
                 b = b.scheduler(Box::new(SkewedAsyncScheduler {
@@ -326,12 +358,12 @@ pub fn check_cell_against(
                     fast: spec.delta,
                 }));
             }
-            Backend::Threaded => {
+            Backend::Threaded | Backend::Tcp => {
                 b = b.link_delays(LinkDelays::asynchronous(spec.n, spec.delta, spec.seed));
             }
         }
     }
-    if spec.backend == Backend::Threaded {
+    if spec.backend != Backend::Simulator {
         // Real-time runs: shrink the tick so cells that wait out long fault
         // windows (or the full horizon) stay within wall-clock budget.
         b = b.tick_micros(100);
@@ -405,12 +437,27 @@ pub fn check_cell_against(
                         .to_string(),
                 );
             }
+            // A sever-chaos cell that never reconnected did not test what it
+            // claims to test: the chaos shim must demonstrably have torn
+            // connections that the supervisors then re-established.
+            if verdict == Verdict::Correct
+                && spec.has_chaos()
+                && spec.chaos_preset == "sever"
+                && result.metrics.reconnects == 0
+            {
+                verdict = Verdict::Violation(
+                    "sever-chaos cell recorded no reconnects: the chaos shim \
+                     never engaged the supervisors"
+                        .to_string(),
+                );
+            }
             CellReport {
                 spec: spec.clone(),
                 guarantee,
                 verdict,
                 finished_at: Some(result.finished_at),
                 timeouts_fired: result.metrics.timeouts_fired,
+                reconnects: result.metrics.reconnects,
             }
         }
         Err(e) => {
@@ -426,6 +473,7 @@ pub fn check_cell_against(
                 verdict,
                 finished_at: None,
                 timeouts_fired: 0,
+                reconnects: 0,
             }
         }
     }
@@ -451,6 +499,12 @@ pub fn default_workload(n: usize) -> (Circuit, Vec<u64>) {
 /// fault count within threshold, so every default cell asserts *real
 /// termination with the correct output* — not merely a graceful abort.
 pub const DEFAULT_PRESETS: [&str; 3] = ["crash", "partition-heal", "dup-burst"];
+
+/// Socket-chaos presets appended to the matrix for the TCP backend (see
+/// `FaultPlan::chaos_preset`): connection severed mid-record, write stalled
+/// past a wedge-sized deadline, and duplicated byte runs forcing checksum
+/// resyncs.
+pub const CHAOS_PRESETS: [&str; 3] = ["sever", "stall", "dup-bytes"];
 
 /// Builds the default sweep matrix for the given backends: per backend,
 /// {sync, async} × [`DEFAULT_PRESETS`] × [`StrategyKind::ALL`] plus one
@@ -483,6 +537,7 @@ pub fn default_matrix(backends: &[Backend], seed: u64) -> Vec<CellSpec> {
                         corrupt: corrupt.clone(),
                         strategy,
                         fault_preset: preset.to_string(),
+                        chaos_preset: "none".to_string(),
                         slow_sender: false,
                         packing: 0,
                         seed,
@@ -500,6 +555,7 @@ pub fn default_matrix(backends: &[Backend], seed: u64) -> Vec<CellSpec> {
             corrupt: vec![],
             strategy: StrategyKind::Passive,
             fault_preset: "none".to_string(),
+            chaos_preset: "none".to_string(),
             slow_sender: true,
             packing: 0,
             seed,
@@ -519,10 +575,34 @@ pub fn default_matrix(backends: &[Backend], seed: u64) -> Vec<CellSpec> {
             corrupt: vec![],
             strategy: StrategyKind::Passive,
             fault_preset: "crash".to_string(),
+            chaos_preset: "none".to_string(),
             slow_sender: false,
             packing: 0,
             seed,
         });
+        // The TCP backend gets one extra column per socket-chaos preset: no
+        // logical faults, no corruption — a clean protocol run over a hostile
+        // wire that the supervisors must fully absorb ("sever" additionally
+        // asserts reconnects > 0 in `check_cell_against`).
+        if backend == Backend::Tcp {
+            for chaos in CHAOS_PRESETS {
+                cells.push(CellSpec {
+                    n,
+                    ts,
+                    ta,
+                    delta,
+                    network: NetworkKind::Synchronous,
+                    backend,
+                    corrupt: vec![],
+                    strategy: StrategyKind::Passive,
+                    fault_preset: "none".to_string(),
+                    chaos_preset: chaos.to_string(),
+                    slow_sender: false,
+                    packing: 0,
+                    seed,
+                });
+            }
+        }
     }
     cells
 }
@@ -586,6 +666,7 @@ mod tests {
             corrupt: vec![0],
             strategy: StrategyKind::Passive,
             fault_preset: "none".to_string(),
+            chaos_preset: "none".to_string(),
             slow_sender: false,
             packing: 0,
             seed: 1,
@@ -645,6 +726,14 @@ mod tests {
                 cell.label()
             );
         }
+        // The TCP backend gets the same cells plus one per chaos preset;
+        // chaos never changes the guarantee row.
+        let tcp = default_matrix(&[Backend::Tcp], 7);
+        assert_eq!(tcp.len(), 2 * 3 * 4 + 2 + CHAOS_PRESETS.len());
+        assert_eq!(tcp.iter().filter(|c| c.has_chaos()).count(), 3);
+        for cell in &tcp {
+            assert_eq!(cell_guarantee(cell), Guarantee::MustTerminate);
+        }
     }
 
     #[test]
@@ -697,6 +786,7 @@ mod tests {
             corrupt: vec![4],
             strategy: StrategyKind::Equivocate,
             fault_preset: "crash".to_string(),
+            chaos_preset: "none".to_string(),
             slow_sender: false,
             packing: 0,
             seed: 13,
@@ -708,6 +798,41 @@ mod tests {
             "{}",
             report.artifact_json()
         );
+    }
+
+    #[test]
+    fn one_tcp_sever_chaos_cell_checks_out() {
+        // A clean protocol run over a wire where every data record out of
+        // party 4 is torn mid-record on its first transmission: the
+        // supervisors must reconnect and replay through every protocol
+        // phase, and the cell verdict additionally requires reconnects > 0.
+        let (circuit, inputs) = default_workload(5);
+        let spec = CellSpec {
+            n: 5,
+            ts: 1,
+            ta: 1,
+            delta: 10,
+            network: NetworkKind::Synchronous,
+            backend: Backend::Tcp,
+            corrupt: vec![],
+            strategy: StrategyKind::Passive,
+            fault_preset: "none".to_string(),
+            chaos_preset: "sever".to_string(),
+            slow_sender: false,
+            packing: 0,
+            seed: 17,
+        };
+        let report = check_cell(&spec, &circuit, &inputs);
+        assert_eq!(
+            report.verdict,
+            Verdict::Correct,
+            "{}",
+            report.artifact_json()
+        );
+        assert!(report.reconnects > 0, "{}", report.artifact_json());
+        assert!(report
+            .artifact_json()
+            .contains("\"chaos_preset\":\"sever\""));
     }
 
     #[test]
@@ -723,6 +848,7 @@ mod tests {
             corrupt: vec![0],
             strategy: StrategyKind::Passive,
             fault_preset: "dup-burst".to_string(),
+            chaos_preset: "none".to_string(),
             slow_sender: false,
             packing: 0,
             seed: 99,

@@ -356,6 +356,39 @@ impl FaultPlan {
             _ => return None,
         })
     }
+
+    /// Named *socket-level* chaos plans for the TCP transport's chaos shim
+    /// (`MPC_CHAOS_PLAN` / `MpcBuilder::chaos_plan`). Same rule vocabulary
+    /// and `(from, to, send_tick, deliver_tick)` coordinates as
+    /// [`FaultPlan::preset`], but interpreted on byte streams instead of
+    /// logical messages: `Drop` severs the connection mid-record, an extra
+    /// delay stalls the write, a duplicate duplicates a byte run and forces
+    /// a resync. Chaos applies only to a record's *first* transmission —
+    /// replays after a reconnect are written clean — so no plan can
+    /// suppress a message, only stretch its wall-clock path; the logical
+    /// schedule (and thus the guarantee matrix) is untouched.
+    pub fn chaos_preset(name: &str, n: usize, delta: Time) -> Option<FaultPlan> {
+        let last = n - 1;
+        Some(match name {
+            "none" | "" => FaultPlan::none(),
+            // every data frame out of one party is torn mid-record, for the
+            // whole run: reconnect-with-replay in every protocol phase
+            "sever" => FaultPlan::none().drop_burst(Some(last), None, (0, Time::MAX)),
+            // writes out of one party sleep past any test-sized wedge
+            // deadline during one early tick (each stalled record costs real
+            // wall time up to the supervisor's stall cap, so the window is
+            // kept to a single tick)
+            "stall" => {
+                FaultPlan::none().delay_burst(Some(last), None, (2 * delta, 2 * delta + 1), 50_000)
+            }
+            // frames out of one party grow a duplicated byte run: the
+            // receiver's checksum rejects it and resyncs by teardown
+            "dup-bytes" => {
+                FaultPlan::none().duplicate_burst(Some(last), None, (0, Time::MAX), delta)
+            }
+            _ => return None,
+        })
+    }
 }
 
 #[cfg(test)]

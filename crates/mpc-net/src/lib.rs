@@ -51,6 +51,7 @@ pub use scheduler::{
 };
 pub use simulation::{NetConfig, NetworkKind, Simulation, TranscriptEntry, TranscriptEvent};
 pub use transport::{
-    party_as, threaded::ThreadedNet, Backend, PartyId, PartyView, Time, Transport, TransportError,
+    party_as, tcp::TcpNet, threaded::ThreadedNet, Backend, PartyId, PartyView, Time, Transport,
+    TransportError,
 };
 pub use wire::{Frame, FrameBuilder, FrameItem, WireDecode, WireEncode, WireError, WireReader};

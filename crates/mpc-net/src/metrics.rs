@@ -118,6 +118,26 @@ pub struct Metrics {
     /// from `PartialEq`; any non-zero count also surfaces as a typed
     /// `TransportError::Wedged`.
     pub wedges: u64,
+    /// TCP backend only: connections re-established by a link supervisor
+    /// after the initial dial succeeded (a severed or torn-down socket that
+    /// was dialed again and resumed via replay). Wall-clock observability,
+    /// excluded from `PartialEq`.
+    pub reconnects: u64,
+    /// TCP backend only: failed dial attempts across all link supervisors
+    /// (each entry in an exponential-backoff retry sequence that did not
+    /// yield a connection). Wall-clock observability, excluded from
+    /// `PartialEq`.
+    pub dial_retries: u64,
+    /// TCP backend only: sequenced link records retransmitted from a
+    /// supervisor's replay buffer after a reconnect (at-least-once delivery;
+    /// the receiver dedupes them by sequence number, so replays never reach
+    /// the protocol). Wall-clock observability, excluded from `PartialEq`.
+    pub frames_replayed: u64,
+    /// TCP backend only: bytes discarded by the incremental stream decoder
+    /// when it abandoned an unparsable or truncated record and tore the
+    /// connection down to resynchronise at a record boundary. Wall-clock
+    /// observability, excluded from `PartialEq`.
+    pub bytes_resynced: u64,
 }
 
 impl PartialEq for Metrics {
@@ -146,7 +166,11 @@ impl PartialEq for Metrics {
             values_opened_by_layer: _, // builder-injected observability
             fault_drops,
             fault_duplicates,
-            wedges: _, // wall-clock gate observability
+            wedges: _,          // wall-clock gate observability
+            reconnects: _,      // socket supervisor observability
+            dial_retries: _,    // socket supervisor observability
+            frames_replayed: _, // socket supervisor observability
+            bytes_resynced: _,  // socket supervisor observability
         } = self;
         *honest_messages == other.honest_messages
             && *honest_bits == other.honest_bits
@@ -211,6 +235,10 @@ impl Metrics {
         self.fault_drops += other.fault_drops;
         self.fault_duplicates += other.fault_duplicates;
         self.wedges += other.wedges;
+        self.reconnects += other.reconnects;
+        self.dial_retries += other.dial_retries;
+        self.frames_replayed += other.frames_replayed;
+        self.bytes_resynced += other.bytes_resynced;
         self.held_packets_peak = self.held_packets_peak.max(other.held_packets_peak);
         self.late_packets += other.late_packets;
         self.packed_width = self.packed_width.max(other.packed_width);
@@ -317,6 +345,10 @@ mod tests {
         b.timeouts_fired = 7;
         b.held_packets_peak = 3;
         b.late_packets = 1;
+        b.reconnects = 2;
+        b.dial_retries = 11;
+        b.frames_replayed = 5;
+        b.bytes_resynced = 640;
         b.record_slice(2, 2); // batch granularity is backend-specific
         assert_eq!(a, b, "harness/wall-clock fields are observability only");
         b.record_send(0, true, 8, None);

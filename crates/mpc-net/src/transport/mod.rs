@@ -19,6 +19,8 @@
 //! honest-bit accounting. The simulator — bit-exact, replayable, adversarially
 //! schedulable — thereby serves as a golden oracle for the real runtime.
 
+pub mod supervisor;
+pub mod tcp;
 pub mod threaded;
 
 use std::sync::Arc;
@@ -48,16 +50,40 @@ pub enum Backend {
     /// per party, in-memory duplex channels carrying TCP-ready frame bytes,
     /// wall-clock timeouts.
     Threaded,
+    /// The socket runtime ([`tcp::TcpNet`]): the threaded party runtime with
+    /// every inter-party channel replaced by a supervised loopback
+    /// `TcpStream` — retry/backoff dialing, reconnect-with-replay, and an
+    /// incremental decoder that resyncs after torn frames.
+    Tcp,
 }
 
 impl Backend {
+    /// Parses a backend name: `"sim"`/`"simulator"`, `"threaded"`, or
+    /// `"tcp"` (ASCII case-insensitive). `None` on anything else.
+    pub fn parse(name: &str) -> Option<Backend> {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("sim") || name.eq_ignore_ascii_case("simulator") {
+            Some(Backend::Simulator)
+        } else if name.eq_ignore_ascii_case("threaded") {
+            Some(Backend::Threaded)
+        } else if name.eq_ignore_ascii_case("tcp") {
+            Some(Backend::Tcp)
+        } else {
+            None
+        }
+    }
+
     /// Resolves the backend from the `MPC_TRANSPORT` environment variable
-    /// (`"threaded"` selects [`Backend::Threaded`]; anything else — including
-    /// unset — selects [`Backend::Simulator`]).
+    /// via [`Backend::parse`]. Unset or empty selects
+    /// [`Backend::Simulator`]; a set-but-unparsable value panics with the
+    /// offending text rather than silently falling back.
     pub fn from_env() -> Backend {
         match std::env::var("MPC_TRANSPORT") {
-            Ok(v) if v.eq_ignore_ascii_case("threaded") => Backend::Threaded,
-            _ => Backend::Simulator,
+            Ok(v) if v.trim().is_empty() => Backend::Simulator,
+            Ok(v) => Backend::parse(&v).unwrap_or_else(|| {
+                panic!("MPC_TRANSPORT={v:?}: unknown backend (expected sim|threaded|tcp)")
+            }),
+            Err(_) => Backend::Simulator,
         }
     }
 }
@@ -239,10 +265,20 @@ mod tests {
         // Can't mutate the process environment safely in a threaded test
         // runner; assert the pure parsing contract instead.
         match std::env::var("MPC_TRANSPORT") {
-            Ok(v) if v.eq_ignore_ascii_case("threaded") => {
-                assert_eq!(Backend::from_env(), Backend::Threaded)
+            Ok(v) if !v.trim().is_empty() => {
+                assert_eq!(Backend::from_env(), Backend::parse(&v).unwrap())
             }
             _ => assert_eq!(Backend::from_env(), Backend::Simulator),
         }
+    }
+
+    #[test]
+    fn backend_parse_accepts_all_names_and_rejects_typos() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Simulator));
+        assert_eq!(Backend::parse("Simulator"), Some(Backend::Simulator));
+        assert_eq!(Backend::parse("THREADED"), Some(Backend::Threaded));
+        assert_eq!(Backend::parse(" tcp "), Some(Backend::Tcp));
+        assert_eq!(Backend::parse("tpc"), None);
+        assert_eq!(Backend::parse(""), None);
     }
 }

@@ -1,0 +1,640 @@
+//! Connection supervision for the TCP transport ([`crate::transport::tcp`]):
+//! the per-link stream codec, the exponential-backoff dial policy, the
+//! bounded replay buffer behind reconnect-with-replay, and the chaos shim
+//! that maps [`FaultPlan`] coordinates onto raw byte streams.
+//!
+//! # Stream protocol
+//!
+//! A directed link `i → r` is one dialed `TcpStream`: party `i` connects to
+//! party `r`'s listener, writes a 12-byte handshake (`MAGIC`, `from`, `to`),
+//! and from then on the stream carries length-prefixed *records*, each
+//! `u32` body length followed by the body: a tag byte, tag-specific fields
+//! in the canonical little-endian layout of [`crate::wire`], and a trailing
+//! FNV-1a checksum over everything before it. Data and floor records carry
+//! a per-link monotone sequence number assigned by the sender; the receiver
+//! accepts exactly the next expected sequence, drops anything below it
+//! (replay duplicates), and answers with cumulative acks. The sequence is
+//! the stream-level realisation of the canonical `(from, send_tick, order)`
+//! packet key: per link, records are emitted in exactly that order, so
+//! dedup-by-sequence keeps the receiver's held-packet heap bit-identical to
+//! the simulator oracle even under at-least-once redelivery.
+//!
+//! Any malformed body — bad tag, bad length, checksum mismatch, or a
+//! truncated record at EOF — is *not* repaired in place: the decoder
+//! reports a [`DecodeFault`], the receiver counts the abandoned bytes in
+//! [`crate::Metrics::bytes_resynced`] and tears the connection down, and the
+//! dialer re-establishes it and replays every unacked record from the start
+//! of a record boundary. Teardown-and-replay *is* the resync mechanism.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::faults::{FaultOutcome, FaultPlan};
+use crate::transport::{PartyId, Time};
+use crate::wire::{WireError, WireReader};
+
+/// Handshake magic: `"BoBW"` little-endian.
+pub const MAGIC: u32 = 0x5742_6F42;
+
+/// Hard cap on one record body (sanity bound against garbage lengths).
+pub const MAX_RECORD_BYTES: usize = 1 << 26;
+
+/// One record on a supervised link stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkRecord {
+    /// A protocol packet: the PR 2 canonical frame (or path-prefixed single
+    /// message) bytes plus the scheduling coordinates the receiver's heap
+    /// orders by.
+    Data {
+        /// Per-link monotone sequence number (dedup key across replays).
+        seq: u64,
+        /// Sender-side emission tick.
+        send_tick: Time,
+        /// Emission index among the sender's packets of `send_tick`.
+        order: u32,
+        /// The tick the packet is stamped to arrive at.
+        deliver_tick: Time,
+        /// Whether `payload` is a complete wire frame (else a single
+        /// path-prefixed message).
+        framed: bool,
+        /// The canonical wire bytes.
+        payload: Vec<u8>,
+    },
+    /// A link-clock promise (Chandy–Misra null message) in transit.
+    Floor {
+        /// Per-link monotone sequence number, shared with data records.
+        seq: u64,
+        /// Nothing from this sender can arrive on this link before `floor`.
+        floor: Time,
+    },
+    /// An idle-link liveness probe: re-announces the last promised floor
+    /// (receiver-side a no-op, floors are max-monotonic) so a dead peer is
+    /// detected by the write failing. Not sequenced, never replayed.
+    Probe {
+        /// The last floor promised on this link.
+        floor: Time,
+    },
+    /// Cumulative acknowledgement, sent by the receiver back up the same
+    /// stream: every sequence below `next_seq` has been processed, so the
+    /// dialer can trim its replay buffer.
+    Ack {
+        /// The next sequence number the receiver expects.
+        next_seq: u64,
+    },
+}
+
+const TAG_DATA: u8 = 1;
+const TAG_FLOOR: u8 = 2;
+const TAG_PROBE: u8 = 3;
+const TAG_ACK: u8 = 4;
+
+/// FNV-1a over `bytes` — the per-record integrity check. Not cryptographic:
+/// it guards against torn/duplicated byte runs, not an adversary (Byzantine
+/// behaviour is modelled *above* the transport, by the wire strategies).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encodes the 12-byte connection handshake.
+pub fn encode_handshake(from: PartyId, to: PartyId) -> [u8; 12] {
+    let mut hs = [0u8; 12];
+    hs[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    hs[4..8].copy_from_slice(&(from as u32).to_le_bytes());
+    hs[8..12].copy_from_slice(&(to as u32).to_le_bytes());
+    hs
+}
+
+/// Decodes and validates a connection handshake; returns `(from, to)`.
+pub fn decode_handshake(bytes: &[u8; 12]) -> Option<(PartyId, PartyId)> {
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return None;
+    }
+    let from = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as PartyId;
+    let to = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as PartyId;
+    Some((from, to))
+}
+
+/// Encodes one record as its stream bytes: `u32` body length, body, with
+/// the trailing FNV-1a checksum inside the body.
+pub fn encode_record(rec: &LinkRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match rec {
+        LinkRecord::Data {
+            seq,
+            send_tick,
+            order,
+            deliver_tick,
+            framed,
+            payload,
+        } => {
+            body.push(TAG_DATA);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&send_tick.to_le_bytes());
+            body.extend_from_slice(&order.to_le_bytes());
+            body.extend_from_slice(&deliver_tick.to_le_bytes());
+            body.push(u8::from(*framed));
+            body.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(payload);
+        }
+        LinkRecord::Floor { seq, floor } => {
+            body.push(TAG_FLOOR);
+            body.extend_from_slice(&seq.to_le_bytes());
+            body.extend_from_slice(&floor.to_le_bytes());
+        }
+        LinkRecord::Probe { floor } => {
+            body.push(TAG_PROBE);
+            body.extend_from_slice(&floor.to_le_bytes());
+        }
+        LinkRecord::Ack { next_seq } => {
+            body.push(TAG_ACK);
+            body.extend_from_slice(&next_seq.to_le_bytes());
+        }
+    }
+    let sum = fnv1a(&body);
+    body.extend_from_slice(&sum.to_le_bytes());
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Why the incremental decoder gave up on a stream. Any fault means the
+/// connection must be torn down and re-established at a record boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeFault {
+    /// The body length prefix is below the minimum or above
+    /// [`MAX_RECORD_BYTES`].
+    BadLength(u32),
+    /// The trailing FNV-1a checksum does not match the body.
+    BadChecksum,
+    /// The body failed to parse as any record (bad tag, short field,
+    /// trailing bytes).
+    Malformed,
+}
+
+impl std::fmt::Display for DecodeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeFault::BadLength(l) => write!(f, "record length {l} out of bounds"),
+            DecodeFault::BadChecksum => write!(f, "record checksum mismatch"),
+            DecodeFault::Malformed => write!(f, "record body failed to parse"),
+        }
+    }
+}
+
+impl From<WireError> for DecodeFault {
+    fn from(_: WireError) -> Self {
+        DecodeFault::Malformed
+    }
+}
+
+/// Incremental record decoder over a byte stream delivered in arbitrary
+/// chunks ([`crate::wire::WireReader`] does the body parsing). Partial reads
+/// buffer until a record completes; a malformed record is a [`DecodeFault`]
+/// and poisons the stream — the caller must tear the connection down, since
+/// a byte stream with garbage in it has no in-band record boundary to skip
+/// to. Never panics on any input.
+#[derive(Debug, Default)]
+pub struct RecordDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl RecordDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer doesn't grow with the whole stream.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a successfully decoded record
+    /// — what a teardown abandons (counted in
+    /// [`crate::Metrics::bytes_resynced`]).
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete record, `Ok(None)` if more bytes are
+    /// needed, or a [`DecodeFault`] if the stream is poisoned.
+    pub fn next_record(&mut self) -> Result<Option<LinkRecord>, DecodeFault> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        // Minimum body: tag + 8-byte checksum.
+        if (len as usize) < 9 || len as usize > MAX_RECORD_BYTES {
+            return Err(DecodeFault::BadLength(len));
+        }
+        if avail.len() < 4 + len as usize {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len as usize];
+        let (fields, sum_bytes) = body.split_at(body.len() - 8);
+        let sum = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if fnv1a(fields) != sum {
+            return Err(DecodeFault::BadChecksum);
+        }
+        let rec = Self::parse_fields(fields)?;
+        self.pos += 4 + len as usize;
+        Ok(Some(rec))
+    }
+
+    fn parse_fields(fields: &[u8]) -> Result<LinkRecord, DecodeFault> {
+        let mut r = WireReader::new(fields);
+        let rec = match r.u8()? {
+            TAG_DATA => {
+                let seq = r.u64()?;
+                let send_tick = r.u64()?;
+                let order = r.u32()?;
+                let deliver_tick = r.u64()?;
+                let framed = r.bool()?;
+                let len = r.u32()? as usize;
+                if len > r.remaining() {
+                    return Err(DecodeFault::Malformed);
+                }
+                let payload = r.bytes(len)?.to_vec();
+                LinkRecord::Data {
+                    seq,
+                    send_tick,
+                    order,
+                    deliver_tick,
+                    framed,
+                    payload,
+                }
+            }
+            TAG_FLOOR => LinkRecord::Floor {
+                seq: r.u64()?,
+                floor: r.u64()?,
+            },
+            TAG_PROBE => LinkRecord::Probe { floor: r.u64()? },
+            TAG_ACK => LinkRecord::Ack { next_seq: r.u64()? },
+            _ => return Err(DecodeFault::Malformed),
+        };
+        if r.remaining() != 0 {
+            return Err(DecodeFault::Malformed);
+        }
+        Ok(rec)
+    }
+}
+
+/// Exponential backoff with deterministic jitter for dial retries. The
+/// jitter is a pure function of `(seed, attempt)` — no wall-clock
+/// randomness, so a failing dial schedule replays identically run to run.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    seed: u64,
+    attempt: u32,
+}
+
+/// First retry delay (doubles per attempt).
+const BACKOFF_BASE_US: u64 = 200;
+/// Retry delay ceiling.
+const BACKOFF_CAP_US: u64 = 50_000;
+
+impl Backoff {
+    /// A fresh backoff sequence for one dial episode of one link.
+    pub fn new(seed: u64) -> Self {
+        Backoff { seed, attempt: 0 }
+    }
+
+    /// The next delay: `min(base · 2^attempt, cap)` plus up to 25%
+    /// deterministic jitter (splitmix of `(seed, attempt)`).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(
+            BACKOFF_CAP_US
+                .ilog2()
+                .saturating_sub(BACKOFF_BASE_US.ilog2()),
+        );
+        let base = (BACKOFF_BASE_US << exp).min(BACKOFF_CAP_US);
+        let jitter = splitmix(self.seed ^ u64::from(self.attempt)) % (base / 4 + 1);
+        self.attempt += 1;
+        Duration::from_micros(base + jitter)
+    }
+
+    /// How many delays have been handed out.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The bounded resend buffer behind reconnect-with-replay: every sequenced
+/// record written to a link stays here until the receiver's cumulative ack
+/// covers it; on reconnect the whole buffer is retransmitted in sequence
+/// order. The byte bound is enforced by *back-pressure* (the supervisor
+/// waits for acks before buffering more), never by dropping — dropping an
+/// unacked record would break at-least-once delivery.
+#[derive(Debug)]
+pub(super) struct ReplayBuffer {
+    entries: VecDeque<(u64, Vec<u8>)>,
+    bytes: usize,
+    next_seq: u64,
+}
+
+impl ReplayBuffer {
+    pub(super) fn new() -> Self {
+        ReplayBuffer {
+            entries: VecDeque::new(),
+            bytes: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Assigns the next link sequence number (call exactly once per
+    /// sequenced record, immediately before [`ReplayBuffer::push`]).
+    pub(super) fn assign_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Buffers the encoded stream bytes of record `seq`.
+    pub(super) fn push(&mut self, seq: u64, encoded: Vec<u8>) {
+        self.bytes += encoded.len();
+        self.entries.push_back((seq, encoded));
+    }
+
+    /// Drops every record the cumulative ack `next_seq` covers.
+    pub(super) fn trim(&mut self, next_seq: u64) {
+        while let Some((seq, bytes)) = self.entries.front() {
+            if *seq >= next_seq {
+                break;
+            }
+            self.bytes -= bytes.len();
+            self.entries.pop_front();
+        }
+    }
+
+    /// Buffered (unacked) bytes.
+    pub(super) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Unacked records in sequence order, for replay after a reconnect.
+    pub(super) fn unacked(&self) -> impl Iterator<Item = &(u64, Vec<u8>)> {
+        self.entries.iter()
+    }
+
+    /// Number of unacked records.
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// What the chaos shim does to one data record's first transmission. The
+/// shim sits on the dialer's write path and translates the *logical* fault
+/// vocabulary of a [`FaultPlan`] into byte-stream pathology; replays are
+/// always written clean, so every action is survivable by
+/// teardown-and-replay and chaos never changes the logical schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(super) enum ChaosAction {
+    /// Write the record untouched.
+    Clean,
+    /// Write only the first `prefix` bytes, then sever the connection —
+    /// a frame torn in half on the wire.
+    Sever {
+        /// Bytes actually written before the teardown.
+        prefix: usize,
+    },
+    /// Sleep before writing — a stalled peer; long enough stalls push the
+    /// receiver's conservative gate past its wedge deadline.
+    Stall {
+        /// Wall-clock write delay.
+        dur: Duration,
+    },
+    /// Write the record, then duplicate its first bytes onto the stream and
+    /// sever — the duplicated run is garbage at the receiver, which must
+    /// resync by teardown.
+    DuplicateRun,
+}
+
+/// Longest stall the shim will sleep for one record, whatever the plan's
+/// extra delay says — keeps pathological cells bounded in wall time while
+/// still overshooting any test-sized wedge deadline.
+pub(super) const STALL_CAP: Duration = Duration::from_millis(300);
+
+/// Maps the chaos plan's verdict for one data record onto a byte-stream
+/// action. The plan speaks the same `(from, to, send_tick, deliver_tick)`
+/// coordinates as the logical fault plan; `record_len` is the encoded
+/// stream length of the record being written.
+pub(super) fn chaos_action(
+    plan: &FaultPlan,
+    from: PartyId,
+    to: PartyId,
+    send_tick: Time,
+    deliver_tick: Time,
+    tick_us: u64,
+    record_len: usize,
+) -> ChaosAction {
+    match plan.resolve(from, to, send_tick, deliver_tick) {
+        FaultOutcome::Drop => ChaosAction::Sever {
+            // Tear mid-record: past the length prefix, short of the
+            // checksum, so the receiver is left holding a half frame.
+            prefix: (record_len / 2).max(4).min(record_len.saturating_sub(1)),
+        },
+        FaultOutcome::Deliver {
+            duplicate: Some(_), ..
+        } => ChaosAction::DuplicateRun,
+        FaultOutcome::Deliver { at, .. } if at > deliver_tick => {
+            let extra_ticks = at - deliver_tick;
+            let dur = Duration::from_micros(extra_ticks.saturating_mul(tick_us));
+            ChaosAction::Stall {
+                dur: dur.min(STALL_CAP),
+            }
+        }
+        FaultOutcome::Deliver { .. } => ChaosAction::Clean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<LinkRecord> {
+        vec![
+            LinkRecord::Data {
+                seq: 0,
+                send_tick: 3,
+                order: 2,
+                deliver_tick: 13,
+                framed: true,
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            LinkRecord::Floor { seq: 1, floor: 40 },
+            LinkRecord::Probe { floor: 41 },
+            LinkRecord::Ack { next_seq: 2 },
+            LinkRecord::Data {
+                seq: 2,
+                send_tick: 9,
+                order: 0,
+                deliver_tick: 11,
+                framed: false,
+                payload: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_across_arbitrary_chunking() {
+        let recs = sample_records();
+        let stream: Vec<u8> = recs.iter().flat_map(encode_record).collect();
+        // Feed one byte at a time — the worst-case partial read.
+        let mut dec = RecordDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(rec) = dec.next_record().expect("clean stream decodes") {
+                got.push(rec);
+            }
+        }
+        assert_eq!(got, recs);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn truncated_record_stays_pending_and_is_abandoned_on_teardown() {
+        let bytes = encode_record(&sample_records()[0]);
+        let mut dec = RecordDecoder::new();
+        dec.extend(&bytes[..bytes.len() - 3]);
+        assert_eq!(dec.next_record().expect("needs more bytes"), None);
+        assert_eq!(dec.pending_bytes(), bytes.len() - 3);
+    }
+
+    #[test]
+    fn corrupt_byte_is_a_decode_fault_not_a_panic() {
+        let bytes = encode_record(&sample_records()[0]);
+        for i in 4..bytes.len() {
+            let mut garbled = bytes.clone();
+            garbled[i] ^= 0x40;
+            let mut dec = RecordDecoder::new();
+            dec.extend(&garbled);
+            assert!(
+                dec.next_record().is_err(),
+                "flipping body byte {i} must poison the stream"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicated_byte_run_poisons_the_stream() {
+        // What the chaos shim's DuplicateRun writes: a full record followed
+        // by a copy of its first bytes.
+        let bytes = encode_record(&sample_records()[1]);
+        let mut stream = bytes.clone();
+        stream.extend_from_slice(&bytes[..bytes.len() / 2]);
+        let mut dec = RecordDecoder::new();
+        dec.extend(&stream);
+        assert!(
+            dec.next_record().unwrap().is_some(),
+            "the real record decodes"
+        );
+        // The dup run is either an incomplete record (pending at EOF) or a
+        // decode fault; both trigger resync-by-teardown, never a bogus
+        // record.
+        match dec.next_record() {
+            Ok(Some(rec)) => panic!("dup run must not decode to {rec:?}"),
+            Ok(None) => assert!(dec.pending_bytes() > 0),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn handshake_roundtrips_and_rejects_bad_magic() {
+        let hs = encode_handshake(3, 1);
+        assert_eq!(decode_handshake(&hs), Some((3, 1)));
+        let mut bad = hs;
+        bad[0] ^= 1;
+        assert_eq!(decode_handshake(&bad), None);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let mut a = Backoff::new(7);
+        let mut b = Backoff::new(7);
+        let da: Vec<_> = (0..12).map(|_| a.next_delay()).collect();
+        let db: Vec<_> = (0..12).map(|_| b.next_delay()).collect();
+        assert_eq!(da, db, "same seed, same schedule");
+        assert!(da[0] >= Duration::from_micros(BACKOFF_BASE_US));
+        for w in da.windows(2) {
+            assert!(
+                w[1] >= w[0].min(Duration::from_micros(BACKOFF_CAP_US)),
+                "delays grow until the cap"
+            );
+        }
+        assert!(da[11] <= Duration::from_micros(BACKOFF_CAP_US + BACKOFF_CAP_US / 4));
+        let mut c = Backoff::new(8);
+        let dc: Vec<_> = (0..12).map(|_| c.next_delay()).collect();
+        assert_ne!(da, dc, "different links jitter differently");
+    }
+
+    #[test]
+    fn replay_buffer_trims_on_cumulative_ack() {
+        let mut buf = ReplayBuffer::new();
+        for _ in 0..5 {
+            let seq = buf.assign_seq();
+            buf.push(seq, vec![0u8; 10]);
+        }
+        assert_eq!((buf.len(), buf.bytes()), (5, 50));
+        buf.trim(3);
+        assert_eq!((buf.len(), buf.bytes()), (2, 20));
+        let seqs: Vec<u64> = buf.unacked().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![3, 4]);
+        buf.trim(100);
+        assert_eq!((buf.len(), buf.bytes()), (0, 0));
+    }
+
+    #[test]
+    fn chaos_mapping_covers_sever_stall_and_dup() {
+        use crate::faults::FaultPlan;
+        let sever = FaultPlan::none().drop_burst(Some(0), None, (0, 100));
+        assert!(matches!(
+            chaos_action(&sever, 0, 1, 5, 15, 1000, 40),
+            ChaosAction::Sever { prefix } if (4..40).contains(&prefix)
+        ));
+        let stall = FaultPlan::none().delay_burst(Some(0), None, (0, 100), 50);
+        match chaos_action(&stall, 0, 1, 5, 15, 1000, 40) {
+            ChaosAction::Stall { dur } => {
+                assert_eq!(dur, Duration::from_micros(50_000).min(STALL_CAP))
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+        let dup = FaultPlan::none().duplicate_burst(Some(0), None, (0, 100), 2);
+        assert_eq!(
+            chaos_action(&dup, 0, 1, 5, 15, 1000, 40),
+            ChaosAction::DuplicateRun
+        );
+        let none = FaultPlan::none();
+        assert_eq!(
+            chaos_action(&none, 0, 1, 5, 15, 1000, 40),
+            ChaosAction::Clean
+        );
+        // Out-of-window coordinates are clean even under an active plan.
+        assert_eq!(
+            chaos_action(&sever, 0, 1, 500, 510, 1000, 40),
+            ChaosAction::Clean
+        );
+    }
+}

@@ -81,7 +81,7 @@ pub fn tick_micros_from_env() -> u64 {
 }
 
 /// What travels between party threads.
-enum Inbound {
+pub(super) enum Inbound {
     Packet(Packet),
     /// A link-clock promise (a Chandy–Misra null message): nothing the sender
     /// emits from here on can arrive on this link before `floor`. Channels
@@ -99,20 +99,20 @@ enum Inbound {
 /// One byte string on a channel. `bytes` is a complete [`crate::wire::Frame`]
 /// when `framed`, else a path-prefixed single message (see
 /// [`encode_single`]).
-struct Packet {
-    from: PartyId,
-    send_tick: Time,
+pub(super) struct Packet {
+    pub(super) from: PartyId,
+    pub(super) send_tick: Time,
     /// Emission index among the sender's packets of `send_tick` — the
     /// receiver-side tiebreaker that reproduces the simulator's scheduling
     /// order for same-link packets.
-    order: u32,
-    deliver_tick: Time,
-    framed: bool,
-    bytes: Arc<Vec<u8>>,
+    pub(super) order: u32,
+    pub(super) deliver_tick: Time,
+    pub(super) framed: bool,
+    pub(super) bytes: Arc<Vec<u8>>,
 }
 
 /// A latency-held inbound event, ordered by the canonical receiver key.
-struct HeldEv {
+pub(super) struct HeldEv {
     deliver_tick: Time,
     send_tick: Time,
     from: PartyId,
@@ -145,7 +145,7 @@ impl Ord for HeldEv {
 
 /// A pending timer, ordered by `(fire, tseq)` — `tseq` is the party's timer
 /// scheduling order, matching the simulator's per-party seq order.
-struct HeldTimer {
+pub(super) struct HeldTimer {
     fire: Time,
     tseq: u64,
     path: Path,
@@ -176,15 +176,15 @@ impl Ord for HeldTimer {
 }
 
 /// Coordination state shared by all party threads and the coordinator.
-struct Shared {
+pub(super) struct Shared {
     /// Packets sent but not yet taken off their channel. Quiescence needs
     /// this at 0.
-    in_flight: AtomicI64,
+    pub(super) in_flight: AtomicI64,
     /// Per-party "blocked with nothing pending" flags.
-    idle: Vec<AtomicBool>,
+    pub(super) idle: Vec<AtomicBool>,
     /// Bumped on every send, receive and processed tick; the coordinator's
     /// double-read of this counter makes its idle scan race-free.
-    activity: AtomicU64,
+    pub(super) activity: AtomicU64,
 }
 
 /// The wire-level adversary, shared by all corrupt parties' threads. With a
@@ -192,28 +192,28 @@ struct Shared {
 /// the simulator's; with several, strategies that draw from the shared RNG
 /// stream should be wrapped in [`crate::ChannelDeterministic`] to stay
 /// order-independent.
-struct AdvState {
-    strategy: Box<dyn ByzantineStrategy>,
-    rng: StdRng,
+pub(super) struct AdvState {
+    pub(super) strategy: Box<dyn ByzantineStrategy>,
+    pub(super) rng: StdRng,
 }
 
 /// What a party thread hands back when it stops.
-struct PartyDone<M> {
-    party: PartyId,
-    protocol: Box<dyn Protocol<M>>,
-    metrics: Metrics,
-    transcript: Vec<TranscriptEntry>,
-    last_tick: Time,
-    processed_any: bool,
+pub(super) struct PartyDone<M> {
+    pub(super) party: PartyId,
+    pub(super) protocol: Box<dyn Protocol<M>>,
+    pub(super) metrics: Metrics,
+    pub(super) transcript: Vec<TranscriptEntry>,
+    pub(super) last_tick: Time,
+    pub(super) processed_any: bool,
     /// First wedge this party's conservative gate diagnosed: the lagging
     /// peer and the last tick its link clock had cleared.
-    wedged: Option<(PartyId, Time)>,
+    pub(super) wedged: Option<(PartyId, Time)>,
 }
 
 /// Encodes a single (non-framed) message for the wire: `u32` path length,
 /// path segments as little-endian `u32`s, then the payload bytes verbatim.
 /// The prefix layout matches the per-item layout inside a [`crate::Frame`].
-fn encode_single(path: &[u32], payload: &[u8]) -> Vec<u8> {
+pub(super) fn encode_single(path: &[u32], payload: &[u8]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(4 + path.len() * 4 + payload.len());
     buf.extend_from_slice(&(path.len() as u32).to_le_bytes());
     for &seg in path {
@@ -227,7 +227,7 @@ fn encode_single(path: &[u32], payload: &[u8]) -> Vec<u8> {
 /// prefix is always well-formed (this backend wrote it *after* the Byzantine
 /// strategy acted — only the payload tail can be garbled, exactly like the
 /// simulator's `(path, payload)` events).
-fn decode_single(bytes: &[u8]) -> (Path, Arc<Vec<u8>>) {
+pub(super) fn decode_single(bytes: &[u8]) -> (Path, Arc<Vec<u8>>) {
     let mut r = WireReader::new(bytes);
     let len = r.u32().expect("single-packet path prefix") as usize;
     let mut segs = Vec::with_capacity(len);
@@ -242,40 +242,40 @@ fn decode_single(bytes: &[u8]) -> (Path, Arc<Vec<u8>>) {
 }
 
 /// The per-thread party runtime. See the module docs for the model.
-struct PartyRuntime<'s, M> {
-    me: PartyId,
-    n: usize,
-    delta: Time,
-    coin_seed: u64,
-    horizon: Time,
-    record: bool,
-    honest: bool,
-    tick_us: u64,
-    guard: Duration,
+pub(super) struct PartyRuntime<'s, M> {
+    pub(super) me: PartyId,
+    pub(super) n: usize,
+    pub(super) delta: Time,
+    pub(super) coin_seed: u64,
+    pub(super) horizon: Time,
+    pub(super) record: bool,
+    pub(super) honest: bool,
+    pub(super) tick_us: u64,
+    pub(super) guard: Duration,
     /// Wall-clock epoch: tick `t`'s deadline is `start + t·tick + guard`.
     /// Stamped after the post-init barrier so thread-spawn latency never
     /// eats into tick 0's budget.
-    start: Instant,
-    links: &'s LinkDelays,
-    faults: &'s FaultPlan,
-    protocol: Box<dyn Protocol<M>>,
-    rng: StdRng,
-    rx: Receiver<Inbound>,
-    txs: Vec<Sender<Inbound>>,
-    shared: &'s Shared,
-    adv: &'s Mutex<AdvState>,
-    held: BinaryHeap<Reverse<HeldEv>>,
-    timers: BinaryHeap<Reverse<HeldTimer>>,
-    tseq: u64,
-    metrics: Metrics,
-    transcript: Vec<TranscriptEntry>,
+    pub(super) start: Instant,
+    pub(super) links: &'s LinkDelays,
+    pub(super) faults: &'s FaultPlan,
+    pub(super) protocol: Box<dyn Protocol<M>>,
+    pub(super) rng: StdRng,
+    pub(super) rx: Receiver<Inbound>,
+    pub(super) txs: Vec<Sender<Inbound>>,
+    pub(super) shared: &'s Shared,
+    pub(super) adv: &'s Mutex<AdvState>,
+    pub(super) held: BinaryHeap<Reverse<HeldEv>>,
+    pub(super) timers: BinaryHeap<Reverse<HeldTimer>>,
+    pub(super) tseq: u64,
+    pub(super) metrics: Metrics,
+    pub(super) transcript: Vec<TranscriptEntry>,
     /// Every tick below this has been processed; late packets clamp here.
-    next_unprocessed: Time,
-    last_tick: Time,
-    processed_any: bool,
-    order_tick: Time,
-    order_counter: u32,
-    stopping: bool,
+    pub(super) next_unprocessed: Time,
+    pub(super) last_tick: Time,
+    pub(super) processed_any: bool,
+    pub(super) order_tick: Time,
+    pub(super) order_counter: u32,
+    pub(super) stopping: bool,
     /// Per-sender link clock: the earliest tick at which a not-yet-received
     /// packet from that sender could still arrive (own slot unused). Raised
     /// by [`Inbound::Past`] promises; processing tick `t` waits until every
@@ -283,18 +283,18 @@ struct PartyRuntime<'s, M> {
     /// oversubscribed host) back-pressures its receivers instead of being
     /// ruled late — the wall clock still decides *when* a due tick fires,
     /// the floors only guarantee no link has earlier bytes in flight.
-    chan_floor: Vec<Time>,
+    pub(super) chan_floor: Vec<Time>,
     /// Highest promise broadcast so far (the basis tick, before per-link
     /// delay is added); deduplicates [`Inbound::Past`] chatter.
-    promised: Time,
+    pub(super) promised: Time,
     /// How long the conservative gate tolerates *zero* progress (no packet,
     /// no advancing link clock) on a lagging link before processing anyway —
     /// see [`default_wedge_timeout`]. Configurable via
     /// `ThreadedNet::with_wedge_millis` / the `MPC_WEDGE_MS` knob.
-    wedge_timeout: Duration,
+    pub(super) wedge_timeout: Duration,
     /// First wedge diagnosed by the gate (lagging peer, its last cleared
     /// tick); surfaced post-run as `TransportError::Wedged`.
-    wedged: Option<(PartyId, Time)>,
+    pub(super) wedged: Option<(PartyId, Time)>,
 }
 
 /// The default zero-progress grace of the conservative gate (30 s). This is
@@ -598,7 +598,7 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
     /// tick-0 pending batch plus outbound packets — mirroring the simulator's
     /// init flush (self-sends and broadcast self-copies as same-tick events,
     /// cross-party honest traffic framed, corrupt traffic per message).
-    fn init(&mut self) {
+    pub(super) fn init(&mut self) {
         let mut effects: Effects<M> = Effects::new();
         {
             let mut ctx = Context::new(
@@ -805,7 +805,7 @@ impl<M: WireEncode + WireDecode + 'static> PartyRuntime<'_, M> {
 
     /// The party thread body: init, epoch barrier, then the paced event loop
     /// until the coordinator's `Stop`.
-    fn run(mut self, barrier: &Barrier, epoch: &OnceLock<Instant>) -> PartyDone<M> {
+    pub(super) fn run(mut self, barrier: &Barrier, epoch: &OnceLock<Instant>) -> PartyDone<M> {
         self.init();
         barrier.wait();
         if self.me == 0 {

@@ -129,6 +129,12 @@ impl<'a> WireReader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    /// Reads `n` raw bytes (an opaque payload run whose length the caller
+    /// already decoded — the TCP stream codec's record payloads).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;

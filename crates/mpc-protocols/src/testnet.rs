@@ -8,7 +8,8 @@
 //! per-message scheduling) keep using [`Simulation`] explicitly.
 
 use mpc_net::{
-    Backend, CorruptionSet, LinkDelays, NetConfig, Protocol, Simulation, ThreadedNet, Transport,
+    Backend, CorruptionSet, LinkDelays, NetConfig, Protocol, Simulation, TcpNet, ThreadedNet,
+    Transport,
 };
 
 use crate::Msg;
@@ -26,6 +27,10 @@ pub(crate) fn transport_for(
         Backend::Threaded => {
             let links = LinkDelays::for_kind(cfg.n, cfg.kind, cfg.delta, cfg.seed);
             Box::new(ThreadedNet::with_links(cfg, corrupt, links, parties))
+        }
+        Backend::Tcp => {
+            let links = LinkDelays::for_kind(cfg.n, cfg.kind, cfg.delta, cfg.seed);
+            Box::new(TcpNet::with_links(cfg, corrupt, links, parties))
         }
     }
 }

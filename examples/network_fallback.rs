@@ -89,7 +89,7 @@ fn main() {
                 .transport(backend);
             match backend {
                 Backend::Simulator => b.scheduler(Box::new(sync_links.clone())),
-                Backend::Threaded => b.link_delays(sync_links.clone()),
+                Backend::Threaded | Backend::Tcp => b.link_delays(sync_links.clone()),
             }
         },
         &circuit,
@@ -125,7 +125,7 @@ fn main() {
                 .transport(backend);
             match backend {
                 Backend::Simulator => b.scheduler(Box::new(async_links.clone())),
-                Backend::Threaded => b.link_delays(async_links.clone()),
+                Backend::Threaded | Backend::Tcp => b.link_delays(async_links.clone()),
             }
         },
         &circuit,

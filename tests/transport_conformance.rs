@@ -1,15 +1,20 @@
 //! Conformance harness: the deterministic simulator as golden oracle for the
-//! real threaded runtime.
+//! real runtimes.
 //!
 //! For every seed in the sweep, the same full MPC evaluation is run twice —
 //! once on the discrete-event [`Simulation`] backend with the frozen
-//! [`LinkDelays`] latency matrix installed as its scheduler, once on the
-//! threaded backend where each party is an OS thread exchanging canonical
-//! wire bytes over channels and all timers are real `recv_timeout` deadlines.
+//! [`LinkDelays`] latency matrix installed as its scheduler, once on a real
+//! backend where each party is an OS thread exchanging canonical wire bytes
+//! and all timers are real `recv_timeout` deadlines. The real backend under
+//! test follows `MPC_TRANSPORT`: the threaded (in-process channel) runtime
+//! by default, the supervised TCP socket runtime under `MPC_TRANSPORT=tcp`
+//! — the whole module doubles as the socket transport's conformance proof.
 //! The two runs must produce byte-identical per-party outputs, the same
 //! agreed input subset, and identical communication accounting (the
-//! [`Metrics`] fingerprint, including per-party `honest_bits`). Transcript
-//! *order* may differ between backends; per-party event sequences may not.
+//! [`Metrics`] fingerprint, including per-party `honest_bits`; supervisor
+//! wall-clock counters such as `reconnects` are excluded from the
+//! fingerprint by construction). Transcript *order* may differ between
+//! backends; per-party event sequences may not.
 
 use bobw_mpc::core::{Circuit, MpcBuilder, MpcRunResult};
 use bobw_mpc::net::{
@@ -45,9 +50,19 @@ fn strategies() -> Vec<StrategyCtor> {
     ]
 }
 
+/// The real (thread-per-party) backend under test: `MPC_TRANSPORT=tcp`
+/// selects the socket runtime, anything else the in-process threaded one —
+/// the simulator side of the comparison is always explicit.
+fn real_backend() -> Backend {
+    match Backend::from_env() {
+        Backend::Tcp => Backend::Tcp,
+        _ => Backend::Threaded,
+    }
+}
+
 struct Conformance {
     sim: MpcRunResult,
-    threaded: MpcRunResult,
+    real: MpcRunResult,
 }
 
 /// Runs the same configuration on both backends and asserts the conformance
@@ -100,22 +115,23 @@ fn assert_conformant(
         }
         match backend {
             Backend::Simulator => b.scheduler(Box::new(links.clone())),
-            Backend::Threaded => b.link_delays(links.clone()).tick_micros(tick_us),
+            Backend::Threaded | Backend::Tcp => b.link_delays(links.clone()).tick_micros(tick_us),
         }
     };
     let sim = build(Backend::Simulator, 0)
         .run(&circuit)
         .unwrap_or_else(|e| panic!("simulator run failed ({label}, seed {seed}): {e}"));
+    let backend = real_backend();
     let schedule = tick_schedule();
-    let mut threaded = None;
+    let mut real = None;
     for (attempt, &tick_us) in schedule.iter().enumerate() {
         let last = attempt + 1 == schedule.len();
         // A failed run (e.g. divergence after a grace-bailed stall kept the
         // protocol from terminating) is retried on a longer tick like a late
         // run; only the final attempt is allowed to panic.
-        let run = match build(Backend::Threaded, tick_us).run(&circuit) {
+        let run = match build(backend, tick_us).run(&circuit) {
             Ok(run) => run,
-            Err(e) if last => panic!("threaded run failed ({label}, seed {seed}): {e}"),
+            Err(e) if last => panic!("{backend:?} run failed ({label}, seed {seed}): {e}"),
             Err(e) => {
                 eprintln!(
                     "conformance ({label}, seed {seed}): run failed at tick {tick_us}µs ({e}), retrying slower"
@@ -124,7 +140,7 @@ fn assert_conformant(
             }
         };
         if run.metrics.late_packets == 0 || last {
-            threaded = Some(run);
+            real = Some(run);
             break;
         }
         eprintln!(
@@ -132,34 +148,35 @@ fn assert_conformant(
             run.metrics.late_packets
         );
     }
-    let threaded = threaded.expect("at least one threaded attempt ran");
+    let real = real.expect("at least one real-backend attempt ran");
 
     assert!(
-        threaded.metrics.late_packets == 0,
-        "threaded run overran even the largest tick ({label}, seed {seed})"
+        real.metrics.late_packets == 0,
+        "{backend:?} run overran even the largest tick ({label}, seed {seed})"
     );
     assert_eq!(
-        sim.outputs, threaded.outputs,
-        "per-party outputs must be byte-identical ({label}, seed {seed})"
+        sim.outputs, real.outputs,
+        "per-party outputs must be byte-identical ({backend:?}, {label}, seed {seed})"
     );
     assert_eq!(
-        sim.input_subset, threaded.input_subset,
-        "agreed input subset must match ({label}, seed {seed})"
+        sim.input_subset, real.input_subset,
+        "agreed input subset must match ({backend:?}, {label}, seed {seed})"
     );
-    // The Metrics fingerprint (wall-clock and engine-granularity fields are
-    // excluded from PartialEq) covers honest/corrupt message and bit counts,
-    // decode failures, adversary actions, and the per-segment breakdown.
+    // The Metrics fingerprint (wall-clock and engine-granularity fields —
+    // including the TCP supervisor counters — are excluded from PartialEq)
+    // covers honest/corrupt message and bit counts, decode failures,
+    // adversary actions, and the per-segment breakdown.
     assert_eq!(
-        sim.metrics, threaded.metrics,
-        "metrics fingerprint must match ({label}, seed {seed})"
+        sim.metrics, real.metrics,
+        "metrics fingerprint must match ({backend:?}, {label}, seed {seed})"
     );
     // Per-party honest bits called out explicitly: identical accounting for
     // every single party, not just in aggregate.
     assert_eq!(
-        sim.metrics.honest_bits_by_party, threaded.metrics.honest_bits_by_party,
-        "per-party honest_bits must match ({label}, seed {seed})"
+        sim.metrics.honest_bits_by_party, real.metrics.honest_bits_by_party,
+        "per-party honest_bits must match ({backend:?}, {label}, seed {seed})"
     );
-    Conformance { sim, threaded }
+    Conformance { sim, real }
 }
 
 #[test]
@@ -168,7 +185,7 @@ fn synchronous_conformance_all_strategies() {
         for (label, strategy) in strategies() {
             let runs = assert_conformant(NetworkKind::Synchronous, seed, &[3], strategy, label);
             // Real timeouts drove every round transition on the threaded path.
-            assert!(runs.threaded.metrics.timeouts_fired > 0);
+            assert!(runs.real.metrics.timeouts_fired > 0);
         }
     }
 }
@@ -183,7 +200,7 @@ fn synchronous_conformance_all_honest() {
         "honest",
     );
     assert_eq!(runs.sim.input_subset, vec![0, 1, 2, 3]);
-    assert!(runs.threaded.metrics.timeouts_fired > 0);
+    assert!(runs.real.metrics.timeouts_fired > 0);
 }
 
 #[test]
@@ -195,7 +212,7 @@ fn asynchronous_conformance_all_strategies() {
         // bytes arrive: the sync→async fallback is exercised by genuine
         // wall-clock timeouts, not simulated ticks.
         assert!(
-            runs.threaded.metrics.timeouts_fired > 0,
+            runs.real.metrics.timeouts_fired > 0,
             "fallback must be driven by real timeouts ({label})"
         );
     }
@@ -214,9 +231,9 @@ fn crashed_party_is_excluded_by_real_timeouts() {
         "crash-fallback",
     );
     assert!(
-        !runs.threaded.input_subset.contains(&4),
+        !runs.real.input_subset.contains(&4),
         "a crashed party's input cannot be agreed into the subset"
     );
-    assert!(runs.threaded.input_subset.len() >= 4);
-    assert!(runs.threaded.metrics.timeouts_fired > 0);
+    assert!(runs.real.input_subset.len() >= 4);
+    assert!(runs.real.metrics.timeouts_fired > 0);
 }
